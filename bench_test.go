@@ -1,0 +1,296 @@
+package qsmt
+
+// Benchmark harness for the paper's evaluation artifacts:
+//
+//   - BenchmarkTable1_Row*: the five sample constraints of Table 1, each
+//     solved end to end (encode → anneal → decode → check), including
+//     the sequential pipelines of §4.12.
+//   - BenchmarkFigure1_*: the per-stage breakdown of the Figure 1
+//     pipeline (binary-variable/QUBO encoding, annealing, decoding).
+//   - BenchmarkScaling_*: Ext-A, solve time versus witness length.
+//   - BenchmarkReads_*: Ext-B, annealing cost versus read count.
+//   - BenchmarkBaseline_*: Ext-C, the classical comparators on the same
+//     constraints.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/baseline"
+	"qsmt/internal/core"
+	"qsmt/internal/qubo"
+)
+
+// benchSolver uses the paper-equivalent sampler configuration.
+func benchSolver(seed int64) *Solver {
+	return NewSolver(&Options{
+		Sampler: &anneal.SimulatedAnnealer{Reads: 64, Sweeps: 1000, Seed: seed},
+	})
+}
+
+// ---- Table 1 ----
+
+func BenchmarkTable1_Row1_ReverseReplace(b *testing.B) {
+	s := benchSolver(1)
+	p := NewPipeline(Reverse("hello")).Replace('e', 'a')
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(p)
+		if err != nil || res.Output != "ollah" {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkTable1_Row2_Palindrome6(b *testing.B) {
+	s := benchSolver(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveString(Palindrome(6)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_Row3_RegexABC5(b *testing.B) {
+	s := benchSolver(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveString(Regex("a[bc]+", 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_Row4_ConcatReplaceAll(b *testing.B) {
+	s := benchSolver(4)
+	p := NewPipeline(Concat("hello", " world")).ReplaceAll('l', 'x')
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(p)
+		if err != nil || res.Output != "hexxo worxd" {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkTable1_Row5_IndexOfHi(b *testing.B) {
+	s := benchSolver(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveString(IndexOf("hi", 2, 6)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figure 1 stage breakdown ----
+
+func BenchmarkFigure1_EncodeQUBO(b *testing.B) {
+	c := &core.Palindrome{N: 6, Printable: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.BuildModel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1_Anneal(b *testing.B) {
+	c := &core.Palindrome{N: 6, Printable: true}
+	m, err := c.BuildModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled := m.Compile()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sa := &anneal.SimulatedAnnealer{Reads: 64, Sweeps: 1000, Seed: int64(i + 1)}
+		if _, err := sa.Sample(compiled); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1_DecodeCheck(b *testing.B) {
+	c := &core.Palindrome{N: 6, Printable: true}
+	m, err := c.BuildModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa := &anneal.SimulatedAnnealer{Reads: 64, Sweeps: 1000, Seed: 1}
+	ss, err := sa.Sample(m.Compile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found := false
+		for _, sample := range ss.Samples {
+			w, derr := c.Decode(sample.X)
+			if derr == nil && c.Check(w) == nil {
+				found = true
+				break
+			}
+		}
+		if !found {
+			b.Fatal("no valid sample")
+		}
+	}
+}
+
+// ---- Ext-A: scaling with witness length ----
+
+func scalingBench(b *testing.B, mk func(n int) Constraint, n int) {
+	b.Helper()
+	s := benchSolver(int64(n))
+	c := mk(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaling_Equality(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			scalingBench(b, func(n int) Constraint {
+				target := make([]byte, n)
+				for i := range target {
+					target[i] = 'a' + byte(i%26)
+				}
+				return Equality(string(target))
+			}, n)
+		})
+	}
+}
+
+func BenchmarkScaling_Palindrome(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			scalingBench(b, func(n int) Constraint { return Palindrome(n) }, n)
+		})
+	}
+}
+
+func BenchmarkScaling_Regex(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			scalingBench(b, func(n int) Constraint { return Regex("a[bc]+", n) }, n)
+		})
+	}
+}
+
+// ---- Ext-B: reads ablation ----
+
+func BenchmarkReads_Palindrome6(b *testing.B) {
+	c := &core.Palindrome{N: 6, Printable: true}
+	m, err := c.BuildModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled := m.Compile()
+	for _, reads := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("reads=%d", reads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sa := &anneal.SimulatedAnnealer{Reads: reads, Sweeps: 1000, Seed: int64(i + 1)}
+				if _, err := sa.Sample(compiled); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Ext-C: classical baselines ----
+
+func BenchmarkBaseline_Direct(b *testing.B) {
+	var d baseline.Direct
+	cs := []core.Constraint{
+		&core.Equality{Target: "hello!"},
+		&core.Palindrome{N: 6},
+		&core.Regex{Pattern: "a[bc]+", Length: 5},
+		&core.Includes{T: "hello world", S: "o w"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cs {
+			if _, err := d.Solve(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBaseline_BruteForcePalindrome(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			bf := &baseline.BruteForce{Alphabet: []byte("abcdefgh")}
+			c := &core.Palindrome{N: n}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bf.Solve(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBaseline_AnnealerPalindrome(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchSolver(int64(n))
+			c := PalindromeRaw(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkSubstrate_QUBOEnergy(b *testing.B) {
+	c := &core.Palindrome{N: 16, Printable: true}
+	m, err := c.BuildModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled := m.Compile()
+	x := make([]qubo.Bit, compiled.N)
+	for i := range x {
+		x[i] = qubo.Bit(i % 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = compiled.Energy(x)
+	}
+}
+
+func BenchmarkSubstrate_FlipDelta(b *testing.B) {
+	c := &core.Palindrome{N: 16, Printable: true}
+	m, err := c.BuildModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled := m.Compile()
+	x := make([]qubo.Bit, compiled.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = compiled.FlipDelta(x, i%compiled.N)
+	}
+}

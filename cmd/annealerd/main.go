@@ -1,0 +1,58 @@
+// Command annealerd serves the annealer API over HTTP: the
+// "quantum (or simulated) annealer" box of the paper's Figure 1 as a
+// network service, mirroring how production annealers are consumed
+// (submit a QUBO, receive energy-sorted samples).
+//
+// Usage:
+//
+//	annealerd [-addr :8080] [-max-reads 1024] [-max-sweeps 100000]
+//
+// Point a solver at it with cmd/qsmt's -remote flag:
+//
+//	qsmt -remote http://localhost:8080 file.smt2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+	"qsmt/internal/remote"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		maxReads  = flag.Int("max-reads", 1024, "cap on per-job reads")
+		maxSweeps = flag.Int("max-sweeps", 100_000, "cap on per-job sweeps")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: annealerd [flags]")
+		os.Exit(2)
+	}
+
+	srv := &remote.Server{
+		Description: "qsmt simulated annealer",
+		NewSampler: func(req remote.SampleRequest) interface {
+			Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+		} {
+			reads, sweeps := req.Reads, req.Sweeps
+			if reads > *maxReads {
+				reads = *maxReads
+			}
+			if sweeps > *maxSweeps {
+				sweeps = *maxSweeps
+			}
+			return &anneal.SimulatedAnnealer{Reads: reads, Sweeps: sweeps, Seed: req.Seed}
+		},
+	}
+	log.Printf("annealerd listening on %s (max reads %d, max sweeps %d)", *addr, *maxReads, *maxSweeps)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

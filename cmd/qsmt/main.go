@@ -1,0 +1,152 @@
+// Command qsmt is the solver's command-line front end: it reads an
+// SMT-LIB script (from a file or stdin), solves the string constraints by
+// QUBO annealing, and prints the check-sat verdicts and models.
+//
+// Usage:
+//
+//	qsmt [-seed N] [-reads N] [-sweeps N] [-attempts N] [file.smt2]
+//	qsmt -i        # interactive REPL: one command per line, errors are
+//	               # reported but do not end the session
+//
+// With no file argument (and without -i) the script is read from
+// standard input.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"qsmt"
+	"qsmt/internal/anneal"
+	"qsmt/internal/remote"
+	"qsmt/internal/smtlib"
+)
+
+func main() {
+	var (
+		seed        = flag.Int64("seed", 1, "annealer root seed")
+		reads       = flag.Int("reads", 64, "annealer reads per solve")
+		sweeps      = flag.Int("sweeps", 1000, "annealer sweeps per read")
+		attempts    = flag.Int("attempts", 4, "verify-retry budget per constraint")
+		interactive = flag.Bool("i", false, "interactive REPL mode")
+		remoteURL   = flag.String("remote", "", "base URL of a remote annealer service (see cmd/annealerd)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qsmt [flags] [file.smt2]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var sampler qsmt.Sampler = &anneal.SimulatedAnnealer{
+		Reads:  *reads,
+		Sweeps: *sweeps,
+		Seed:   *seed,
+	}
+	if *remoteURL != "" {
+		client := &remote.Client{BaseURL: *remoteURL, Reads: *reads, Sweeps: *sweeps, Seed: *seed}
+		if _, err := client.Health(); err != nil {
+			fmt.Fprintf(os.Stderr, "qsmt: remote annealer %s: %v\n", *remoteURL, err)
+			os.Exit(1)
+		}
+		sampler = client
+	}
+	solver := qsmt.NewSolver(&qsmt.Options{
+		Sampler:     sampler,
+		MaxAttempts: *attempts,
+		Seed:        *seed,
+	})
+	interp := smtlib.NewInterpreter(solver, os.Stdout)
+
+	if *interactive {
+		repl(interp)
+		return
+	}
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsmt:", err)
+		os.Exit(1)
+	}
+	if err := interp.Execute(string(src)); err != nil {
+		fmt.Fprintln(os.Stderr, "qsmt:", err)
+		os.Exit(1)
+	}
+}
+
+// repl reads commands line by line, buffering until parentheses balance
+// so multi-line commands work, and keeps the session alive on errors.
+func repl(interp *smtlib.Interpreter) {
+	fmt.Println("; qsmt interactive mode — enter SMT-LIB commands, (exit) to quit")
+	sc := bufio.NewScanner(os.Stdin)
+	var buf strings.Builder
+	depth := 0
+	prompt := func() {
+		if depth > 0 {
+			fmt.Print("... ")
+		} else {
+			fmt.Print("> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		depth += balance(line)
+		if depth > 0 {
+			prompt()
+			continue
+		}
+		src := buf.String()
+		buf.Reset()
+		depth = 0
+		if strings.TrimSpace(src) != "" {
+			if strings.Contains(src, "(exit)") {
+				return
+			}
+			if err := interp.Execute(src); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+		prompt()
+	}
+}
+
+// balance returns the parenthesis depth change of a line, ignoring
+// parens inside string literals and comments.
+func balance(line string) int {
+	depth := 0
+	inString := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inString:
+			if c == '"' {
+				inString = false
+			}
+		case c == '"':
+			inString = true
+		case c == ';':
+			return depth // comment to end of line
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		}
+	}
+	return depth
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestBalance(t *testing.T) {
+	cases := []struct {
+		line string
+		want int
+	}{
+		{"(assert (= x 1))", 0},
+		{"(assert", 1},
+		{"(a (b", 2},
+		{"))", -2},
+		{`(echo ")")`, 0},     // paren inside a string literal
+		{`(echo "(((")`, 0},   // several parens inside a literal
+		{"(a ; comment )", 1}, // comment hides the closer
+		{"; pure comment (((", 0},
+		{"", 0},
+	}
+	for _, tc := range cases {
+		if got := balance(tc.line); got != tc.want {
+			t.Errorf("balance(%q) = %d, want %d", tc.line, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildConstraintAllOps(t *testing.T) {
+	cases := []struct {
+		name                        string
+		op, target, t, sub, pattern string
+		xc, yc                      string
+		n, l, index                 int
+		wantName                    string
+		wantErr                     bool
+	}{
+		{name: "equality", op: "equality", target: "hi", wantName: "equality"},
+		{name: "concat", op: "concat", wantName: "concat"},
+		{name: "substring", op: "substring", sub: "cat", n: 4, wantName: "substring-match"},
+		{name: "includes", op: "includes", t: "hello", sub: "ll", wantName: "includes"},
+		{name: "indexof", op: "indexof", sub: "hi", index: 2, n: 6, wantName: "indexof"},
+		{name: "length", op: "length", l: 2, n: 4, wantName: "length"},
+		{name: "replace", op: "replace", target: "hello", xc: "l", yc: "L", wantName: "replace"},
+		{name: "replaceall", op: "replaceall", target: "hello", xc: "l", yc: "x", wantName: "replace-all"},
+		{name: "reverse", op: "reverse", target: "hello", wantName: "reverse"},
+		{name: "palindrome", op: "palindrome", n: 6, wantName: "palindrome"},
+		{name: "regex", op: "regex", pattern: "a[bc]+", n: 5, wantName: "regex"},
+		{name: "unknown op", op: "frobnicate", wantErr: true},
+		{name: "replace multichar", op: "replace", target: "x", xc: "ab", yc: "c", wantErr: true},
+		{name: "replace empty y", op: "replaceall", target: "x", xc: "a", yc: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		c, err := buildConstraint(tc.op, tc.target, tc.t, tc.sub, tc.pattern, tc.xc, tc.yc, tc.n, tc.l, tc.index, 1)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error", tc.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if c.Name() != tc.wantName {
+			t.Errorf("%s: constraint %q, want %q", tc.name, c.Name(), tc.wantName)
+		}
+	}
+}
+
+func TestBuildConstraintAppliesA(t *testing.T) {
+	c, err := buildConstraint("equality", "a", "", "", "", "", "", 0, 0, 0, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Linear(0) != -2.5 {
+		t.Errorf("A not applied: %g", m.Linear(0))
+	}
+}

@@ -1,0 +1,128 @@
+// Command sweep runs the evaluation's parameter sweeps and prints each
+// experiment's series as markdown (default) or CSV. These are the
+// extension experiments DESIGN.md indexes as Ext-A/B/C, plus the Table 1
+// reproduction and the Figure 1 stage timing.
+//
+// Usage:
+//
+//	sweep -exp all
+//	sweep -exp scaling -lengths 2,4,8,16 -reads 64
+//	sweep -exp reads
+//	sweep -exp penalty
+//	sweep -exp baseline -n 6
+//	sweep -exp table1
+//	sweep -exp figure1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"qsmt/internal/core"
+	"qsmt/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all|table1|figure1|scaling|reads|penalty|baseline|samplers|topology|composition|tts")
+		seed    = flag.Int64("seed", 1, "root seed")
+		reads   = flag.Int("reads", 64, "annealer reads")
+		sweeps  = flag.Int("sweeps", 1000, "annealer sweeps")
+		n       = flag.Int("n", 6, "witness length for the baseline experiment")
+		lengths = flag.String("lengths", "2,4,8,16,32", "comma-separated lengths for scaling")
+		format  = flag.String("format", "markdown", "output: markdown|csv")
+		outPath = flag.String("o", "", "write output to a file instead of stdout")
+	)
+	flag.Parse()
+
+	var series []*harness.Series
+	switch *exp {
+	case "all":
+		series = harness.RunAll(*seed)
+	case "table1":
+		series = []*harness.Series{harness.Table1Series(harness.Table1(nil, *seed))}
+	case "figure1":
+		series = []*harness.Series{
+			harness.StageTiming(&core.Palindrome{N: 6, Printable: true}, *reads, *sweeps, *seed),
+			harness.StageTiming(&core.Regex{Pattern: "a[bc]+", Length: 5}, *reads, *sweeps, *seed),
+		}
+	case "scaling":
+		ls, err := parseInts(*lengths)
+		if err != nil {
+			fatal(err)
+		}
+		series = []*harness.Series{harness.Scaling(
+			[]harness.ConstraintKind{harness.KindEquality, harness.KindPalindrome, harness.KindRegex},
+			ls, *reads, *sweeps, *seed)}
+	case "reads":
+		series = []*harness.Series{harness.Reads([]int{1, 2, 4, 8, 16, 32, 64, 128}, *sweeps, *seed)}
+	case "penalty":
+		series = []*harness.Series{harness.Penalty([]float64{0.25, 0.5, 1, 2, 4}, *reads, *sweeps, *seed)}
+	case "baseline":
+		series = []*harness.Series{harness.Baseline(*n, *reads, *sweeps, *seed)}
+	case "samplers":
+		series = []*harness.Series{harness.Samplers(*seed)}
+	case "topology":
+		series = []*harness.Series{harness.Topology(*seed)}
+	case "composition":
+		series = []*harness.Series{harness.Composition(*seed)}
+	case "trajectory":
+		series = []*harness.Series{
+			harness.EnergyTrajectory(&core.Palindrome{N: 6, Printable: true}, *sweeps, 40, *seed),
+			harness.EnergyTrajectory(&core.Regex{Pattern: "a[bc]+", Length: 5}, *sweeps, 40, *seed),
+		}
+	case "tts":
+		ls, err := parseInts(*lengths)
+		if err != nil {
+			fatal(err)
+		}
+		series = []*harness.Series{harness.TimeToSolution(
+			[]harness.ConstraintKind{harness.KindEquality, harness.KindPalindrome, harness.KindRegex},
+			ls, *sweeps, 32, *seed)}
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	for _, s := range series {
+		var err error
+		if *format == "csv" {
+			err = s.WriteCSV(out)
+		} else {
+			err = s.WriteMarkdown(out)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad length %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("2, 4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseInts("2,x"); err == nil {
+		t.Error("bad input accepted")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty input accepted")
+	}
+}

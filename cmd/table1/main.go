@@ -1,0 +1,42 @@
+// Command table1 regenerates Table 1 of "Quantum-Based SMT Solving for
+// String Theory": the five sample constraints, their QUBO matrix
+// excerpts, and the solver outputs, with verification status against the
+// paper's printed results.
+//
+// Usage:
+//
+//	table1 [-seed N] [-matrices]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qsmt/internal/harness"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "annealer root seed")
+		matrices = flag.Bool("matrices", false, "also print the QUBO matrix excerpts")
+	)
+	flag.Parse()
+
+	rows := harness.Table1(nil, *seed)
+	if err := harness.Table1Series(rows).WriteMarkdown(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	if *matrices {
+		for _, r := range rows {
+			fmt.Printf("--- %s ---\n%s\n", r.Constraint, r.MatrixExcerpt)
+		}
+	}
+	for _, r := range rows {
+		if r.Err != nil || !r.Verified {
+			fmt.Fprintf(os.Stderr, "table1: row %q failed: %v\n", r.Constraint, r.Err)
+			os.Exit(1)
+		}
+	}
+}

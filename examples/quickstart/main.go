@@ -1,0 +1,108 @@
+// Quickstart: solve one of each kind of string constraint with the
+// default annealing solver and print the witnesses.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qsmt"
+)
+
+func main() {
+	solver := qsmt.NewSolver(nil)
+
+	// Generate a string equal to a target (§4.1). The QUBO ground state
+	// is exactly the target's 7-bit encoding.
+	s, err := solver.SolveString(qsmt.Equality("hello"))
+	check(err)
+	fmt.Printf("equality:       %q\n", s)
+
+	// Concatenate strings (§4.2).
+	s, err = solver.SolveString(qsmt.Concat("hello", " ", "world"))
+	check(err)
+	fmt.Printf("concat:         %q\n", s)
+
+	// A 4-character string containing "cat" (§4.3) — the paper's
+	// overwrite encoding always yields "ccat" here.
+	s, err = solver.SolveString(qsmt.SubstringMatch("cat", 4))
+	check(err)
+	fmt.Printf("substring:      %q\n", s)
+
+	// Where does "o w" start inside "hello world"? (§4.4)
+	idx, err := solver.SolveIndex(qsmt.Includes("hello world", "o w"))
+	check(err)
+	fmt.Printf("includes:       index %d\n", idx)
+
+	// A 6-character string with "hi" pinned at index 2; the other four
+	// positions get soft printable bias and differ run to run (§4.5).
+	s, err = solver.SolveString(qsmt.IndexOf("hi", 2, 6))
+	check(err)
+	fmt.Printf("indexof:        %q\n", s)
+
+	// Replace all 'l' with 'x' (§4.7) — the operation the paper adds
+	// beyond z3's repertoire.
+	s, err = solver.SolveString(qsmt.ReplaceAll("hello world", 'l', 'x'))
+	check(err)
+	fmt.Printf("replace-all:    %q\n", s)
+
+	// Reverse (§4.9).
+	s, err = solver.SolveString(qsmt.Reverse("hello"))
+	check(err)
+	fmt.Printf("reverse:        %q\n", s)
+
+	// Generate a palindrome (§4.10) — a different one every seed, since
+	// every mirrored string is a ground state.
+	s, err = solver.SolveString(qsmt.Palindrome(6))
+	check(err)
+	fmt.Printf("palindrome:     %q\n", s)
+
+	// Generate a string matching a regex (§4.11).
+	s, err = solver.SolveString(qsmt.Regex("a[bc]+", 5))
+	check(err)
+	fmt.Printf("regex a[bc]+:   %q\n", s)
+
+	// Chain operations sequentially (§4.12): Table 1 row 1.
+	res, err := solver.Run(qsmt.NewPipeline(qsmt.Reverse("hello")).Replace('e', 'a'))
+	check(err)
+	fmt.Printf("pipeline:       %q (stages:", res.Output)
+	for _, st := range res.Stages {
+		fmt.Printf(" %s=%q", st.Name, st.Output)
+	}
+	fmt.Println(")")
+
+	// --- extensions beyond the paper's eleven encodings ---
+
+	// Simultaneous constraints merged into one QUBO (vs the sequential
+	// pipeline above): prefix ∧ suffix ∧ pinned middle character.
+	s, err = solver.SolveString(qsmt.And(
+		qsmt.PrefixOf("ab", 6),
+		qsmt.SuffixOf("yz", 6),
+		qsmt.CharAt('m', 2, 6),
+	))
+	check(err)
+	fmt.Printf("conjunction:    %q\n", s)
+
+	// A negative constraint (no vowels), via higher-order penalties
+	// reduced to QUBO form by Rosenberg quadratization.
+	s, err = solver.SolveString(qsmt.AvoidChars([]byte("aeiou"), 5))
+	check(err)
+	fmt.Printf("avoid vowels:   %q\n", s)
+
+	// Enumerate distinct witnesses from a degenerate ground manifold.
+	ws, err := solver.Enumerate(qsmt.Palindrome(5), 3)
+	check(err)
+	fmt.Printf("3 palindromes: ")
+	for _, w := range ws {
+		fmt.Printf(" %q", w.Str)
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// SMT-LIB demo: run a benchmark-style SMT-LIB script — the standard
+// input format of SMT solvers (§2.1.1) — through the annealing solver
+// embedded as a library.
+//
+//	go run ./examples/smtlib
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"qsmt"
+	"qsmt/internal/smtlib"
+)
+
+// script exercises one constraint of each front-end form: a definition
+// pipeline (Table 1 row 1), a palindrome via x = rev(x), a regex via
+// str.in_re, and an indexof search over a literal haystack.
+const script = `
+(set-logic QF_S)
+(set-info :source "qsmt smtlib example")
+
+(declare-const greeting String)
+(assert (= greeting (str.replace (str.rev "hello") "e" "a")))
+
+(declare-const pal String)
+(assert (= pal (str.rev pal)))
+(assert (= (str.len pal) 6))
+
+(declare-const word String)
+(assert (str.in_re word (re.++ (str.to_re "a")
+                               (re.+ (re.union (str.to_re "b") (str.to_re "c"))))))
+(assert (= (str.len word) 5))
+
+(declare-const pos Int)
+(assert (= pos (str.indexof "hello world" "world" 0)))
+
+(echo "solving four string constraints by quantum-style annealing...")
+(check-sat)
+(get-model)
+`
+
+func main() {
+	solver := qsmt.NewSolver(&qsmt.Options{Seed: 11})
+	interp := smtlib.NewInterpreter(solver, os.Stdout)
+	if err := interp.Execute(script); err != nil {
+		log.Fatal(err)
+	}
+	// The model is also available programmatically.
+	model := interp.Model()
+	fmt.Printf("\nprogrammatic access: greeting=%q pos=%d\n",
+		model["greeting"].Str, model["pos"].Int)
+	if model["greeting"].Str != "ollah" || model["pos"].Int != 6 {
+		log.Fatal("unexpected model")
+	}
+}

@@ -1,0 +1,3 @@
+module qsmt
+
+go 1.22

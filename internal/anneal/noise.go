@@ -1,0 +1,53 @@
+package anneal
+
+import (
+	"errors"
+
+	"qsmt/internal/qubo"
+)
+
+// NoisySampler wraps another sampler and flips each returned bit
+// independently with probability FlipProb, then relabels energies. It
+// models the readout/control noise of physical quantum annealers (a
+// central reliability concern for real hardware) so the solver's
+// verify-retry loop can be exercised against degraded samples.
+type NoisySampler struct {
+	Base interface {
+		Sample(*qubo.Compiled) (*SampleSet, error)
+	}
+	FlipProb float64 // per-bit flip probability in [0,1)
+	Seed     int64   // default 1
+}
+
+// Sample implements the sampler contract.
+func (ns *NoisySampler) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	if ns.Base == nil {
+		return nil, errors.New("anneal: NoisySampler requires a base sampler")
+	}
+	if ns.FlipProb < 0 || ns.FlipProb >= 1 {
+		return nil, errors.New("anneal: NoisySampler flip probability must be in [0,1)")
+	}
+	ss, err := ns.Base.Sample(c)
+	if err != nil {
+		return nil, err
+	}
+	seed := ns.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	raw := make([]Sample, 0, len(ss.Samples))
+	for si, s := range ss.Samples {
+		rng := newRNG(seed, si)
+		for occ := 0; occ < s.Occurrences; occ++ {
+			x := make([]Bit, len(s.X))
+			copy(x, s.X)
+			for i := range x {
+				if rng.Float64() < ns.FlipProb {
+					x[i] ^= 1
+				}
+			}
+			raw = append(raw, Sample{X: x, Energy: c.Energy(x), Occurrences: 1})
+		}
+	}
+	return aggregate(raw), nil
+}

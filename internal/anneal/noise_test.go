@@ -1,0 +1,112 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"qsmt/internal/qubo"
+)
+
+func TestNoisySamplerZeroNoiseIsTransparent(t *testing.T) {
+	target := []Bit{1, 0, 1, 1, 0, 1}
+	c := diagModel(target).Compile()
+	base := &SimulatedAnnealer{Reads: 8, Sweeps: 200, Seed: 1}
+	noisy := &NoisySampler{Base: base, FlipProb: 0}
+	ss, err := noisy.Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := ss.Best()
+	for i := range target {
+		if best.X[i] != target[i] {
+			t.Fatalf("zero-noise best = %v, want %v", best.X, target)
+		}
+	}
+}
+
+func TestNoisySamplerRelabelsEnergies(t *testing.T) {
+	target := []Bit{1, 0, 1, 1, 0, 1, 0, 0, 1, 1}
+	c := diagModel(target).Compile()
+	noisy := &NoisySampler{
+		Base:     &SimulatedAnnealer{Reads: 16, Sweeps: 200, Seed: 2},
+		FlipProb: 0.3,
+		Seed:     7,
+	}
+	ss, err := noisy.Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ss.Samples {
+		if math.Abs(c.Energy(s.X)-s.Energy) > 1e-9 {
+			t.Fatalf("noisy sample mislabeled: %g vs %g", s.Energy, c.Energy(s.X))
+		}
+	}
+}
+
+func TestNoisySamplerDegradesSolutions(t *testing.T) {
+	// With heavy noise the ground-state hit rate must drop below the
+	// noiseless baseline.
+	target := make([]Bit, 20)
+	for i := range target {
+		target[i] = Bit(i % 2)
+	}
+	c := diagModel(target).Compile()
+	clean, err := (&SimulatedAnnealer{Reads: 32, Sweeps: 300, Seed: 3}).Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := (&NoisySampler{
+		Base:     &SimulatedAnnealer{Reads: 32, Sweeps: 300, Seed: 3},
+		FlipProb: 0.25,
+		Seed:     5,
+	}).Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Best().Energy < clean.Best().Energy {
+		t.Errorf("noise improved the best energy: %g < %g", noisy.Best().Energy, clean.Best().Energy)
+	}
+	if noisy.GroundFraction(0) > clean.GroundFraction(0) {
+		t.Errorf("noise raised ground fraction: %g > %g",
+			noisy.GroundFraction(0), clean.GroundFraction(0))
+	}
+}
+
+func TestNoisySamplerValidation(t *testing.T) {
+	c := qubo.New(2).Compile()
+	if _, err := (&NoisySampler{FlipProb: 0.1}).Sample(c); err == nil {
+		t.Error("missing base accepted")
+	}
+	base := &RandomSampler{Reads: 2}
+	if _, err := (&NoisySampler{Base: base, FlipProb: -0.1}).Sample(c); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := (&NoisySampler{Base: base, FlipProb: 1}).Sample(c); err == nil {
+		t.Error("probability 1 accepted")
+	}
+}
+
+func TestNoisySamplerDeterministicForSeed(t *testing.T) {
+	target := []Bit{1, 0, 1, 0, 1, 0, 1, 0}
+	c := diagModel(target).Compile()
+	run := func() *SampleSet {
+		ss, err := (&NoisySampler{
+			Base:     &SimulatedAnnealer{Reads: 8, Sweeps: 100, Seed: 4},
+			FlipProb: 0.2,
+			Seed:     9,
+		}).Sample(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss
+	}
+	a, b := run(), run()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Samples {
+		if bitKey(a.Samples[i].X) != bitKey(b.Samples[i].X) {
+			t.Fatal("noisy sampling not deterministic for fixed seeds")
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package anneal
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs body(i) for i in [0,n) across a bounded worker pool.
+// workers ≤ 0 selects GOMAXPROCS. Each index runs exactly once; the call
+// returns after all complete.
+func parallelFor(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

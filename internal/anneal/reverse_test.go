@@ -1,0 +1,107 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qsmt/internal/qubo"
+)
+
+func TestReverseAnnealerRefinesNearMiss(t *testing.T) {
+	// Target with one bit flipped: reverse annealing from the near-miss
+	// must land on the exact ground state.
+	target := []Bit{1, 0, 1, 1, 0, 0, 1, 0, 1, 1}
+	c := diagModel(target).Compile()
+	nearMiss := make([]Bit, len(target))
+	copy(nearMiss, target)
+	nearMiss[3] ^= 1
+	ra := &ReverseAnnealer{Initial: nearMiss, Reads: 8, Sweeps: 200, Seed: 3}
+	ss, err := ra.Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := ss.Best()
+	for i := range target {
+		if best.X[i] != target[i] {
+			t.Fatalf("best = %v, want %v", best.X, target)
+		}
+	}
+}
+
+func TestReverseAnnealerNeverWorseThanInitial(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 5; trial++ {
+		c := frustratedModel(rng, 12).Compile()
+		initial := randomBits(rng, 12)
+		e0 := c.Energy(initial)
+		ra := &ReverseAnnealer{Initial: initial, Reads: 8, Sweeps: 300, Seed: int64(trial + 1)}
+		ss, err := ra.Sample(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.Best().Energy > e0+1e-9 {
+			t.Errorf("trial %d: refined %g worse than initial %g", trial, ss.Best().Energy, e0)
+		}
+	}
+}
+
+func TestReverseAnnealerLowReheatStaysLocal(t *testing.T) {
+	// With a tiny reheat fraction on a flat landscape, the walk barely
+	// moves: most reads should stay within a small Hamming distance of
+	// the start.
+	c := qubo.New(40).Compile()
+	initial := make([]Bit, 40)
+	for i := range initial {
+		initial[i] = Bit(i % 2)
+	}
+	ra := &ReverseAnnealer{Initial: initial, ReheatFraction: 0.05, Reads: 4, Sweeps: 50, Seed: 5}
+	ss, err := ra.Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a perfectly flat landscape every move is accepted, so this is a
+	// smoke bound, not a tight one: results exist and energies are flat.
+	for _, s := range ss.Samples {
+		if math.Abs(s.Energy) > 1e-9 {
+			t.Fatalf("flat landscape produced energy %g", s.Energy)
+		}
+	}
+}
+
+func TestReverseAnnealerValidation(t *testing.T) {
+	if _, err := (&ReverseAnnealer{Initial: []Bit{1}}).Sample(nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	c := qubo.New(3).Compile()
+	if _, err := (&ReverseAnnealer{Initial: []Bit{1}}).Sample(c); err == nil {
+		t.Error("wrong-length initial state accepted")
+	}
+	z := qubo.New(0).Compile()
+	ss, err := (&ReverseAnnealer{Initial: []Bit{}}).Sample(z)
+	if err != nil || ss.Len() != 1 {
+		t.Errorf("zero-var: %v %v", ss, err)
+	}
+}
+
+func TestReverseAnnealerDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	c := frustratedModel(rng, 10).Compile()
+	initial := randomBits(rng, 10)
+	run := func() *SampleSet {
+		ss, err := (&ReverseAnnealer{Initial: initial, Reads: 6, Sweeps: 100, Seed: 7}).Sample(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss
+	}
+	a, b := run(), run()
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Samples {
+		if bitKey(a.Samples[i].X) != bitKey(b.Samples[i].X) {
+			t.Fatal("nondeterministic sample")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package anneal
+
+import "math/rand"
+
+// splitmix64 advances a seed state and returns a well-mixed 64-bit value.
+// It derives independent per-read RNG streams from one root seed so that
+// (a) runs are reproducible given the root seed and (b) concurrent reads
+// never share RNG state.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// subSeed returns the idx-th derived seed of root.
+func subSeed(root int64, idx int) int64 {
+	s := uint64(root)
+	var v uint64
+	for i := 0; i <= idx%8; i++ {
+		v = splitmix64(&s)
+	}
+	// Mix the index in fully so large idx values stay independent.
+	s = v ^ uint64(idx)*0xd6e8feb86659fd93
+	return int64(splitmix64(&s))
+}
+
+// newRNG builds a deterministic per-read RNG.
+func newRNG(root int64, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(subSeed(root, idx)))
+}
+
+// randomBits fills a fresh uniformly random assignment.
+func randomBits(rng *rand.Rand, n int) []Bit {
+	x := make([]Bit, n)
+	for i := range x {
+		x[i] = Bit(rng.Intn(2))
+	}
+	return x
+}

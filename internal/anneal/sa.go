@@ -1,0 +1,132 @@
+package anneal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"qsmt/internal/qubo"
+)
+
+// SimulatedAnnealer minimizes a QUBO with single-bit-flip Metropolis
+// annealing. It mirrors the sampler the paper evaluates on (D-Wave neal):
+// every read starts from a uniformly random assignment and performs Sweeps
+// full passes over the variables while β rises along Schedule; a flip with
+// energy change ΔE is accepted when ΔE ≤ 0 or with probability exp(−β·ΔE).
+//
+// The zero value is usable: it means 64 reads, 1000 sweeps, seed 1, the
+// model-derived default schedule, and GOMAXPROCS workers.
+type SimulatedAnnealer struct {
+	Reads    int      // independent restarts (neal num_reads); default 64
+	Sweeps   int      // full variable passes per read (neal num_sweeps); default 1000
+	Seed     int64    // root seed; default 1
+	Schedule Schedule // β schedule; default DefaultSchedule(model)
+	Workers  int      // concurrent reads; default GOMAXPROCS
+
+	// PostDescent runs a greedy descent to a local minimum after the
+	// annealing phase of each read, mirroring common practice of
+	// post-processing annealer outputs.
+	PostDescent bool
+}
+
+func (sa *SimulatedAnnealer) params() (reads, sweeps, workers int, seed int64) {
+	reads, sweeps, workers, seed = sa.Reads, sa.Sweeps, sa.Workers, sa.Seed
+	if reads <= 0 {
+		reads = 64
+	}
+	if sweeps <= 0 {
+		sweeps = 1000
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reads {
+		workers = reads
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return reads, sweeps, workers, seed
+}
+
+// Sample runs the annealer and returns the deduplicated, energy-sorted
+// sample set.
+func (sa *SimulatedAnnealer) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	if c == nil {
+		return nil, errors.New("anneal: nil model")
+	}
+	if c.N == 0 {
+		return &SampleSet{Samples: []Sample{{X: []Bit{}, Energy: c.Offset, Occurrences: 1}}}, nil
+	}
+	reads, sweeps, workers, seed := sa.params()
+	sched := sa.Schedule
+	if sched == nil {
+		sched = DefaultSchedule(c)
+	} else if err := validateSchedule(sched, sweeps); err != nil {
+		return nil, err
+	}
+
+	// Precompute the β value per sweep once; shared read-only by workers.
+	betas := make([]float64, sweeps)
+	for i := range betas {
+		betas[i] = sched.Beta(i, sweeps)
+	}
+
+	raw := make([]Sample, reads)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				rng := newRNG(seed, r)
+				x, e := annealOnce(c, betas, rng)
+				if sa.PostDescent {
+					e += greedyDescend(c, x, rng)
+				}
+				raw[r] = Sample{X: x, Energy: e, Occurrences: 1}
+			}
+		}()
+	}
+	for r := 0; r < reads; r++ {
+		work <- r
+	}
+	close(work)
+	wg.Wait()
+	return aggregate(raw), nil
+}
+
+// annealOnce performs one read: random init then Metropolis sweeps.
+// It returns the final assignment and its energy.
+func annealOnce(c *qubo.Compiled, betas []float64, rng *rand.Rand) ([]Bit, float64) {
+	x := randomBits(rng, c.N)
+	e := c.Energy(x)
+	order := rng.Perm(c.N)
+	for _, beta := range betas {
+		// Shuffle the visit order each sweep (Fisher–Yates on the
+		// existing permutation) to avoid systematic bias.
+		for i := c.N - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, i := range order {
+			d := c.FlipDelta(x, i)
+			if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+				x[i] ^= 1
+				e += d
+			}
+		}
+	}
+	return x, e
+}
+
+// String describes the configuration.
+func (sa *SimulatedAnnealer) String() string {
+	reads, sweeps, workers, seed := sa.params()
+	return fmt.Sprintf("SimulatedAnnealer(reads=%d sweeps=%d workers=%d seed=%d post=%v)",
+		reads, sweeps, workers, seed, sa.PostDescent)
+}

@@ -1,0 +1,175 @@
+// Package anneal provides samplers that minimize QUBO models.
+//
+// The paper runs its QUBO formulations on D-Wave's simulated annealer
+// (Ocean `neal`); real quantum hardware is explicitly future work. This
+// package is the substitute substrate: the same algorithm family —
+// single-bit-flip Metropolis simulated annealing over the QUBO energy
+// landscape — with the same knobs (number of reads, number of sweeps, a β
+// schedule), plus auxiliary samplers (exact enumeration, greedy descent,
+// parallel tempering, uniform random) used for validation and baselines.
+//
+// All samplers are deterministic for a fixed Seed and run reads
+// concurrently across a bounded worker pool.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qsmt/internal/qubo"
+)
+
+// Bit aliases the QUBO binary variable type.
+type Bit = qubo.Bit
+
+// Sample is one read: an assignment together with its energy and how many
+// reads produced exactly this assignment.
+type Sample struct {
+	X           []Bit
+	Energy      float64
+	Occurrences int
+}
+
+// SampleSet is the result of a sampler run, ordered by increasing energy
+// (ties broken lexicographically by assignment, so ordering is stable and
+// deterministic).
+type SampleSet struct {
+	Samples []Sample
+}
+
+// Best returns the lowest-energy sample. It panics on an empty set — every
+// sampler in this package returns at least one read or an error.
+func (ss *SampleSet) Best() Sample {
+	if len(ss.Samples) == 0 {
+		panic("anneal: Best on empty SampleSet")
+	}
+	return ss.Samples[0]
+}
+
+// Len returns the number of distinct samples.
+func (ss *SampleSet) Len() int { return len(ss.Samples) }
+
+// TotalReads returns the total occurrence count across samples.
+func (ss *SampleSet) TotalReads() int {
+	n := 0
+	for _, s := range ss.Samples {
+		n += s.Occurrences
+	}
+	return n
+}
+
+// GroundFraction returns the fraction of reads that landed within tol of
+// the set's best energy. With tol = 0 it is the exact ground-state hit
+// rate (relative to the best state this run found).
+func (ss *SampleSet) GroundFraction(tol float64) float64 {
+	if len(ss.Samples) == 0 {
+		return 0
+	}
+	best := ss.Samples[0].Energy
+	hit, total := 0, 0
+	for _, s := range ss.Samples {
+		total += s.Occurrences
+		if s.Energy-best <= tol {
+			hit += s.Occurrences
+		}
+	}
+	return float64(hit) / float64(total)
+}
+
+// Aggregate deduplicates raw reads into an energy-sorted SampleSet.
+// Samplers composed outside this package (e.g. the topology-embedding
+// wrapper) use it to repackage transformed reads.
+func Aggregate(raw []Sample) *SampleSet { return aggregate(raw) }
+
+// aggregate deduplicates raw reads into a sorted SampleSet.
+func aggregate(raw []Sample) *SampleSet {
+	type agg struct {
+		s Sample
+	}
+	byKey := make(map[string]*agg, len(raw))
+	for _, s := range raw {
+		k := bitKey(s.X)
+		if a, ok := byKey[k]; ok {
+			a.s.Occurrences += s.Occurrences
+			continue
+		}
+		cp := make([]Bit, len(s.X))
+		copy(cp, s.X)
+		byKey[k] = &agg{s: Sample{X: cp, Energy: s.Energy, Occurrences: s.Occurrences}}
+	}
+	out := make([]Sample, 0, len(byKey))
+	for _, a := range byKey {
+		out = append(out, a.s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Energy != out[j].Energy {
+			return out[i].Energy < out[j].Energy
+		}
+		return bitKey(out[i].X) < bitKey(out[j].X)
+	})
+	return &SampleSet{Samples: out}
+}
+
+func bitKey(x []Bit) string {
+	b := make([]byte, len(x))
+	for i, v := range x {
+		b[i] = '0' + byte(v&1)
+	}
+	return string(b)
+}
+
+// String summarizes the set.
+func (ss *SampleSet) String() string {
+	if len(ss.Samples) == 0 {
+		return "SampleSet(empty)"
+	}
+	return fmt.Sprintf("SampleSet(%d distinct, best E=%g, reads=%d)",
+		len(ss.Samples), ss.Samples[0].Energy, ss.TotalReads())
+}
+
+// MeanEnergy returns the occurrence-weighted mean sample energy.
+func (ss *SampleSet) MeanEnergy() float64 {
+	total, n := 0.0, 0
+	for _, s := range ss.Samples {
+		total += s.Energy * float64(s.Occurrences)
+		n += s.Occurrences
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// StdDevEnergy returns the occurrence-weighted standard deviation of
+// sample energies.
+func (ss *SampleSet) StdDevEnergy() float64 {
+	mean := ss.MeanEnergy()
+	total, n := 0.0, 0
+	for _, s := range ss.Samples {
+		d := s.Energy - mean
+		total += d * d * float64(s.Occurrences)
+		n += s.Occurrences
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(total / float64(n))
+}
+
+// EnergyRange returns the lowest and highest sample energies.
+func (ss *SampleSet) EnergyRange() (lo, hi float64) {
+	if len(ss.Samples) == 0 {
+		return 0, 0
+	}
+	lo, hi = ss.Samples[0].Energy, ss.Samples[0].Energy
+	for _, s := range ss.Samples[1:] {
+		if s.Energy < lo {
+			lo = s.Energy
+		}
+		if s.Energy > hi {
+			hi = s.Energy
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,162 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qsmt/internal/qubo"
+)
+
+func TestTabuFindsDiagonalGroundState(t *testing.T) {
+	target := []Bit{1, 0, 1, 1, 0, 0, 1, 0, 1, 1}
+	c := diagModel(target).Compile()
+	ss, err := (&TabuSampler{Reads: 4, Seed: 1}).Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := ss.Best()
+	for i := range target {
+		if best.X[i] != target[i] {
+			t.Fatalf("best = %v, want %v", best.X, target)
+		}
+	}
+}
+
+func TestTabuMatchesExactOnFrustratedModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + rng.Intn(5)
+		c := frustratedModel(rng, n).Compile()
+		want := bruteForceMin(c)
+		ss, err := (&TabuSampler{Reads: 16, Steps: 2000, Seed: int64(trial + 1)}).Sample(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ss.Best().Energy; math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: tabu %g, exact %g", trial, got, want)
+		}
+	}
+}
+
+func TestTabuEnergiesLabeledCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	c := frustratedModel(rng, 12).Compile()
+	ss, err := (&TabuSampler{Reads: 8, Seed: 2}).Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ss.Samples {
+		if math.Abs(c.Energy(s.X)-s.Energy) > 1e-9 {
+			t.Fatalf("mislabeled: %g vs %g", s.Energy, c.Energy(s.X))
+		}
+	}
+}
+
+func TestTabuEscapesLocalMinimum(t *testing.T) {
+	// A two-well model where greedy from the wrong well gets stuck:
+	// E = 3(x0+x1-2x0x1) - x0 - x1  has minima at 11 (E=-2) and a local
+	// trap at 00 (E=0) that single greedy flips cannot leave (flipping
+	// either bit from 00 costs 3-1=+2). Tabu's forced uphill move escapes.
+	m := qubo.New(2)
+	m.AddLinear(0, 3-1)
+	m.AddLinear(1, 3-1)
+	m.AddQuadratic(0, 1, -6)
+	c := m.Compile()
+	// Tabu with enough steps must find the global minimum from any seed.
+	ss, err := (&TabuSampler{Reads: 1, Steps: 50, Seed: 7}).Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Best().Energy != -2 {
+		t.Errorf("tabu best = %g, want -2", ss.Best().Energy)
+	}
+}
+
+func TestTabuDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	c := frustratedModel(rng, 10).Compile()
+	run := func(workers int) *SampleSet {
+		ss, err := (&TabuSampler{Reads: 8, Steps: 200, Seed: 5, Workers: workers}).Sample(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss
+	}
+	a, b := run(1), run(4)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a.Samples {
+		if bitKey(a.Samples[i].X) != bitKey(b.Samples[i].X) {
+			t.Fatal("tabu not deterministic across worker counts")
+		}
+	}
+}
+
+func TestTabuZeroVarsAndNil(t *testing.T) {
+	ss, err := (&TabuSampler{}).Sample(qubo.New(0).Compile())
+	if err != nil || ss.Len() != 1 {
+		t.Errorf("zero-var: %v, %v", ss, err)
+	}
+	if _, err := (&TabuSampler{}).Sample(nil); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestTabuSingleVariable(t *testing.T) {
+	m := qubo.New(1)
+	m.AddLinear(0, -1)
+	ss, err := (&TabuSampler{Reads: 2, Seed: 3}).Sample(m.Compile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Best().X[0] != 1 || ss.Best().Energy != -1 {
+		t.Errorf("best = %+v", ss.Best())
+	}
+}
+
+func TestTraceRecordsTrajectory(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	c := frustratedModel(rng, 12).Compile()
+	trace, final, err := Trace(c, 200, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 200 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	// Best is monotone nonincreasing; Beta is monotone nondecreasing.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Best > trace[i-1].Best+1e-12 {
+			t.Fatalf("best increased at sweep %d", i)
+		}
+		if trace[i].Beta < trace[i-1].Beta {
+			t.Fatalf("beta decreased at sweep %d", i)
+		}
+	}
+	// Final walker energy matches the last trace point.
+	if math.Abs(c.Energy(final)-trace[len(trace)-1].Energy) > 1e-9 {
+		t.Errorf("final energy mismatch")
+	}
+	// Late best must not exceed early best (annealing converges).
+	if trace[len(trace)-1].Best > trace[0].Best {
+		t.Errorf("no convergence: %g -> %g", trace[0].Best, trace[len(trace)-1].Best)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, _, err := Trace(nil, 10, nil, 1); err == nil {
+		t.Error("nil model accepted")
+	}
+	c := qubo.New(2).Compile()
+	if _, _, err := Trace(c, 10, ConstantSchedule{Value: -1}, 1); err == nil {
+		t.Error("bad schedule accepted")
+	}
+	// Zero-variable model traces without panicking.
+	z := qubo.New(0).Compile()
+	trace, _, err := Trace(z, 5, nil, 1)
+	if err != nil || len(trace) != 5 {
+		t.Errorf("zero-var trace: %d points, %v", len(trace), err)
+	}
+}

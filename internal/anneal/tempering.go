@@ -1,0 +1,134 @@
+package anneal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"qsmt/internal/qubo"
+)
+
+// ParallelTempering runs K replicas of the Metropolis walk at a geometric
+// ladder of fixed temperatures and periodically proposes swaps between
+// adjacent replicas. Swapping lets cold replicas escape local minima via
+// their hot neighbors — the classical stand-in for the tunneling advantage
+// quantum annealing hardware claims.
+type ParallelTempering struct {
+	Replicas  int     // temperature rungs; default 8
+	Sweeps    int     // sweeps per replica; default 1000
+	Reads     int     // independent PT runs; default 8
+	Seed      int64   // root seed; default 1
+	BetaMin   float64 // hottest β; default from model
+	BetaMax   float64 // coldest β; default from model
+	Workers   int     // concurrent runs; default GOMAXPROCS
+	SwapEvery int     // sweeps between swap rounds; default 1
+}
+
+// Sample implements the sampler contract. Each read contributes its
+// best-ever state across all replicas.
+func (pt *ParallelTempering) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	if c == nil {
+		return nil, errors.New("anneal: nil model")
+	}
+	if c.N == 0 {
+		return &SampleSet{Samples: []Sample{{X: []Bit{}, Energy: c.Offset, Occurrences: 1}}}, nil
+	}
+	replicas := pt.Replicas
+	if replicas <= 0 {
+		replicas = 8
+	}
+	sweeps := pt.Sweeps
+	if sweeps <= 0 {
+		sweeps = 1000
+	}
+	reads := pt.Reads
+	if reads <= 0 {
+		reads = 8
+	}
+	seed := pt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	swapEvery := pt.SwapEvery
+	if swapEvery <= 0 {
+		swapEvery = 1
+	}
+	bmin, bmax := pt.BetaMin, pt.BetaMax
+	if bmin <= 0 || bmax <= 0 || bmax < bmin {
+		def := DefaultSchedule(c)
+		bmin, bmax = def.Min, def.Max
+	}
+	betas := make([]float64, replicas)
+	for k := range betas {
+		if replicas == 1 {
+			betas[k] = bmax
+			continue
+		}
+		t := float64(k) / float64(replicas-1)
+		betas[k] = bmin * math.Pow(bmax/bmin, t)
+	}
+
+	raw := make([]Sample, reads)
+	parallelFor(reads, pt.Workers, func(r int) {
+		rng := newRNG(seed, r)
+		raw[r] = pt.runOnce(c, betas, sweeps, swapEvery, rng)
+	})
+	return aggregate(raw), nil
+}
+
+type replica struct {
+	x []Bit
+	e float64
+}
+
+func (pt *ParallelTempering) runOnce(c *qubo.Compiled, betas []float64, sweeps, swapEvery int, rng *rand.Rand) Sample {
+	reps := make([]replica, len(betas))
+	for k := range reps {
+		x := randomBits(rng, c.N)
+		reps[k] = replica{x: x, e: c.Energy(x)}
+	}
+	bestX := make([]Bit, c.N)
+	copy(bestX, reps[0].x)
+	bestE := reps[0].e
+	noteBest := func(rep *replica) {
+		if rep.e < bestE {
+			bestE = rep.e
+			copy(bestX, rep.x)
+		}
+	}
+	for k := range reps {
+		noteBest(&reps[k])
+	}
+
+	order := rng.Perm(c.N)
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for k := range reps {
+			rep := &reps[k]
+			beta := betas[k]
+			for i := c.N - 1; i > 0; i-- {
+				j := rng.Intn(i + 1)
+				order[i], order[j] = order[j], order[i]
+			}
+			for _, i := range order {
+				d := c.FlipDelta(rep.x, i)
+				if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+					rep.x[i] ^= 1
+					rep.e += d
+				}
+			}
+			noteBest(rep)
+		}
+		if sweep%swapEvery == 0 {
+			// Alternate even/odd adjacent pairs to keep proposals balanced.
+			start := sweep / swapEvery % 2
+			for k := start; k+1 < len(reps); k += 2 {
+				// Accept with probability min(1, exp((β_k−β_{k+1})(E_k−E_{k+1}))).
+				arg := (betas[k] - betas[k+1]) * (reps[k].e - reps[k+1].e)
+				if arg >= 0 || rng.Float64() < math.Exp(arg) {
+					reps[k], reps[k+1] = reps[k+1], reps[k]
+				}
+			}
+		}
+	}
+	return Sample{X: bestX, Energy: bestE, Occurrences: 1}
+}

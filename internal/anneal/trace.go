@@ -1,0 +1,71 @@
+package anneal
+
+import (
+	"errors"
+	"math"
+
+	"qsmt/internal/qubo"
+)
+
+// TracePoint is one sample of an annealing trajectory.
+type TracePoint struct {
+	Sweep  int
+	Beta   float64
+	Energy float64 // energy of the walker at the end of the sweep
+	Best   float64 // best energy seen so far
+}
+
+// Trace runs a single annealing read and records the trajectory after
+// every sweep — the data behind energy-vs-sweep convergence figures. The
+// final state is returned alongside the trace.
+func Trace(c *qubo.Compiled, sweeps int, schedule Schedule, seed int64) ([]TracePoint, []Bit, error) {
+	if c == nil {
+		return nil, nil, errors.New("anneal: nil model")
+	}
+	if sweeps <= 0 {
+		sweeps = 1000
+	}
+	if schedule == nil {
+		schedule = DefaultSchedule(c)
+	} else if err := validateSchedule(schedule, sweeps); err != nil {
+		return nil, nil, err
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	rng := newRNG(seed, 0)
+	x := randomBits(rng, c.N)
+	e := c.Energy(x)
+	best := e
+	trace := make([]TracePoint, 0, sweeps)
+	order := rng.Perm(max(c.N, 1))
+	for sweep := 0; sweep < sweeps; sweep++ {
+		beta := schedule.Beta(sweep, sweeps)
+		for i := c.N - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, i := range order {
+			if i >= c.N {
+				continue
+			}
+			d := c.FlipDelta(x, i)
+			if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+				x[i] ^= 1
+				e += d
+			}
+		}
+		if e < best {
+			best = e
+		}
+		trace = append(trace, TracePoint{Sweep: sweep, Beta: beta, Energy: e, Best: best})
+	}
+	return trace, x, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

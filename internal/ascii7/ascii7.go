@@ -1,0 +1,120 @@
+// Package ascii7 implements the bit-level string codec used throughout the
+// solver: every character of a string is represented by its 7-bit ASCII
+// code, most-significant bit first, and a string of length n becomes a
+// binary vector of length 7n.
+//
+// This is the function the paper calls bin : Σ → {0,1}^7 and its extension
+// f : Σ^n → {0,1}^{7n} with f(s) = bin(s₁) ‖ bin(s₂) ‖ … ‖ bin(sₙ).
+package ascii7
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BitsPerChar is the number of binary variables allocated per character.
+// The paper fixes this to 7 (plain ASCII).
+const BitsPerChar = 7
+
+// MaxCode is the largest encodable character code (2^7 - 1).
+const MaxCode = 1<<BitsPerChar - 1
+
+// PrintableMin and PrintableMax bound the printable ASCII range used when a
+// position is only softly constrained ("any valid ASCII character").
+const (
+	PrintableMin = 0x20 // space
+	PrintableMax = 0x7e // '~'
+)
+
+// ErrNonASCII reports a character outside the 7-bit range.
+var ErrNonASCII = errors.New("ascii7: character outside 7-bit ASCII range")
+
+// Bit is a single binary variable value, 0 or 1.
+type Bit = uint8
+
+// EncodeChar returns the 7-bit encoding of c, most-significant bit first.
+// For example EncodeChar('a') = [1 1 0 0 0 0 1] (ASCII 97 = 1100001).
+func EncodeChar(c byte) ([BitsPerChar]Bit, error) {
+	var out [BitsPerChar]Bit
+	if c > MaxCode {
+		return out, fmt.Errorf("%w: %#x", ErrNonASCII, c)
+	}
+	for i := 0; i < BitsPerChar; i++ {
+		out[i] = Bit((c >> (BitsPerChar - 1 - i)) & 1)
+	}
+	return out, nil
+}
+
+// DecodeChar converts a 7-bit vector (MSB first) back to a byte.
+func DecodeChar(bits [BitsPerChar]Bit) byte {
+	var c byte
+	for i := 0; i < BitsPerChar; i++ {
+		c = c<<1 | byte(bits[i]&1)
+	}
+	return c
+}
+
+// Encode transforms a string of length n into a binary vector of length 7n,
+// concatenating the per-character encodings in order.
+func Encode(s string) ([]Bit, error) {
+	out := make([]Bit, 0, len(s)*BitsPerChar)
+	for i := 0; i < len(s); i++ {
+		enc, err := EncodeChar(s[i])
+		if err != nil {
+			return nil, fmt.Errorf("position %d: %w", i, err)
+		}
+		out = append(out, enc[:]...)
+	}
+	return out, nil
+}
+
+// Decode converts a binary vector of length 7n back into the string it
+// encodes. The length of bits must be a multiple of BitsPerChar.
+func Decode(bits []Bit) (string, error) {
+	if len(bits)%BitsPerChar != 0 {
+		return "", fmt.Errorf("ascii7: bit vector length %d is not a multiple of %d", len(bits), BitsPerChar)
+	}
+	n := len(bits) / BitsPerChar
+	out := make([]byte, n)
+	for j := 0; j < n; j++ {
+		var chunk [BitsPerChar]Bit
+		copy(chunk[:], bits[j*BitsPerChar:(j+1)*BitsPerChar])
+		out[j] = DecodeChar(chunk)
+	}
+	return string(out), nil
+}
+
+// NumVars returns the number of binary variables needed to encode a string
+// of length n, i.e. 7n.
+func NumVars(n int) int { return n * BitsPerChar }
+
+// NumChars returns the number of characters encoded by a vector of v
+// variables, i.e. v/7. It returns -1 when v is not a multiple of 7.
+func NumChars(v int) int {
+	if v%BitsPerChar != 0 {
+		return -1
+	}
+	return v / BitsPerChar
+}
+
+// BitIndex returns the index of bit b (0 = MSB) of the character at
+// position pos within the flat variable vector: 7·pos + b.
+func BitIndex(pos, b int) int { return pos*BitsPerChar + b }
+
+// CharBit reports the value of bit b (0 = MSB) of character c.
+func CharBit(c byte, b int) Bit {
+	return Bit((c >> (BitsPerChar - 1 - b)) & 1)
+}
+
+// IsPrintable reports whether c lies in the printable ASCII range.
+func IsPrintable(c byte) bool { return c >= PrintableMin && c <= PrintableMax }
+
+// AllASCII reports whether every byte of s fits in 7 bits.
+func AllASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] > MaxCode {
+			return false
+		}
+	}
+	return true
+}

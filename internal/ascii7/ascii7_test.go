@@ -1,0 +1,178 @@
+package ascii7
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeCharKnownValues(t *testing.T) {
+	// The paper's worked example: 'a' = ASCII 97 = 1100001.
+	got, err := EncodeChar('a')
+	if err != nil {
+		t.Fatalf("EncodeChar('a'): %v", err)
+	}
+	want := [BitsPerChar]Bit{1, 1, 0, 0, 0, 0, 1}
+	if got != want {
+		t.Errorf("EncodeChar('a') = %v, want %v", got, want)
+	}
+
+	got, err = EncodeChar(0)
+	if err != nil {
+		t.Fatalf("EncodeChar(0): %v", err)
+	}
+	if got != ([BitsPerChar]Bit{}) {
+		t.Errorf("EncodeChar(0) = %v, want all zeros", got)
+	}
+
+	got, err = EncodeChar(MaxCode)
+	if err != nil {
+		t.Fatalf("EncodeChar(127): %v", err)
+	}
+	if got != ([BitsPerChar]Bit{1, 1, 1, 1, 1, 1, 1}) {
+		t.Errorf("EncodeChar(127) = %v, want all ones", got)
+	}
+}
+
+func TestEncodeCharRejectsNonASCII(t *testing.T) {
+	if _, err := EncodeChar(0x80); err == nil {
+		t.Fatal("EncodeChar(0x80) succeeded, want error")
+	}
+	if _, err := EncodeChar(0xff); err == nil {
+		t.Fatal("EncodeChar(0xff) succeeded, want error")
+	}
+}
+
+func TestEncodeDecodeRoundTripAllChars(t *testing.T) {
+	for c := 0; c <= MaxCode; c++ {
+		enc, err := EncodeChar(byte(c))
+		if err != nil {
+			t.Fatalf("EncodeChar(%d): %v", c, err)
+		}
+		if dec := DecodeChar(enc); dec != byte(c) {
+			t.Errorf("round trip %d -> %v -> %d", c, enc, dec)
+		}
+	}
+}
+
+func TestEncodeString(t *testing.T) {
+	bits, err := Encode("hi")
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(bits) != 2*BitsPerChar {
+		t.Fatalf("len = %d, want %d", len(bits), 2*BitsPerChar)
+	}
+	// 'h' = 104 = 1101000, 'i' = 105 = 1101001.
+	want := []Bit{1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 1, 0, 0, 1}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits = %v, want %v", bits, want)
+		}
+	}
+}
+
+func TestEncodeEmptyString(t *testing.T) {
+	bits, err := Encode("")
+	if err != nil {
+		t.Fatalf("Encode(\"\"): %v", err)
+	}
+	if len(bits) != 0 {
+		t.Errorf("len = %d, want 0", len(bits))
+	}
+	s, err := Decode(nil)
+	if err != nil {
+		t.Fatalf("Decode(nil): %v", err)
+	}
+	if s != "" {
+		t.Errorf("Decode(nil) = %q, want \"\"", s)
+	}
+}
+
+func TestEncodeRejectsNonASCIIString(t *testing.T) {
+	if _, err := Encode("caf\xe9"); err == nil {
+		t.Fatal("Encode of non-ASCII string succeeded, want error")
+	}
+	if !strings.Contains(func() string { _, err := Encode("\xff"); return err.Error() }(), "position 0") {
+		t.Error("error should identify the offending position")
+	}
+}
+
+func TestDecodeRejectsBadLength(t *testing.T) {
+	if _, err := Decode(make([]Bit, 8)); err == nil {
+		t.Fatal("Decode of length-8 vector succeeded, want error")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Mask input into 7-bit range so encoding is defined.
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = b & MaxCode
+		}
+		bits, err := Encode(string(s))
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(bits)
+		return err == nil && dec == string(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitIndexAndCharBit(t *testing.T) {
+	if BitIndex(0, 0) != 0 || BitIndex(1, 0) != 7 || BitIndex(2, 3) != 17 {
+		t.Error("BitIndex arithmetic wrong")
+	}
+	// CharBit must agree with EncodeChar.
+	for c := 0; c <= MaxCode; c++ {
+		enc, _ := EncodeChar(byte(c))
+		for b := 0; b < BitsPerChar; b++ {
+			if CharBit(byte(c), b) != enc[b] {
+				t.Fatalf("CharBit(%d,%d) = %d, enc = %v", c, b, CharBit(byte(c), b), enc)
+			}
+		}
+	}
+}
+
+func TestNumVarsNumChars(t *testing.T) {
+	if NumVars(5) != 35 {
+		t.Errorf("NumVars(5) = %d", NumVars(5))
+	}
+	if NumChars(35) != 5 {
+		t.Errorf("NumChars(35) = %d", NumChars(35))
+	}
+	if NumChars(36) != -1 {
+		t.Errorf("NumChars(36) = %d, want -1", NumChars(36))
+	}
+}
+
+func TestIsPrintable(t *testing.T) {
+	cases := []struct {
+		c    byte
+		want bool
+	}{
+		{' ', true}, {'~', true}, {'a', true}, {'0', true},
+		{0x1f, false}, {0x7f, false}, {0, false},
+	}
+	for _, tc := range cases {
+		if IsPrintable(tc.c) != tc.want {
+			t.Errorf("IsPrintable(%#x) = %v, want %v", tc.c, !tc.want, tc.want)
+		}
+	}
+}
+
+func TestAllASCII(t *testing.T) {
+	if !AllASCII("hello world ~") {
+		t.Error("AllASCII(plain) = false")
+	}
+	if AllASCII("\x80") {
+		t.Error("AllASCII(\\x80) = true")
+	}
+	if !AllASCII("") {
+		t.Error("AllASCII(\"\") = false")
+	}
+}

@@ -1,0 +1,179 @@
+// Package baseline implements classical solvers for the same string
+// constraints the QUBO encoders of package core handle. They are the
+// comparators for the evaluation's annealer-vs-classical benches:
+//
+//   - Direct is a constructive theory solver: it computes a witness with
+//     ordinary string algorithms (what a classical SMT string solver's
+//     decision procedures reduce to on this fragment). It is linear-time
+//     on every supported constraint and represents the "solved fragment"
+//     upper bound.
+//
+//   - BruteForce enumerates candidate witnesses and checks each against
+//     the constraint's own Check — the naive search whose exponential
+//     blowup motivates the paper's interest in annealing (§1).
+//
+// Both produce witnesses that pass the same Check used for annealer
+// outputs, so cross-validation between solvers is exact.
+package baseline
+
+import (
+	"fmt"
+
+	"qsmt/internal/ascii7"
+	"qsmt/internal/core"
+	"qsmt/internal/regexlite"
+	"qsmt/internal/strtheory"
+)
+
+// Direct is the constructive classical solver.
+type Direct struct{}
+
+// Solve computes a witness for the constraint classically. The returned
+// witness always passes c.Check; constraints that are unsatisfiable
+// return an error wrapping core.ErrUnsatisfiable.
+func (Direct) Solve(c core.Constraint) (core.Witness, error) {
+	switch k := c.(type) {
+	case *core.Equality:
+		return stringWitness(k.Target), nil
+	case *core.Concat:
+		return stringWitness(strtheory.Concat(k.Parts...)), nil
+	case *core.ReplaceAll:
+		return stringWitness(strtheory.ReplaceAllChar(k.Input, k.X, k.Y)), nil
+	case *core.Replace:
+		return stringWitness(strtheory.ReplaceChar(k.Input, k.X, k.Y)), nil
+	case *core.Reverse:
+		return stringWitness(strtheory.Reverse(k.Input)), nil
+	case *core.SubstringMatch:
+		if len(k.Sub) == 0 || k.Length < len(k.Sub) {
+			return core.Witness{}, fmt.Errorf("%w: %q in length %d", core.ErrUnsatisfiable, k.Sub, k.Length)
+		}
+		// Same canonical witness as the QUBO overwrite encoding.
+		pad := make([]byte, k.Length-len(k.Sub))
+		for i := range pad {
+			pad[i] = k.Sub[0]
+		}
+		return stringWitness(string(pad) + k.Sub), nil
+	case *core.IndexOf:
+		if len(k.Sub) == 0 || k.Index < 0 || k.Index+len(k.Sub) > k.Length {
+			return core.Witness{}, fmt.Errorf("%w: %q at %d in length %d", core.ErrUnsatisfiable, k.Sub, k.Index, k.Length)
+		}
+		out := make([]byte, k.Length)
+		for i := range out {
+			out[i] = 'a'
+		}
+		copy(out[k.Index:], k.Sub)
+		return stringWitness(string(out)), nil
+	case *core.Includes:
+		idx := strtheory.IndexOf(k.T, k.S, 0)
+		if idx < 0 {
+			return core.Witness{}, fmt.Errorf("%w: %q not in %q", core.ErrUnsatisfiable, k.S, k.T)
+		}
+		return core.Witness{Kind: core.WitnessIndex, Index: idx}, nil
+	case *core.Length:
+		if k.L > k.N || k.L < 0 {
+			return core.Witness{}, fmt.Errorf("%w: length %d in budget %d", core.ErrUnsatisfiable, k.L, k.N)
+		}
+		out := make([]byte, k.N)
+		for i := 0; i < k.L; i++ {
+			out[i] = ascii7.MaxCode
+		}
+		return stringWitness(string(out)), nil
+	case *core.Palindrome:
+		out := make([]byte, k.N)
+		for i := range out {
+			out[i] = 'a' + byte(min(i, k.N-1-i)%26)
+		}
+		return stringWitness(string(out)), nil
+	case *core.Regex:
+		pat, err := regexlite.Parse(k.Pattern)
+		if err != nil {
+			return core.Witness{}, err
+		}
+		spec, err := pat.Expand(k.Length)
+		if err != nil {
+			return core.Witness{}, fmt.Errorf("%w: %v", core.ErrUnsatisfiable, err)
+		}
+		out := make([]byte, len(spec))
+		for i, ps := range spec {
+			out[i] = ps.Chars[0]
+		}
+		return stringWitness(string(out)), nil
+	case *core.AnyPrintable:
+		out := make([]byte, k.N)
+		for i := range out {
+			out[i] = 'a' + byte(i%26)
+		}
+		return stringWitness(string(out)), nil
+	case *core.PrefixOf:
+		if k.Length < len(k.Prefix) {
+			return core.Witness{}, fmt.Errorf("%w: prefix %q in length %d", core.ErrUnsatisfiable, k.Prefix, k.Length)
+		}
+		out := make([]byte, k.Length)
+		for i := range out {
+			out[i] = 'a'
+		}
+		copy(out, k.Prefix)
+		return stringWitness(string(out)), nil
+	case *core.SuffixOf:
+		if k.Length < len(k.Suffix) {
+			return core.Witness{}, fmt.Errorf("%w: suffix %q in length %d", core.ErrUnsatisfiable, k.Suffix, k.Length)
+		}
+		out := make([]byte, k.Length)
+		for i := range out {
+			out[i] = 'a'
+		}
+		copy(out[k.Length-len(k.Suffix):], k.Suffix)
+		return stringWitness(string(out)), nil
+	case *core.CharAt:
+		if k.Index < 0 || k.Index >= k.Length {
+			return core.Witness{}, fmt.Errorf("%w: index %d in length %d", core.ErrUnsatisfiable, k.Index, k.Length)
+		}
+		out := make([]byte, k.Length)
+		for i := range out {
+			out[i] = 'a'
+		}
+		out[k.Index] = k.C
+		return stringWitness(string(out)), nil
+	case *core.ToUpper:
+		return stringWitness(mapUpper(k.Input)), nil
+	case *core.ToLower:
+		return stringWitness(mapLower(k.Input)), nil
+	case *core.AvoidChars:
+		forbidden := map[byte]bool{}
+		for _, ch := range k.Chars {
+			forbidden[ch] = true
+		}
+		// Fill with the first allowed printable character.
+		fill := byte(0)
+		for c := byte(ascii7.PrintableMin); c <= ascii7.PrintableMax; c++ {
+			if !forbidden[c] {
+				fill = c
+				break
+			}
+		}
+		if fill == 0 && k.N > 0 {
+			return core.Witness{}, fmt.Errorf("%w: every printable character forbidden", core.ErrUnsatisfiable)
+		}
+		out := make([]byte, k.N)
+		for i := range out {
+			out[i] = fill
+		}
+		return stringWitness(string(out)), nil
+	case *core.Conjunction:
+		// Conjunctions need real search; delegate to the CP solver.
+		return (&CPSolver{}).Solve(k)
+	default:
+		return core.Witness{}, fmt.Errorf("baseline: unsupported constraint %T", c)
+	}
+}
+
+func stringWitness(s string) core.Witness {
+	return core.Witness{Kind: core.WitnessString, Str: s}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

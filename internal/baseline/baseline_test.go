@@ -1,0 +1,242 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"qsmt/internal/core"
+	"qsmt/internal/strtheory"
+)
+
+// allConstraints returns one satisfiable instance of every constraint
+// kind; each Direct witness must pass the constraint's own Check.
+func allConstraints() []core.Constraint {
+	return []core.Constraint{
+		&core.Equality{Target: "hello"},
+		&core.Concat{Parts: []string{"foo", "bar"}},
+		&core.ReplaceAll{Input: "hello world", X: 'l', Y: 'x'},
+		&core.Replace{Input: "hello", X: 'l', Y: 'L'},
+		&core.Reverse{Input: "hello"},
+		&core.SubstringMatch{Sub: "cat", Length: 6},
+		&core.IndexOf{Sub: "hi", Index: 2, Length: 6},
+		&core.Includes{T: "hello world", S: "o w"},
+		&core.Length{L: 2, N: 4},
+		&core.Palindrome{N: 7},
+		&core.Regex{Pattern: "a[bc]+d", Length: 6},
+		&core.AnyPrintable{N: 5},
+	}
+}
+
+func TestDirectSolvesEveryConstraintKind(t *testing.T) {
+	var d Direct
+	for _, c := range allConstraints() {
+		w, err := d.Solve(c)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+			continue
+		}
+		if err := c.Check(w); err != nil {
+			t.Errorf("%s: witness %v fails Check: %v", c.Name(), w, err)
+		}
+	}
+}
+
+func TestDirectSpecificWitnesses(t *testing.T) {
+	var d Direct
+	w, err := d.Solve(&core.SubstringMatch{Sub: "cat", Length: 4})
+	if err != nil || w.Str != "ccat" {
+		t.Errorf("substring witness = %v, %v (want ccat, matching the QUBO encoding)", w, err)
+	}
+	w, err = d.Solve(&core.Includes{T: "hello", S: "l"})
+	if err != nil || w.Index != 2 {
+		t.Errorf("includes witness = %v, %v", w, err)
+	}
+	w, err = d.Solve(&core.Reverse{Input: "abc"})
+	if err != nil || w.Str != strtheory.Reverse("abc") {
+		t.Errorf("reverse witness = %v, %v", w, err)
+	}
+}
+
+func TestDirectUnsatisfiable(t *testing.T) {
+	var d Direct
+	unsat := []core.Constraint{
+		&core.SubstringMatch{Sub: "toolong", Length: 3},
+		&core.IndexOf{Sub: "hi", Index: 5, Length: 6},
+		&core.Includes{T: "abc", S: "zzz"},
+		&core.Length{L: 5, N: 3},
+		&core.Regex{Pattern: "abc", Length: 5},
+	}
+	for _, c := range unsat {
+		if _, err := d.Solve(c); !errors.Is(err, core.ErrUnsatisfiable) {
+			t.Errorf("%s: err = %v, want ErrUnsatisfiable", c.Name(), err)
+		}
+	}
+}
+
+func TestDirectUnsupportedType(t *testing.T) {
+	var d Direct
+	if _, err := d.Solve(fakeConstraint{}); err == nil {
+		t.Error("unsupported constraint accepted")
+	}
+}
+
+type fakeConstraint struct{ core.Constraint }
+
+func (fakeConstraint) Name() string { return "fake" }
+
+func (fakeConstraint) NumVars() int { return 7 }
+
+func TestBruteForceSmallEquality(t *testing.T) {
+	bf := &BruteForce{Alphabet: []byte("abc")}
+	w, err := bf.Solve(&core.Equality{Target: "cab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Str != "cab" {
+		t.Errorf("witness = %q", w.Str)
+	}
+}
+
+func TestBruteForcePalindrome(t *testing.T) {
+	bf := &BruteForce{Alphabet: []byte("ab")}
+	w, err := bf.Solve(&core.Palindrome{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strtheory.IsPalindrome(w.Str) || len(w.Str) != 4 {
+		t.Errorf("witness = %q", w.Str)
+	}
+	// Lexicographically first witness over {a,b} is "aaaa".
+	if w.Str != "aaaa" {
+		t.Errorf("witness = %q, want aaaa (lexicographic order)", w.Str)
+	}
+}
+
+func TestBruteForceRegex(t *testing.T) {
+	bf := &BruteForce{Alphabet: []byte("abc")}
+	w, err := bf.Solve(&core.Regex{Pattern: "a[bc]+", Length: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Str != "abb" {
+		t.Errorf("witness = %q, want abb", w.Str)
+	}
+}
+
+func TestBruteForceIncludes(t *testing.T) {
+	bf := &BruteForce{}
+	w, err := bf.Solve(&core.Includes{T: "xxabxx", S: "ab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Index != 2 {
+		t.Errorf("index = %d", w.Index)
+	}
+}
+
+func TestBruteForceIncludesUnsat(t *testing.T) {
+	bf := &BruteForce{}
+	if _, err := bf.Solve(&core.Includes{T: "abc", S: "zz"}); !errors.Is(err, core.ErrUnsatisfiable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBruteForceExhaustsAlphabet(t *testing.T) {
+	// Target contains a character outside the alphabet: full enumeration
+	// then unsat.
+	bf := &BruteForce{Alphabet: []byte("ab")}
+	_, err := bf.Solve(&core.Equality{Target: "cc"})
+	if !errors.Is(err, core.ErrUnsatisfiable) {
+		t.Errorf("err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestBruteForceBudget(t *testing.T) {
+	bf := &BruteForce{Alphabet: []byte("ab"), MaxCandidates: 3}
+	_, err := bf.Solve(&core.Equality{Target: "bbbb"})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestBruteForceLengthGadget(t *testing.T) {
+	bf := &BruteForce{MaxCandidates: 100}
+	w, err := bf.Solve(&core.Length{L: 1, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&core.Length{L: 1, N: 2}).Check(w); err != nil {
+		t.Errorf("witness fails: %v", err)
+	}
+}
+
+func TestCandidatesTried(t *testing.T) {
+	if got := CandidatesTried(2, 3, 1<<62); got != 8 {
+		t.Errorf("2^3 = %d", got)
+	}
+	if got := CandidatesTried(95, 10, 1000); got != 1000 {
+		t.Errorf("cap not applied: %d", got)
+	}
+	if got := CandidatesTried(7, 0, 1000); got != 1 {
+		t.Errorf("k^0 = %d", got)
+	}
+}
+
+func TestDirectAndBruteForceAgreeOnIncludes(t *testing.T) {
+	var d Direct
+	bf := &BruteForce{}
+	cases := []*core.Includes{
+		{T: "hello", S: "l"},
+		{T: "abcabc", S: "bc"},
+		{T: "aaa", S: "aa"},
+	}
+	for _, c := range cases {
+		dw, err1 := d.Solve(c)
+		bw, err2 := bf.Solve(c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%v / %v", err1, err2)
+		}
+		if dw.Index != bw.Index {
+			t.Errorf("T=%q S=%q: direct %d, brute %d", c.T, c.S, dw.Index, bw.Index)
+		}
+	}
+}
+
+func TestDirectSolvesExtensionConstraints(t *testing.T) {
+	var d Direct
+	cs := []core.Constraint{
+		&core.PrefixOf{Prefix: "ab", Length: 5},
+		&core.SuffixOf{Suffix: "yz", Length: 5},
+		&core.CharAt{C: 'q', Index: 2, Length: 5},
+		&core.ToUpper{Input: "go1!"},
+		&core.ToLower{Input: "GO1!"},
+		&core.AvoidChars{Chars: []byte("aeiou"), N: 4},
+		&core.Conjunction{Members: []core.Constraint{
+			&core.PrefixOf{Prefix: "a", Length: 3},
+			&core.SuffixOf{Suffix: "z", Length: 3},
+		}},
+	}
+	for _, c := range cs {
+		w, err := d.Solve(c)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+			continue
+		}
+		if err := c.Check(w); err != nil {
+			t.Errorf("%s: witness %v fails: %v", c.Name(), w, err)
+		}
+	}
+}
+
+func TestDirectExtensionUnsat(t *testing.T) {
+	var d Direct
+	for _, c := range []core.Constraint{
+		&core.PrefixOf{Prefix: "long", Length: 2},
+		&core.SuffixOf{Suffix: "long", Length: 2},
+		&core.CharAt{C: 'a', Index: 9, Length: 2},
+	} {
+		if _, err := d.Solve(c); !errors.Is(err, core.ErrUnsatisfiable) {
+			t.Errorf("%s: err = %v", c.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"qsmt/internal/ascii7"
+	"qsmt/internal/core"
+)
+
+// ErrBudgetExhausted reports that BruteForce hit its candidate cap
+// before finding a witness.
+var ErrBudgetExhausted = errors.New("baseline: brute-force budget exhausted")
+
+// BruteForce enumerates candidate witnesses in lexicographic order over
+// Alphabet and checks each against the constraint's Check. It is the
+// naive generate-and-test search whose combinatorial blowup (|Σ|^n
+// candidates for an n-character witness) motivates smarter solvers.
+type BruteForce struct {
+	// Alphabet is the candidate character set; default printable ASCII
+	// (0x20..0x7e).
+	Alphabet []byte
+	// MaxCandidates caps the enumeration (0 = 10 million).
+	MaxCandidates int
+}
+
+func (b *BruteForce) alphabet() []byte {
+	if len(b.Alphabet) > 0 {
+		return b.Alphabet
+	}
+	out := make([]byte, 0, ascii7.PrintableMax-ascii7.PrintableMin+1)
+	for c := byte(ascii7.PrintableMin); c <= ascii7.PrintableMax; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+func (b *BruteForce) budget() int {
+	if b.MaxCandidates > 0 {
+		return b.MaxCandidates
+	}
+	return 10_000_000
+}
+
+// witnessLength returns the length of the string witness a constraint
+// expects, or −1 for index-witness constraints.
+func witnessLength(c core.Constraint) int {
+	if _, ok := c.(*core.Includes); ok {
+		return -1
+	}
+	return ascii7.NumChars(c.NumVars())
+}
+
+// Solve enumerates candidates until Check passes.
+func (b *BruteForce) Solve(c core.Constraint) (core.Witness, error) {
+	// Index-witness constraints enumerate positions.
+	if inc, ok := c.(*core.Includes); ok {
+		for i := 0; i < inc.NumVars(); i++ {
+			w := core.Witness{Kind: core.WitnessIndex, Index: i}
+			if inc.Check(w) == nil {
+				return w, nil
+			}
+		}
+		return core.Witness{}, fmt.Errorf("%w: %q not in %q", core.ErrUnsatisfiable, inc.S, inc.T)
+	}
+
+	n := witnessLength(c)
+	if n < 0 {
+		return core.Witness{}, fmt.Errorf("baseline: cannot derive witness length for %s", c.Name())
+	}
+	// The Length gadget's witness uses non-printable indicator bytes;
+	// widen the alphabet for it.
+	alpha := b.alphabet()
+	if _, ok := c.(*core.Length); ok {
+		alpha = []byte{0x00, ascii7.MaxCode}
+	}
+
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = alpha[0]
+	}
+	tried := 0
+	budget := b.budget()
+	for {
+		tried++
+		if tried > budget {
+			return core.Witness{}, fmt.Errorf("%w after %d candidates", ErrBudgetExhausted, budget)
+		}
+		w := core.Witness{Kind: core.WitnessString, Str: string(buf)}
+		if c.Check(w) == nil {
+			return w, nil
+		}
+		// Odometer increment in alphabet space.
+		pos := n - 1
+		for pos >= 0 {
+			idx := indexIn(alpha, buf[pos])
+			if idx+1 < len(alpha) {
+				buf[pos] = alpha[idx+1]
+				break
+			}
+			buf[pos] = alpha[0]
+			pos--
+		}
+		if pos < 0 {
+			return core.Witness{}, fmt.Errorf("%w: exhausted all %d-length candidates", core.ErrUnsatisfiable, n)
+		}
+	}
+}
+
+func indexIn(alpha []byte, c byte) int {
+	for i, a := range alpha {
+		if a == c {
+			return i
+		}
+	}
+	return 0
+}
+
+// CandidatesTried reports how many candidates a full enumeration of
+// length n over alphabet size k would visit in the worst case: k^n,
+// capped at the given ceiling to avoid overflow. It quantifies the
+// search-space blowup for the evaluation harness.
+func CandidatesTried(k, n int, cap uint64) uint64 {
+	total := uint64(1)
+	for i := 0; i < n; i++ {
+		if total > cap/uint64(k) {
+			return cap
+		}
+		total *= uint64(k)
+	}
+	return total
+}

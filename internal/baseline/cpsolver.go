@@ -1,0 +1,415 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"qsmt/internal/ascii7"
+	"qsmt/internal/core"
+	"qsmt/internal/regexlite"
+	"qsmt/internal/strtheory"
+)
+
+// CPSolver is a classical constraint-programming string solver over the
+// same constraint vocabulary as the QUBO encoders: it maintains a
+// character domain per position, propagates each constraint to prune the
+// domains (arc-consistency style), and backtracks over the remaining
+// choices with a smallest-domain-first heuristic.
+//
+// Unlike Direct (pure construction), CPSolver performs real search and
+// natively solves *conjunctions* of structural constraints — it is the
+// classical counterpart of the Conjunction QUBO merge and the honest
+// "what a classical theory solver's decision procedure does" baseline.
+type CPSolver struct {
+	// Alphabet is the initial domain; default printable ASCII.
+	Alphabet []byte
+	// MaxNodes caps the search tree (0 = 1 million).
+	MaxNodes int
+}
+
+// ErrSearchBudget reports that the backtracking search hit MaxNodes.
+var ErrSearchBudget = errors.New("baseline: CP search budget exhausted")
+
+type domain struct {
+	allowed [128]bool
+	size    int
+}
+
+func newDomain(alphabet []byte) *domain {
+	d := &domain{}
+	for _, c := range alphabet {
+		if c <= ascii7.MaxCode && !d.allowed[c] {
+			d.allowed[c] = true
+			d.size++
+		}
+	}
+	return d
+}
+
+func (d *domain) remove(c byte) {
+	if d.allowed[c] {
+		d.allowed[c] = false
+		d.size--
+	}
+}
+
+func (d *domain) restrictTo(set []byte) {
+	var keep [128]bool
+	for _, c := range set {
+		if c <= ascii7.MaxCode {
+			keep[c] = true
+		}
+	}
+	for c := 0; c < 128; c++ {
+		if d.allowed[c] && !keep[c] {
+			d.allowed[c] = false
+			d.size--
+		}
+	}
+}
+
+func (d *domain) fix(c byte) {
+	d.restrictTo([]byte{c})
+}
+
+func (d *domain) values() []byte {
+	out := make([]byte, 0, d.size)
+	for c := 0; c < 128; c++ {
+		if d.allowed[c] {
+			out = append(out, byte(c))
+		}
+	}
+	return out
+}
+
+func (d *domain) clone() *domain {
+	c := *d
+	return &c
+}
+
+// problem is a normalized constraint set over one string of length n.
+type problem struct {
+	n       int
+	domains []*domain
+	// mirrors lists (i, j) pairs that must hold equal characters.
+	mirrors [][2]int
+	// windows lists substrings that must appear at *some* position — a
+	// disjunctive constraint the search branches over before value
+	// enumeration.
+	windows []string
+	// checks are whole-string predicates verified on full assignments
+	// (used for constraints without cheap positional propagation).
+	checks []func(string) error
+}
+
+// Solve finds a witness for one constraint (possibly a Conjunction of
+// structural constraints sharing the string length).
+func (cp *CPSolver) Solve(c core.Constraint) (core.Witness, error) {
+	// Index-witness constraints have a classical one-liner.
+	if inc, ok := c.(*core.Includes); ok {
+		idx := strtheory.IndexOf(inc.T, inc.S, 0)
+		if idx < 0 {
+			return core.Witness{}, fmt.Errorf("%w: %q not in %q", core.ErrUnsatisfiable, inc.S, inc.T)
+		}
+		return core.Witness{Kind: core.WitnessIndex, Index: idx}, nil
+	}
+
+	n := ascii7.NumChars(c.NumVars())
+	if av, ok := c.(*core.AvoidChars); ok {
+		n = av.N // AvoidChars carries auxiliary variables beyond 7N
+	}
+	if n < 0 {
+		return core.Witness{}, fmt.Errorf("baseline: cannot derive length for %s", c.Name())
+	}
+	alphabet := cp.Alphabet
+	if len(alphabet) == 0 {
+		alphabet = defaultAlphabet()
+	}
+	p := &problem{n: n, domains: make([]*domain, n)}
+	for i := range p.domains {
+		p.domains[i] = newDomain(alphabet)
+	}
+	if err := cp.post(p, c); err != nil {
+		return core.Witness{}, err
+	}
+	s, err := cp.search(p)
+	if err != nil {
+		return core.Witness{}, err
+	}
+	w := core.Witness{Kind: core.WitnessString, Str: s}
+	if cerr := c.Check(w); cerr != nil {
+		// The propagators are sound, so this indicates an uncovered
+		// constraint shape; surface it rather than return a bad model.
+		return core.Witness{}, fmt.Errorf("baseline: internal: witness %q rejected: %v", s, cerr)
+	}
+	return w, nil
+}
+
+func defaultAlphabet() []byte {
+	out := make([]byte, 0, ascii7.PrintableMax-ascii7.PrintableMin+1)
+	for c := byte(ascii7.PrintableMin); c <= ascii7.PrintableMax; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// post translates a constraint into domain restrictions, mirror pairs,
+// and residual whole-string checks.
+func (cp *CPSolver) post(p *problem, c core.Constraint) error {
+	fixString := func(s string, at int) error {
+		if at < 0 || at+len(s) > p.n {
+			return fmt.Errorf("%w: window [%d,%d) outside length %d", core.ErrUnsatisfiable, at, at+len(s), p.n)
+		}
+		for k := 0; k < len(s); k++ {
+			p.domains[at+k].fix(s[k])
+		}
+		return nil
+	}
+	switch k := c.(type) {
+	case *core.Equality:
+		return fixString(k.Target, 0)
+	case *core.Concat:
+		return fixString(strtheory.Concat(k.Parts...), 0)
+	case *core.ReplaceAll:
+		return fixString(strtheory.ReplaceAllChar(k.Input, k.X, k.Y), 0)
+	case *core.Replace:
+		return fixString(strtheory.ReplaceChar(k.Input, k.X, k.Y), 0)
+	case *core.Reverse:
+		return fixString(strtheory.Reverse(k.Input), 0)
+	case *core.ToUpper:
+		return fixString(mapUpper(k.Input), 0)
+	case *core.ToLower:
+		return fixString(mapLower(k.Input), 0)
+	case *core.SubstringMatch:
+		if len(k.Sub) == 0 || k.Length < len(k.Sub) {
+			return fmt.Errorf("%w: %q in length %d", core.ErrUnsatisfiable, k.Sub, k.Length)
+		}
+		// Disjunctive windows: the search branches over placements.
+		p.windows = append(p.windows, k.Sub)
+		return nil
+	case *core.IndexOf:
+		return fixString(k.Sub, k.Index)
+	case *core.CharAt:
+		return fixString(string(k.C), k.Index)
+	case *core.PrefixOf:
+		return fixString(k.Prefix, 0)
+	case *core.SuffixOf:
+		return fixString(k.Suffix, p.n-len(k.Suffix))
+	case *core.Palindrome:
+		for i, j := 0, p.n-1; i < j; i, j = i+1, j-1 {
+			p.mirrors = append(p.mirrors, [2]int{i, j})
+		}
+		return nil
+	case *core.Regex:
+		pat, err := regexlite.Parse(k.Pattern)
+		if err != nil {
+			return err
+		}
+		specs := pat.Expansions(k.Length, 0)
+		if len(specs) == 0 {
+			return fmt.Errorf("%w: %q cannot match length %d", core.ErrUnsatisfiable, k.Pattern, k.Length)
+		}
+		if len(specs) == 1 {
+			// Unique shape: prune positionally.
+			for i, ps := range specs[0] {
+				p.domains[i].restrictTo(ps.Chars)
+			}
+			return nil
+		}
+		// Multiple shapes: per-position union pruning + residual check.
+		for i := 0; i < p.n; i++ {
+			var union []byte
+			for _, spec := range specs {
+				union = append(union, spec[i].Chars...)
+			}
+			p.domains[i].restrictTo(union)
+		}
+		p.checks = append(p.checks, func(s string) error {
+			if !pat.Match(s) {
+				return fmt.Errorf("%q does not match /%s/", s, k.Pattern)
+			}
+			return nil
+		})
+		return nil
+	case *core.AvoidChars:
+		for _, ch := range k.Chars {
+			for i := range p.domains {
+				p.domains[i].remove(ch)
+			}
+		}
+		return nil
+	case *core.AnyPrintable:
+		return nil
+	case *core.Length:
+		// The unary gadget's witness uses non-printable indicator bytes.
+		for i := 0; i < p.n; i++ {
+			want := byte(0)
+			if i < k.L {
+				want = ascii7.MaxCode
+			}
+			p.domains[i].allowed = [128]bool{}
+			p.domains[i].allowed[want] = true
+			p.domains[i].size = 1
+		}
+		return nil
+	case *core.Conjunction:
+		for _, mem := range k.Members {
+			if err := cp.post(p, mem); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("baseline: CP solver does not support %T", c)
+	}
+}
+
+// search runs propagation + backtracking and returns a full assignment.
+func (cp *CPSolver) search(p *problem) (string, error) {
+	budget := cp.MaxNodes
+	if budget <= 0 {
+		budget = 1_000_000
+	}
+	nodes := 0
+
+	// Mirror propagation to a fixpoint: mirrored positions share their
+	// domain intersection.
+	propagate := func(domains []*domain) bool {
+		for {
+			changed := false
+			for _, m := range p.mirrors {
+				a, b := domains[m[0]], domains[m[1]]
+				for c := 0; c < 128; c++ {
+					if a.allowed[c] && !b.allowed[c] {
+						a.allowed[c] = false
+						a.size--
+						changed = true
+					}
+					if b.allowed[c] && !a.allowed[c] {
+						b.allowed[c] = false
+						b.size--
+						changed = true
+					}
+				}
+				if a.size == 0 || b.size == 0 {
+					return false
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+	}
+
+	var rec func(domains []*domain) (string, bool, error)
+	rec = func(domains []*domain) (string, bool, error) {
+		nodes++
+		if nodes > budget {
+			return "", false, ErrSearchBudget
+		}
+		if !propagate(domains) {
+			return "", false, nil
+		}
+		// Find the smallest unfixed domain (MRV).
+		best, bestSize := -1, 129
+		for i, d := range domains {
+			if d.size == 0 {
+				return "", false, nil
+			}
+			if d.size > 1 && d.size < bestSize {
+				best, bestSize = i, d.size
+			}
+		}
+		if best < 0 {
+			// Fully assigned: materialize and run residual checks.
+			out := make([]byte, p.n)
+			for i, d := range domains {
+				out[i] = d.values()[0]
+			}
+			s := string(out)
+			for _, check := range p.checks {
+				if err := check(s); err != nil {
+					return "", false, nil
+				}
+			}
+			return s, true, nil
+		}
+		for _, c := range domains[best].values() {
+			next := make([]*domain, len(domains))
+			for i, d := range domains {
+				next[i] = d.clone()
+			}
+			next[best].fix(c)
+			s, ok, err := rec(next)
+			if err != nil {
+				return "", false, err
+			}
+			if ok {
+				return s, true, nil
+			}
+		}
+		return "", false, nil
+	}
+
+	// Branch over window placements first, then value search.
+	var place func(domains []*domain, windows []string) (string, bool, error)
+	place = func(domains []*domain, windows []string) (string, bool, error) {
+		if len(windows) == 0 {
+			return rec(domains)
+		}
+		sub := windows[0]
+		for start := 0; start+len(sub) <= p.n; start++ {
+			next := make([]*domain, len(domains))
+			for i, d := range domains {
+				next[i] = d.clone()
+			}
+			feasible := true
+			for k := 0; k < len(sub) && feasible; k++ {
+				next[start+k].fix(sub[k])
+				if next[start+k].size == 0 {
+					feasible = false
+				}
+			}
+			if !feasible {
+				continue
+			}
+			s, ok, err := place(next, windows[1:])
+			if err != nil {
+				return "", false, err
+			}
+			if ok {
+				return s, true, nil
+			}
+		}
+		return "", false, nil
+	}
+
+	s, ok, err := place(p.domains, p.windows)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return "", fmt.Errorf("%w: CP search found no model", core.ErrUnsatisfiable)
+	}
+	return s, nil
+}
+
+func mapUpper(s string) string {
+	out := []byte(s)
+	for i, b := range out {
+		if b >= 'a' && b <= 'z' {
+			out[i] = b - 'a' + 'A'
+		}
+	}
+	return string(out)
+}
+
+func mapLower(s string) string {
+	out := []byte(s)
+	for i, b := range out {
+		if b >= 'A' && b <= 'Z' {
+			out[i] = b - 'A' + 'a'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"qsmt/internal/core"
+	"qsmt/internal/strtheory"
+)
+
+func TestCPSolvesEveryConstraintKind(t *testing.T) {
+	cp := &CPSolver{}
+	for _, c := range allConstraints() {
+		w, err := cp.Solve(c)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+			continue
+		}
+		if err := c.Check(w); err != nil {
+			t.Errorf("%s: witness %v fails Check: %v", c.Name(), w, err)
+		}
+	}
+}
+
+func TestCPSolvesExtensionConstraints(t *testing.T) {
+	cp := &CPSolver{}
+	cs := []core.Constraint{
+		&core.PrefixOf{Prefix: "GET ", Length: 8},
+		&core.SuffixOf{Suffix: ".go", Length: 8},
+		&core.CharAt{C: 'q', Index: 3, Length: 6},
+		&core.ToUpper{Input: "mixed42"},
+		&core.ToLower{Input: "MIXED42"},
+		&core.AvoidChars{Chars: []byte("aeiou"), N: 5},
+		&core.Regex{Pattern: "ab*c?", Length: 4},
+	}
+	for _, c := range cs {
+		w, err := cp.Solve(c)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+			continue
+		}
+		if err := c.Check(w); err != nil {
+			t.Errorf("%s: witness %v fails: %v", c.Name(), w, err)
+		}
+	}
+}
+
+func TestCPSolvesConjunctions(t *testing.T) {
+	cp := &CPSolver{}
+	c := &core.Conjunction{Members: []core.Constraint{
+		&core.PrefixOf{Prefix: "ab", Length: 6},
+		&core.SuffixOf{Suffix: "yz", Length: 6},
+		&core.CharAt{C: 'm', Index: 2, Length: 6},
+	}}
+	w, err := cp.Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(w); err != nil {
+		t.Errorf("conjunction witness %q fails: %v", w.Str, err)
+	}
+}
+
+func TestCPSolvesPalindromeConjunction(t *testing.T) {
+	cp := &CPSolver{}
+	c := &core.Conjunction{Members: []core.Constraint{
+		&core.Palindrome{N: 5},
+		&core.CharAt{C: 'x', Index: 0, Length: 5},
+	}}
+	w, err := cp.Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strtheory.IsPalindrome(w.Str) || w.Str[0] != 'x' || w.Str[4] != 'x' {
+		t.Errorf("witness = %q", w.Str)
+	}
+}
+
+func TestCPMirrorPropagation(t *testing.T) {
+	// Palindrome with conflicting fixed endpoints must be unsat.
+	cp := &CPSolver{}
+	c := &core.Conjunction{Members: []core.Constraint{
+		&core.Palindrome{N: 4},
+		&core.CharAt{C: 'a', Index: 0, Length: 4},
+		&core.CharAt{C: 'b', Index: 3, Length: 4},
+	}}
+	if _, err := cp.Solve(c); !errors.Is(err, core.ErrUnsatisfiable) {
+		t.Errorf("err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestCPWindowPlacement(t *testing.T) {
+	// Substring must appear while the suffix is pinned: the window
+	// branching has to find a placement compatible with the suffix.
+	cp := &CPSolver{}
+	c := &core.Conjunction{Members: []core.Constraint{
+		&core.SubstringMatch{Sub: "cat", Length: 6},
+		&core.SuffixOf{Suffix: "xy", Length: 6},
+	}}
+	w, err := cp.Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.Str, "cat") || !strings.HasSuffix(w.Str, "xy") {
+		t.Errorf("witness = %q", w.Str)
+	}
+}
+
+func TestCPWindowImpossible(t *testing.T) {
+	cp := &CPSolver{}
+	c := &core.Conjunction{Members: []core.Constraint{
+		&core.SubstringMatch{Sub: "cat", Length: 4},
+		&core.PrefixOf{Prefix: "xy", Length: 4},
+		&core.SuffixOf{Suffix: "zw", Length: 4},
+	}}
+	if _, err := cp.Solve(c); !errors.Is(err, core.ErrUnsatisfiable) {
+		t.Errorf("err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestCPIncludes(t *testing.T) {
+	cp := &CPSolver{}
+	w, err := cp.Solve(&core.Includes{T: "hello", S: "ll"})
+	if err != nil || w.Index != 2 {
+		t.Errorf("w=%v err=%v", w, err)
+	}
+	if _, err := cp.Solve(&core.Includes{T: "abc", S: "zz"}); !errors.Is(err, core.ErrUnsatisfiable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCPUnsatisfiableDomainWipeout(t *testing.T) {
+	cp := &CPSolver{}
+	c := &core.Conjunction{Members: []core.Constraint{
+		&core.CharAt{C: 'a', Index: 0, Length: 2},
+		&core.CharAt{C: 'b', Index: 0, Length: 2},
+	}}
+	if _, err := cp.Solve(c); !errors.Is(err, core.ErrUnsatisfiable) {
+		t.Errorf("err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestCPAgreesWithDirectOnDeterministicOps(t *testing.T) {
+	cp := &CPSolver{}
+	var d Direct
+	cs := []core.Constraint{
+		&core.Equality{Target: "same"},
+		&core.Reverse{Input: "same"},
+		&core.ReplaceAll{Input: "same", X: 's', Y: 'f'},
+		&core.ToUpper{Input: "same"},
+	}
+	for _, c := range cs {
+		cw, err1 := cp.Solve(c)
+		dw, err2 := d.Solve(c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v / %v", c.Name(), err1, err2)
+		}
+		if cw.Str != dw.Str {
+			t.Errorf("%s: CP %q, Direct %q", c.Name(), cw.Str, dw.Str)
+		}
+	}
+}
+
+func TestCPSearchBudget(t *testing.T) {
+	cp := &CPSolver{MaxNodes: 1}
+	// Palindrome over a full alphabet needs more than one node.
+	_, err := cp.Solve(&core.Palindrome{N: 6})
+	if err == nil {
+		// A single node can succeed if propagation fully fixes the
+		// string; palindromes leave free choices, so budget must bite...
+		// unless the first assignment path needs ≤1 nodes. Accept either
+		// a witness or the budget error, but never a silent wrong model.
+		return
+	}
+	if !errors.Is(err, ErrSearchBudget) && !errors.Is(err, core.ErrUnsatisfiable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCPRegexMultiShape(t *testing.T) {
+	// a?b? at length 1 has two shapes; union pruning plus the residual
+	// matcher must still find a model.
+	cp := &CPSolver{}
+	c := &core.Regex{Pattern: "a?b?", Length: 1}
+	w, err := cp.Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(w); err != nil {
+		t.Errorf("witness %q fails: %v", w.Str, err)
+	}
+}
+
+func TestCPUnsupportedConstraint(t *testing.T) {
+	cp := &CPSolver{}
+	if _, err := cp.Solve(fakeConstraint{}); err == nil {
+		t.Error("unsupported constraint accepted")
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"qsmt/internal/ascii7"
+)
+
+func TestAnyPrintableDirect(t *testing.T) {
+	c := &AnyPrintable{N: 2}
+	if c.Name() != "any-printable" || c.NumVars() != 14 {
+		t.Errorf("metadata: %s %d", c.Name(), c.NumVars())
+	}
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 14 {
+		t.Errorf("model vars = %d", m.N())
+	}
+	w := annealBest(t, c, 71)
+	if err := c.Check(w); err != nil {
+		t.Errorf("annealed %v fails: %v", w, err)
+	}
+	// Error paths.
+	if _, err := (&AnyPrintable{N: -1}).BuildModel(); err == nil {
+		t.Error("negative length accepted")
+	}
+	if err := c.Check(Witness{Kind: WitnessIndex}); err == nil {
+		t.Error("index witness accepted")
+	}
+	if err := c.Check(Witness{Kind: WitnessString, Str: "x"}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := c.Check(Witness{Kind: WitnessString, Str: "a\x01"}); err == nil {
+		t.Error("unprintable accepted")
+	}
+	if _, err := c.Decode(make([]Bit, 7)); err == nil {
+		t.Error("short decode accepted")
+	}
+}
+
+// TestCheckErrorBranches drives the distinct failure messages of every
+// constraint's Check: wrong value, wrong length, wrong content.
+func TestCheckErrorBranches(t *testing.T) {
+	str := func(s string) Witness { return Witness{Kind: WitnessString, Str: s} }
+	cases := []struct {
+		c       Constraint
+		w       Witness
+		errPart string
+	}{
+		{&Equality{Target: "ab"}, str("ax"), "want"},
+		{&Concat{Parts: []string{"a", "b"}}, str("xx"), "want"},
+		{&ReplaceAll{Input: "ab", X: 'a', Y: 'z'}, str("ab"), "want"},
+		{&Replace{Input: "ab", X: 'a', Y: 'z'}, str("ab"), "want"},
+		{&Reverse{Input: "ab"}, str("ab"), "want"},
+		{&SubstringMatch{Sub: "ab", Length: 3}, str("xyz"), "does not contain"},
+		{&SubstringMatch{Sub: "ab", Length: 3}, str("abxy"), "length"},
+		{&IndexOf{Sub: "ab", Index: 1, Length: 4}, str("abxy"), "at index"},
+		{&IndexOf{Sub: "ab", Index: 1, Length: 4}, str("ab"), "length"},
+		{&Palindrome{N: 3}, str("abc"), "not a palindrome"},
+		{&Palindrome{N: 3}, str("ab"), "length"},
+		{&Regex{Pattern: "a+", Length: 2}, str("ab"), "does not match"},
+		{&Regex{Pattern: "a+", Length: 2}, str("a"), "length"},
+		{&PrefixOf{Prefix: "ab", Length: 3}, str("xbc"), "start with"},
+		{&SuffixOf{Suffix: "bc", Length: 3}, str("abx"), "end with"},
+		{&CharAt{C: 'q', Index: 1, Length: 3}, str("abc"), "at 1"},
+		{&ToUpper{Input: "ab"}, str("ab"), "want"},
+		{&ToLower{Input: "AB"}, str("AB"), "want"},
+		{&Length{L: 1, N: 2}, str("ab"), "length indicator"},
+		{&Periodic{Period: 1, N: 2}, str("ab"), "breaks period"},
+		{&AvoidChars{Chars: []byte{'a'}, N: 2}, str("ab"), "forbidden"},
+	}
+	for _, tc := range cases {
+		err := tc.c.Check(tc.w)
+		if err == nil {
+			t.Errorf("%s accepted %v", tc.c.Name(), tc.w)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s error %q missing %q", tc.c.Name(), err.Error(), tc.errPart)
+		}
+	}
+}
+
+// TestDecodeInvalidBitVectors drives decode failures uniformly.
+func TestDecodeInvalidBitVectors(t *testing.T) {
+	cs := []Constraint{
+		&Concat{Parts: []string{"ab"}},
+		&ReplaceAll{Input: "ab", X: 'a', Y: 'b'},
+		&Replace{Input: "ab", X: 'a', Y: 'b'},
+		&Reverse{Input: "ab"},
+		&SubstringMatch{Sub: "a", Length: 2},
+		&IndexOf{Sub: "a", Index: 0, Length: 2},
+		&Length{L: 1, N: 2},
+		&Regex{Pattern: "ab", Length: 2},
+		&PrefixOf{Prefix: "a", Length: 2},
+		&SuffixOf{Suffix: "a", Length: 2},
+		&CharAt{C: 'a', Index: 0, Length: 2},
+		&ToUpper{Input: "ab"},
+		&ToLower{Input: "ab"},
+		&Periodic{Period: 1, N: 2},
+		&Conjunction{Members: []Constraint{&Equality{Target: "ab"}}},
+	}
+	for _, c := range cs {
+		if _, err := c.Decode(make([]Bit, c.NumVars()+3)); err == nil {
+			t.Errorf("%s accepted oversized vector", c.Name())
+		}
+	}
+}
+
+func TestNumVarsConsistency(t *testing.T) {
+	// NumVars must equal the built model's size for every family.
+	cs := []Constraint{
+		&Equality{Target: "abc"},
+		&Concat{Parts: []string{"a", "bc"}},
+		&SubstringMatch{Sub: "ab", Length: 4},
+		&Includes{T: "hello", S: "l"},
+		&IndexOf{Sub: "ab", Index: 1, Length: 4},
+		&Length{L: 2, N: 3},
+		&ReplaceAll{Input: "abc", X: 'a', Y: 'b'},
+		&Replace{Input: "abc", X: 'a', Y: 'b'},
+		&Reverse{Input: "abc"},
+		&Palindrome{N: 4},
+		&Regex{Pattern: "a[bc]+", Length: 4},
+		&PrefixOf{Prefix: "a", Length: 3},
+		&SuffixOf{Suffix: "a", Length: 3},
+		&CharAt{C: 'a', Index: 1, Length: 3},
+		&ToUpper{Input: "abc"},
+		&ToLower{Input: "ABC"},
+		&AnyPrintable{N: 3},
+		&Periodic{Period: 2, N: 4},
+		&AvoidChars{Chars: []byte{'a'}, N: 2},
+		&Conjunction{Members: []Constraint{&Palindrome{N: 3}, &CharAt{C: 'x', Index: 0, Length: 3}}},
+	}
+	for _, c := range cs {
+		m, err := c.BuildModel()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if m.N() != c.NumVars() {
+			t.Errorf("%s: model %d vars, NumVars %d", c.Name(), m.N(), c.NumVars())
+		}
+	}
+}
+
+func TestIndexOfSoftBiasAdmitsOnlyUpperRange(t *testing.T) {
+	// The printable-bias minimum lies in [0x40, 0x7f]: verify the bias
+	// energy is strictly lower there than below the floor.
+	m := qModel(t, &AnyPrintable{N: 1})
+	energyOf := func(c byte) float64 {
+		bits, err := ascii7.Encode(string(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Energy(bits)
+	}
+	if energyOf(0x10) <= energyOf('a') {
+		t.Errorf("control char %g not penalized vs 'a' %g", energyOf(0x10), energyOf('a'))
+	}
+	if energyOf('a') != energyOf('q') {
+		t.Errorf("letters should be degenerate: %g vs %g", energyOf('a'), energyOf('q'))
+	}
+}
+
+func qModel(t *testing.T, c Constraint) interface{ Energy([]Bit) float64 } {
+	t.Helper()
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"qsmt/internal/ascii7"
+	"qsmt/internal/qubo"
+	"qsmt/internal/strtheory"
+)
+
+// Equality generates a string S equal to Target (§4.1). The QUBO is a
+// 7n×7n diagonal matrix: entry −A where the target bit is 1 and +A where
+// it is 0, so the unique ground state is exactly the target's encoding
+// with energy −A·(number of one-bits).
+type Equality struct {
+	Target string
+	A      float64 // penalty strength; 0 means DefaultA
+}
+
+// Name implements Constraint.
+func (c *Equality) Name() string { return "equality" }
+
+// NumVars implements Constraint.
+func (c *Equality) NumVars() int { return ascii7.NumVars(len(c.Target)) }
+
+// BuildModel implements Constraint.
+func (c *Equality) BuildModel() (*qubo.Model, error) {
+	if err := requireASCII(c.Name(), "target", c.Target); err != nil {
+		return nil, err
+	}
+	m := qubo.New(c.NumVars())
+	a := coeff(c.A)
+	for pos := 0; pos < len(c.Target); pos++ {
+		addCharTarget(m, pos, c.Target[pos], a)
+	}
+	return m, nil
+}
+
+// Decode implements Constraint.
+func (c *Equality) Decode(x []Bit) (Witness, error) {
+	if err := requireVars(x, c.NumVars()); err != nil {
+		return Witness{}, err
+	}
+	return decodeString(x)
+}
+
+// Check implements Constraint.
+func (c *Equality) Check(w Witness) error {
+	if w.Kind != WitnessString {
+		return fmt.Errorf("%w: equality expects a string witness", ErrCheckFailed)
+	}
+	if w.Str != c.Target {
+		return fmt.Errorf("%w: got %q, want %q", ErrCheckFailed, w.Str, c.Target)
+	}
+	return nil
+}
+
+// Concat generates the concatenation of Parts (§4.2). The paper treats
+// concatenation identically to equality: the desired concatenated string
+// is encoded directly into the diagonal.
+type Concat struct {
+	Parts []string
+	A     float64
+}
+
+// Name implements Constraint.
+func (c *Concat) Name() string { return "concat" }
+
+func (c *Concat) target() string { return strtheory.Concat(c.Parts...) }
+
+// NumVars implements Constraint.
+func (c *Concat) NumVars() int { return ascii7.NumVars(len(c.target())) }
+
+// BuildModel implements Constraint.
+func (c *Concat) BuildModel() (*qubo.Model, error) {
+	for i, p := range c.Parts {
+		if err := requireASCII(c.Name(), fmt.Sprintf("part %d", i), p); err != nil {
+			return nil, err
+		}
+	}
+	eq := Equality{Target: c.target(), A: c.A}
+	return eq.BuildModel()
+}
+
+// Decode implements Constraint.
+func (c *Concat) Decode(x []Bit) (Witness, error) {
+	if err := requireVars(x, c.NumVars()); err != nil {
+		return Witness{}, err
+	}
+	return decodeString(x)
+}
+
+// Check implements Constraint.
+func (c *Concat) Check(w Witness) error {
+	if w.Kind != WitnessString {
+		return fmt.Errorf("%w: concat expects a string witness", ErrCheckFailed)
+	}
+	if want := c.target(); w.Str != want {
+		return fmt.Errorf("%w: got %q, want %q", ErrCheckFailed, w.Str, want)
+	}
+	return nil
+}
+
+// ReplaceAll generates the string obtained from Input by replacing every
+// occurrence of the character X with Y (§4.7) — the operation the paper
+// highlights as missing from z3 at the time of writing. The encoder walks
+// the input and, at each position holding X, encodes Y's bit pattern
+// instead.
+type ReplaceAll struct {
+	Input string
+	X, Y  byte
+	A     float64
+}
+
+// Name implements Constraint.
+func (c *ReplaceAll) Name() string { return "replace-all" }
+
+// NumVars implements Constraint.
+func (c *ReplaceAll) NumVars() int { return ascii7.NumVars(len(c.Input)) }
+
+// BuildModel implements Constraint.
+func (c *ReplaceAll) BuildModel() (*qubo.Model, error) {
+	if err := requireASCII(c.Name(), "input", c.Input); err != nil {
+		return nil, err
+	}
+	if c.X > ascii7.MaxCode || c.Y > ascii7.MaxCode {
+		return nil, fmt.Errorf("core: %s: replacement characters must be ASCII", c.Name())
+	}
+	m := qubo.New(c.NumVars())
+	a := coeff(c.A)
+	for pos := 0; pos < len(c.Input); pos++ {
+		ch := c.Input[pos]
+		if ch == c.X {
+			ch = c.Y
+		}
+		addCharTarget(m, pos, ch, a)
+	}
+	return m, nil
+}
+
+// Decode implements Constraint.
+func (c *ReplaceAll) Decode(x []Bit) (Witness, error) {
+	if err := requireVars(x, c.NumVars()); err != nil {
+		return Witness{}, err
+	}
+	return decodeString(x)
+}
+
+// Check implements Constraint.
+func (c *ReplaceAll) Check(w Witness) error {
+	if w.Kind != WitnessString {
+		return fmt.Errorf("%w: replace-all expects a string witness", ErrCheckFailed)
+	}
+	if want := strtheory.ReplaceAllChar(c.Input, c.X, c.Y); w.Str != want {
+		return fmt.Errorf("%w: got %q, want %q", ErrCheckFailed, w.Str, want)
+	}
+	return nil
+}
+
+// Replace is the single-occurrence variant of ReplaceAll (§4.8): only the
+// first occurrence of X in Input is replaced by Y.
+type Replace struct {
+	Input string
+	X, Y  byte
+	A     float64
+}
+
+// Name implements Constraint.
+func (c *Replace) Name() string { return "replace" }
+
+// NumVars implements Constraint.
+func (c *Replace) NumVars() int { return ascii7.NumVars(len(c.Input)) }
+
+// BuildModel implements Constraint.
+func (c *Replace) BuildModel() (*qubo.Model, error) {
+	if err := requireASCII(c.Name(), "input", c.Input); err != nil {
+		return nil, err
+	}
+	if c.X > ascii7.MaxCode || c.Y > ascii7.MaxCode {
+		return nil, fmt.Errorf("core: %s: replacement characters must be ASCII", c.Name())
+	}
+	m := qubo.New(c.NumVars())
+	a := coeff(c.A)
+	replaced := false
+	for pos := 0; pos < len(c.Input); pos++ {
+		ch := c.Input[pos]
+		if !replaced && ch == c.X {
+			ch = c.Y
+			replaced = true
+		}
+		addCharTarget(m, pos, ch, a)
+	}
+	return m, nil
+}
+
+// Decode implements Constraint.
+func (c *Replace) Decode(x []Bit) (Witness, error) {
+	if err := requireVars(x, c.NumVars()); err != nil {
+		return Witness{}, err
+	}
+	return decodeString(x)
+}
+
+// Check implements Constraint.
+func (c *Replace) Check(w Witness) error {
+	if w.Kind != WitnessString {
+		return fmt.Errorf("%w: replace expects a string witness", ErrCheckFailed)
+	}
+	if want := strtheory.ReplaceChar(c.Input, c.X, c.Y); w.Str != want {
+		return fmt.Errorf("%w: got %q, want %q", ErrCheckFailed, w.Str, want)
+	}
+	return nil
+}
+
+// Reverse generates the reversal of Input (§4.9): the input is encoded
+// backwards into the diagonal.
+type Reverse struct {
+	Input string
+	A     float64
+}
+
+// Name implements Constraint.
+func (c *Reverse) Name() string { return "reverse" }
+
+// NumVars implements Constraint.
+func (c *Reverse) NumVars() int { return ascii7.NumVars(len(c.Input)) }
+
+// BuildModel implements Constraint.
+func (c *Reverse) BuildModel() (*qubo.Model, error) {
+	if err := requireASCII(c.Name(), "input", c.Input); err != nil {
+		return nil, err
+	}
+	m := qubo.New(c.NumVars())
+	a := coeff(c.A)
+	n := len(c.Input)
+	for pos := 0; pos < n; pos++ {
+		addCharTarget(m, pos, c.Input[n-1-pos], a)
+	}
+	return m, nil
+}
+
+// Decode implements Constraint.
+func (c *Reverse) Decode(x []Bit) (Witness, error) {
+	if err := requireVars(x, c.NumVars()); err != nil {
+		return Witness{}, err
+	}
+	return decodeString(x)
+}
+
+// Check implements Constraint.
+func (c *Reverse) Check(w Witness) error {
+	if w.Kind != WitnessString {
+		return fmt.Errorf("%w: reverse expects a string witness", ErrCheckFailed)
+	}
+	if want := strtheory.Reverse(c.Input); w.Str != want {
+		return fmt.Errorf("%w: got %q, want %q", ErrCheckFailed, w.Str, want)
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"qsmt/internal/strtheory"
+)
+
+func TestPrefixOfGroundStatesVerify(t *testing.T) {
+	c := &PrefixOf{Prefix: "ab", Length: 3}
+	for _, w := range exactGround(t, c) {
+		if err := c.Check(w); err != nil {
+			t.Errorf("ground %v fails: %v", w, err)
+		}
+		if !strings.HasPrefix(w.Str, "ab") {
+			t.Errorf("ground %q lacks prefix", w.Str)
+		}
+	}
+}
+
+func TestPrefixOfAnnealed(t *testing.T) {
+	c := &PrefixOf{Prefix: "GET ", Length: 8}
+	w := annealBest(t, c, 41)
+	if err := c.Check(w); err != nil {
+		t.Errorf("annealed %v fails: %v", w, err)
+	}
+}
+
+func TestPrefixOfUnsatisfiable(t *testing.T) {
+	c := &PrefixOf{Prefix: "toolong", Length: 3}
+	if _, err := c.BuildModel(); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSuffixOfGroundStatesVerify(t *testing.T) {
+	c := &SuffixOf{Suffix: "yz", Length: 3}
+	for _, w := range exactGround(t, c) {
+		if err := c.Check(w); err != nil {
+			t.Errorf("ground %v fails: %v", w, err)
+		}
+		if !strings.HasSuffix(w.Str, "yz") {
+			t.Errorf("ground %q lacks suffix", w.Str)
+		}
+	}
+}
+
+func TestSuffixOfAnnealed(t *testing.T) {
+	c := &SuffixOf{Suffix: ".go", Length: 7}
+	w := annealBest(t, c, 43)
+	if err := c.Check(w); err != nil {
+		t.Errorf("annealed %v fails: %v", w, err)
+	}
+}
+
+func TestSuffixOfUnsatisfiable(t *testing.T) {
+	c := &SuffixOf{Suffix: "abcd", Length: 2}
+	if _, err := c.BuildModel(); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCharAt(t *testing.T) {
+	c := &CharAt{C: 'q', Index: 1, Length: 3}
+	for _, w := range exactGround(t, c) {
+		if err := c.Check(w); err != nil {
+			t.Errorf("ground %v fails: %v", w, err)
+		}
+	}
+	if err := c.Check(Witness{Kind: WitnessString, Str: "aqa"}); err != nil {
+		t.Errorf("valid witness rejected: %v", err)
+	}
+	if err := c.Check(Witness{Kind: WitnessString, Str: "qaa"}); err == nil {
+		t.Error("wrong position accepted")
+	}
+	if _, err := (&CharAt{C: 'q', Index: 3, Length: 3}).BuildModel(); !errors.Is(err, ErrUnsatisfiable) {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestToUpperGroundState(t *testing.T) {
+	c := &ToUpper{Input: "Go1!"}
+	ground := exactGround(t, c)
+	if len(ground) != 1 || ground[0].Str != "GO1!" {
+		t.Fatalf("ground = %v, want GO1!", ground)
+	}
+	if err := c.Check(ground[0]); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestToLowerGroundState(t *testing.T) {
+	c := &ToLower{Input: "Go1!"}
+	ground := exactGround(t, c)
+	if len(ground) != 1 || ground[0].Str != "go1!" {
+		t.Fatalf("ground = %v, want go1!", ground)
+	}
+}
+
+func TestCaseTransformsAnnealed(t *testing.T) {
+	up := &ToUpper{Input: "hello"}
+	w := annealBest(t, up, 47)
+	if w.Str != "HELLO" {
+		t.Errorf("toupper = %q", w.Str)
+	}
+	down := &ToLower{Input: "HeLLo"}
+	w = annealBest(t, down, 48)
+	if w.Str != "hello" {
+		t.Errorf("tolower = %q", w.Str)
+	}
+}
+
+func TestCaseTransformInvolution(t *testing.T) {
+	// upper(lower(s)) == upper(s) on the exact ground states.
+	in := "MiXeD42"
+	lower := mapBytes(in, lowerByte)
+	upper := mapBytes(in, upperByte)
+	if mapBytes(lower, upperByte) != upper {
+		t.Errorf("case mapping not consistent: %q vs %q", mapBytes(lower, upperByte), upper)
+	}
+}
+
+func TestConjunctionPalindromeWithCharAt(t *testing.T) {
+	// Simultaneous solve: 3-char palindrome whose middle is 'x'.
+	c := &Conjunction{Members: []Constraint{
+		&Palindrome{N: 3},
+		&CharAt{C: 'x', Index: 1, Length: 3},
+	}}
+	ground := exactGround(t, c)
+	okCount := 0
+	for _, w := range ground {
+		if c.Check(w) == nil {
+			okCount++
+			if !strtheory.IsPalindrome(w.Str) || w.Str[1] != 'x' {
+				t.Errorf("checked witness %q violates members", w.Str)
+			}
+		}
+	}
+	if okCount == 0 {
+		t.Error("no ground state satisfies the conjunction")
+	}
+}
+
+func TestConjunctionAnnealedPrefixSuffix(t *testing.T) {
+	// 6-char string that starts with "ab" and ends with "yz",
+	// solved as one merged QUBO.
+	c := &Conjunction{Members: []Constraint{
+		&PrefixOf{Prefix: "ab", Length: 6},
+		&SuffixOf{Suffix: "yz", Length: 6},
+	}}
+	w := annealBest(t, c, 53)
+	if err := c.Check(w); err != nil {
+		t.Errorf("annealed %v fails: %v", w, err)
+	}
+}
+
+func TestConjunctionErrors(t *testing.T) {
+	if _, err := (&Conjunction{}).BuildModel(); err == nil {
+		t.Error("empty conjunction accepted")
+	}
+	mismatch := &Conjunction{Members: []Constraint{
+		&Equality{Target: "ab"},
+		&Equality{Target: "abc"},
+	}}
+	if _, err := mismatch.BuildModel(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	withIndex := &Conjunction{Members: []Constraint{
+		&Includes{T: "ab", S: "a"},
+		&Includes{T: "ab", S: "b"},
+	}}
+	if _, err := withIndex.BuildModel(); err == nil {
+		t.Error("index-witness member accepted")
+	}
+	memberErr := &Conjunction{Members: []Constraint{
+		&Equality{Target: "\x80"},
+	}}
+	if _, err := memberErr.BuildModel(); err == nil {
+		t.Error("member build error swallowed")
+	}
+}
+
+func TestConjunctionCheckNamesFailingMember(t *testing.T) {
+	c := &Conjunction{Members: []Constraint{
+		&PrefixOf{Prefix: "a", Length: 2},
+		&SuffixOf{Suffix: "z", Length: 2},
+	}}
+	err := c.Check(Witness{Kind: WitnessString, Str: "ab"})
+	if err == nil || !strings.Contains(err.Error(), "suffixof") {
+		t.Errorf("err = %v, want failing member named", err)
+	}
+}
+
+func TestConjunctionOfConflictingTargetsHasNoValidWitness(t *testing.T) {
+	// x == "aa" ∧ x == "bb": satisfiable members, unsatisfiable
+	// conjunction. The merged ground state fails Check — documenting the
+	// additive-merge incompleteness honestly.
+	c := &Conjunction{Members: []Constraint{
+		&Equality{Target: "aa"},
+		&Equality{Target: "bb"},
+	}}
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the merged ground state from coefficient signs.
+	x := make([]Bit, m.N())
+	for i := range x {
+		if m.Linear(i) < 0 {
+			x[i] = 1
+		}
+	}
+	w, err := c.Decode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Check(w) == nil {
+		t.Errorf("conflicting conjunction produced a 'valid' witness %q", w.Str)
+	}
+}
+
+func TestRegexStarQuantifier(t *testing.T) {
+	// Extension beyond the paper's subset: star and optional.
+	c := &Regex{Pattern: "ab*c", Length: 5}
+	w := annealBest(t, c, 57)
+	if err := c.Check(w); err != nil {
+		t.Errorf("annealed %v fails: %v", w, err)
+	}
+	if w.Str != "abbbc" {
+		t.Errorf("witness = %q, want abbbc (canonical expansion)", w.Str)
+	}
+	// Star at zero repetitions.
+	c2 := &Regex{Pattern: "ab*c", Length: 2}
+	w2 := annealBest(t, c2, 58)
+	if w2.Str != "ac" {
+		t.Errorf("witness = %q, want ac", w2.Str)
+	}
+	// Optional.
+	c3 := &Regex{Pattern: "colou?r", Length: 5}
+	w3 := annealBest(t, c3, 59)
+	if w3.Str != "color" {
+		t.Errorf("witness = %q, want color", w3.Str)
+	}
+}
+
+func TestPeriodicAnnealed(t *testing.T) {
+	c := &Periodic{Period: 2, N: 6}
+	w := annealBest(t, c, 67)
+	if err := c.Check(w); err != nil {
+		t.Errorf("annealed %v fails: %v", w, err)
+	}
+	if w.Str[0] != w.Str[2] || w.Str[2] != w.Str[4] || w.Str[1] != w.Str[3] {
+		t.Errorf("witness %q not period-2", w.Str)
+	}
+}
+
+func TestPeriodicAllEqual(t *testing.T) {
+	c := &Periodic{Period: 1, N: 4}
+	w := annealBest(t, c, 68)
+	if err := c.Check(w); err != nil {
+		t.Errorf("annealed %v fails: %v", w, err)
+	}
+	for i := 1; i < len(w.Str); i++ {
+		if w.Str[i] != w.Str[0] {
+			t.Errorf("witness %q not constant", w.Str)
+		}
+	}
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	if _, err := (&Periodic{Period: 0, N: 3}).BuildModel(); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := (&Periodic{Period: 2, N: -1}).BuildModel(); err == nil {
+		t.Error("negative length accepted")
+	}
+	// Period >= N: no couplers, everything printable passes.
+	c := &Periodic{Period: 9, N: 3}
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumQuadratic() != 3 { // only the printable-bias pair terms
+		t.Errorf("couplers = %d, want only 3 bias terms", m.NumQuadratic())
+	}
+	if err := c.Check(Witness{Kind: WitnessString, Str: "xyz"}); err != nil {
+		t.Errorf("free period rejected %q: %v", "xyz", err)
+	}
+}
+
+func TestPeriodicCheckRejects(t *testing.T) {
+	c := &Periodic{Period: 2, N: 4}
+	if err := c.Check(Witness{Kind: WitnessString, Str: "abab"}); err != nil {
+		t.Errorf("abab rejected: %v", err)
+	}
+	if err := c.Check(Witness{Kind: WitnessString, Str: "abcd"}); err == nil {
+		t.Error("aperiodic string accepted")
+	}
+	if err := c.Check(Witness{Kind: WitnessString, Str: "ab"}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"qsmt/internal/qubo"
+	"qsmt/internal/strtheory"
+)
+
+// Includes decides where, in a known string T, the substring S begins
+// (§4.4). Unlike the generative encodings, its binary variables are not
+// character bits: x_i = 1 means "S starts at position i of T", for
+// i = 0 … n−m (n = len(T), m = len(S)).
+//
+// Three terms shape the landscape, exactly as in the paper:
+//
+//   - reward: −A·Σ_i Σ_j δ(t_{i+j}, s_j)·x_i — each position earns −A per
+//     character of agreement between S and the window of T at i;
+//   - one-hot penalty: +B·Σ_{i<j} x_i·x_j — any two selected positions
+//     cost B, forcing a single selection;
+//   - first-match bias: +C_i·δ(T[i:i+m] = S)·x_i where C accumulates D
+//     per full match seen so far, so among several full matches the
+//     earliest has the least penalty.
+//
+// Defaults: A = 1, B = A·(m+1) (strictly larger than any single
+// position's reward, so two selections never pay), D = A/2 (smaller than
+// one character of reward, so the bias can never prefer a partial match
+// over a full one).
+type Includes struct {
+	T, S string
+	A    float64 // reward strength; 0 means DefaultA
+	B    float64 // one-hot penalty; 0 means A·(len(S)+1)
+	D    float64 // first-match bias increment; 0 means A/2
+}
+
+// Name implements Constraint.
+func (c *Includes) Name() string { return "includes" }
+
+// NumVars implements Constraint: one variable per candidate start.
+func (c *Includes) NumVars() int {
+	n := len(c.T) - len(c.S) + 1
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// BuildModel implements Constraint.
+func (c *Includes) BuildModel() (*qubo.Model, error) {
+	if err := requireASCII(c.Name(), "haystack", c.T); err != nil {
+		return nil, err
+	}
+	if err := requireASCII(c.Name(), "needle", c.S); err != nil {
+		return nil, err
+	}
+	if len(c.S) == 0 {
+		return nil, fmt.Errorf("core: %s: empty needle", c.Name())
+	}
+	nv := c.NumVars()
+	if nv == 0 {
+		return nil, fmt.Errorf("%w: %s: needle %q longer than haystack %q",
+			ErrUnsatisfiable, c.Name(), c.S, c.T)
+	}
+	a := coeff(c.A)
+	b := c.B
+	if b <= 0 {
+		b = a * float64(len(c.S)+1)
+	}
+	d := c.D
+	if d <= 0 {
+		d = a / 2
+	}
+	m := qubo.New(nv)
+	// Reward per candidate position: −A per agreeing character.
+	for i := 0; i < nv; i++ {
+		agree := 0
+		for j := 0; j < len(c.S); j++ {
+			if c.T[i+j] == c.S[j] {
+				agree++
+			}
+		}
+		if agree > 0 {
+			m.AddLinear(i, -a*float64(agree))
+		}
+	}
+	// One-hot penalty over every pair.
+	for i := 0; i < nv; i++ {
+		for j := i + 1; j < nv; j++ {
+			m.AddQuadratic(i, j, b)
+		}
+	}
+	// First-match bias: C_i accumulates D at every full match, including
+	// the one at i itself, so the k-th full match carries penalty k·D.
+	ci := 0.0
+	for i := 0; i < nv; i++ {
+		if c.T[i:i+len(c.S)] == c.S {
+			ci += d
+			m.AddLinear(i, ci)
+		}
+	}
+	return m, nil
+}
+
+// Decode implements Constraint: exactly one selected position is
+// required; zero or multiple selections are a decode failure (the
+// annealer left the one-hot constraint violated).
+func (c *Includes) Decode(x []Bit) (Witness, error) {
+	if err := requireVars(x, c.NumVars()); err != nil {
+		return Witness{}, err
+	}
+	idx := -1
+	for i, v := range x {
+		if v == 0 {
+			continue
+		}
+		if idx >= 0 {
+			return Witness{}, fmt.Errorf("core: includes: positions %d and %d both selected", idx, i)
+		}
+		idx = i
+	}
+	if idx < 0 {
+		return Witness{}, fmt.Errorf("core: includes: no position selected")
+	}
+	return Witness{Kind: WitnessIndex, Index: idx}, nil
+}
+
+// Check implements Constraint: the selected index must be the first
+// occurrence of S in T (the paper's bias term demands the first valid
+// position, not just any).
+func (c *Includes) Check(w Witness) error {
+	if w.Kind != WitnessIndex {
+		return fmt.Errorf("%w: includes expects an index witness", ErrCheckFailed)
+	}
+	first := strtheory.IndexOf(c.T, c.S, 0)
+	if first < 0 {
+		return fmt.Errorf("%w: %q does not occur in %q", ErrUnsatisfiable, c.S, c.T)
+	}
+	if w.Index != first {
+		return fmt.Errorf("%w: selected index %d, first occurrence is %d", ErrCheckFailed, w.Index, first)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"qsmt/internal/ascii7"
+	"qsmt/internal/qubo"
+)
+
+// Length is the paper's string-length gadget (§4.6): over a budget of N
+// characters (7N bits), the first 7L bits are driven to 1 and the rest to
+// 0, encoding "the string has length L" as a unary indicator pattern.
+//
+// Note this is a faithful reproduction of the paper's formulation, which
+// operates on the *bit vector itself* rather than on ASCII content: the
+// ground state decodes to L DEL characters (0x7F, all bits one) followed
+// by N−L NULs — a length *witness*, not a readable string. The other
+// encoders treat length structurally (the QUBO size fixes it), which is
+// the form the SMT front end uses; this constraint exists to reproduce
+// §4.6 as written.
+type Length struct {
+	L int // desired length, in characters
+	N int // budget, in characters (N ≥ L)
+	A float64
+}
+
+// Name implements Constraint.
+func (c *Length) Name() string { return "length" }
+
+// NumVars implements Constraint.
+func (c *Length) NumVars() int { return ascii7.NumVars(c.N) }
+
+// BuildModel implements Constraint.
+func (c *Length) BuildModel() (*qubo.Model, error) {
+	if c.L < 0 || c.N < 0 {
+		return nil, fmt.Errorf("core: %s: negative length", c.Name())
+	}
+	if c.L > c.N {
+		return nil, fmt.Errorf("%w: %s: desired length %d exceeds budget %d",
+			ErrUnsatisfiable, c.Name(), c.L, c.N)
+	}
+	m := qubo.New(c.NumVars())
+	a := coeff(c.A)
+	cut := c.L * ascii7.BitsPerChar
+	for i := 0; i < m.N(); i++ {
+		if i < cut {
+			m.AddLinear(i, -a) // want 1
+		} else {
+			m.AddLinear(i, a) // want 0
+		}
+	}
+	return m, nil
+}
+
+// Decode implements Constraint.
+func (c *Length) Decode(x []Bit) (Witness, error) {
+	if err := requireVars(x, c.NumVars()); err != nil {
+		return Witness{}, err
+	}
+	return decodeString(x)
+}
+
+// Check implements Constraint: the witness must be the exact unary
+// pattern — L all-ones characters then N−L all-zero characters.
+func (c *Length) Check(w Witness) error {
+	if w.Kind != WitnessString {
+		return fmt.Errorf("%w: length expects a string witness", ErrCheckFailed)
+	}
+	if len(w.Str) != c.N {
+		return fmt.Errorf("%w: got %d characters, want %d", ErrCheckFailed, len(w.Str), c.N)
+	}
+	for i := 0; i < c.N; i++ {
+		want := byte(0)
+		if i < c.L {
+			want = ascii7.MaxCode
+		}
+		if w.Str[i] != want {
+			return fmt.Errorf("%w: character %d is %#x, want %#x (length indicator for L=%d)",
+				ErrCheckFailed, i, w.Str[i], want, c.L)
+		}
+	}
+	return nil
+}
+
+// IndicatedLength returns the length encoded by a valid witness, i.e. L.
+// It is provided so callers can read the gadget's answer without knowing
+// the unary convention.
+func (c *Length) IndicatedLength(w Witness) (int, error) {
+	if err := c.Check(w); err != nil {
+		return 0, err
+	}
+	return c.L, nil
+}

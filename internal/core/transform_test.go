@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qsmt/internal/ascii7"
+	"qsmt/internal/strtheory"
+)
+
+func TestReplaceAllGroundState(t *testing.T) {
+	c := &ReplaceAll{Input: "lol", X: 'l', Y: 'x'}
+	ground := exactGround(t, c)
+	if len(ground) != 1 || ground[0].Str != "xox" {
+		t.Fatalf("ground = %v, want xox", ground)
+	}
+	if err := c.Check(ground[0]); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestReplaceAllTable1Row4(t *testing.T) {
+	// Table 1 row 4 second stage: all 'l' → 'x' in "hello world".
+	c := &ReplaceAll{Input: "hello world", X: 'l', Y: 'x'}
+	w := annealBest(t, c, 29)
+	if w.Str != "hexxo worxd" {
+		t.Errorf("got %q, want %q", w.Str, "hexxo worxd")
+	}
+}
+
+func TestReplaceAllNoOccurrences(t *testing.T) {
+	c := &ReplaceAll{Input: "abc", X: 'z', Y: 'q'}
+	ground := exactGround(t, c)
+	if ground[0].Str != "abc" {
+		t.Errorf("ground = %q, want unchanged input", ground[0].Str)
+	}
+}
+
+func TestReplaceFirstOnly(t *testing.T) {
+	c := &Replace{Input: "lol", X: 'l', Y: 'x'}
+	ground := exactGround(t, c)
+	if len(ground) != 1 || ground[0].Str != "xol" {
+		t.Fatalf("ground = %v, want xol", ground)
+	}
+	if err := c.Check(ground[0]); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestReplaceRejectsNonASCIIChars(t *testing.T) {
+	if _, err := (&Replace{Input: "ab", X: 0x80, Y: 'a'}).BuildModel(); err == nil {
+		t.Error("non-ASCII X accepted")
+	}
+	if _, err := (&ReplaceAll{Input: "ab", X: 'a', Y: 0xff}).BuildModel(); err == nil {
+		t.Error("non-ASCII Y accepted")
+	}
+}
+
+func TestReverseGroundState(t *testing.T) {
+	c := &Reverse{Input: "abc"}
+	ground := exactGround(t, c)
+	if len(ground) != 1 || ground[0].Str != "cba" {
+		t.Fatalf("ground = %v, want cba", ground)
+	}
+}
+
+func TestReverseTable1Row1FirstStage(t *testing.T) {
+	c := &Reverse{Input: "hello"}
+	w := annealBest(t, c, 31)
+	if w.Str != "olleh" {
+		t.Errorf("got %q, want olleh", w.Str)
+	}
+}
+
+func TestReverseEmptyInput(t *testing.T) {
+	c := &Reverse{Input: ""}
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 0 {
+		t.Errorf("vars = %d", m.N())
+	}
+}
+
+// TestDiagonalEncodersAgreeWithReferenceSemantics is the cross-cutting
+// property: for every deterministic (diagonal) encoder, the decoded
+// ground state equals the reference-semantics result. The unique ground
+// state of a diagonal model is read directly off the coefficient signs —
+// no sampler needed — so this runs at full quick.Check scale.
+func TestDiagonalEncodersAgreeWithReferenceSemantics(t *testing.T) {
+	groundOf := func(c Constraint) string {
+		m, err := c.BuildModel()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		x := make([]Bit, m.N())
+		for i := range x {
+			if m.Linear(i) < 0 {
+				x[i] = 1
+			}
+		}
+		w, err := c.Decode(x)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.Name(), err)
+		}
+		return w.Str
+	}
+	sanitize := func(raw []byte) string {
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = b & ascii7.MaxCode
+		}
+		return string(s)
+	}
+	f := func(raw []byte, x, y byte) bool {
+		s := sanitize(raw)
+		x &= ascii7.MaxCode
+		y &= ascii7.MaxCode
+		if groundOf(&Equality{Target: s}) != s {
+			return false
+		}
+		if groundOf(&Reverse{Input: s}) != strtheory.Reverse(s) {
+			return false
+		}
+		if groundOf(&ReplaceAll{Input: s, X: x, Y: y}) != strtheory.ReplaceAllChar(s, x, y) {
+			return false
+		}
+		if groundOf(&Replace{Input: s, X: x, Y: y}) != strtheory.ReplaceChar(s, x, y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubstringMatchGroundFormula validates the closed form implied by
+// the paper's overwrite rule: the encoded string is sub[0] repeated
+// (L−m) times followed by sub.
+func TestSubstringMatchGroundFormula(t *testing.T) {
+	cases := []struct {
+		sub  string
+		l    int
+		want string
+	}{
+		{"cat", 4, "ccat"},
+		{"cat", 3, "cat"},
+		{"hi", 5, "hhhhi"},
+		{"ab", 4, "aaab"},
+	}
+	for _, tc := range cases {
+		c := &SubstringMatch{Sub: tc.sub, Length: tc.l}
+		m, err := c.BuildModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]Bit, m.N())
+		for i := range x {
+			if m.Linear(i) < 0 {
+				x[i] = 1
+			}
+		}
+		w, err := c.Decode(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Str != tc.want {
+			t.Errorf("sub=%q L=%d: ground = %q, want %q", tc.sub, tc.l, w.Str, tc.want)
+		}
+		if err := c.Check(w); err != nil {
+			t.Errorf("Check(%q): %v", w.Str, err)
+		}
+	}
+}

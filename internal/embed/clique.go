@@ -1,0 +1,44 @@
+package embed
+
+import "fmt"
+
+// CliqueOnChimera returns the classic deterministic embedding of the
+// complete graph K_k into the Chimera graph C_{m,m,t} (the construction
+// D-Wave's clique embedder uses): logical variable v with block
+// b = v/t and offset j = v%t occupies
+//
+//	vertical half-column:  left qubit j of cells (0,b) … (b,b)
+//	horizontal half-row:   right qubit j of cells (b,b) … (b,m−1)
+//
+// joined inside the diagonal cell (b,b) by an intra-cell coupler. Any
+// two chains meet inside one cell, so every logical pair is coupled;
+// chains have length m+1. The embedding supports k ≤ t·m.
+//
+// Because every graph is a subgraph of K_k, this embedding is valid for
+// *any* logical interaction graph on k variables — the dense fallback
+// when the sparse greedy embedder fails.
+func CliqueOnChimera(k, m, t int) (*Embedding, error) {
+	if k < 0 || m <= 0 || t <= 0 {
+		return nil, fmt.Errorf("embed: invalid clique parameters k=%d m=%d t=%d", k, m, t)
+	}
+	if k > t*m {
+		return nil, fmt.Errorf("embed: K_%d exceeds the C_{%d,%d,%d} clique capacity %d", k, m, m, t, t*m)
+	}
+	// Qubit numbering must match Chimera(m, m, t).
+	id := func(row, col, side, j int) int {
+		return (row*m+col)*2*t + side*t + j
+	}
+	chains := make([][]int, k)
+	for v := 0; v < k; v++ {
+		b, j := v/t, v%t
+		var chain []int
+		for r := 0; r <= b; r++ {
+			chain = append(chain, id(r, b, 0, j))
+		}
+		for c := b; c < m; c++ {
+			chain = append(chain, id(b, c, 1, j))
+		}
+		chains[v] = chain
+	}
+	return &Embedding{Chains: chains}, nil
+}

@@ -1,0 +1,110 @@
+package embed
+
+import (
+	"testing"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/core"
+)
+
+func TestCliqueOnChimeraValidates(t *testing.T) {
+	for _, tc := range []struct{ k, m, t int }{
+		{4, 1, 4},
+		{8, 2, 4},
+		{10, 4, 4},
+		{16, 4, 4},
+		{3, 2, 2},
+	} {
+		hw := Chimera(tc.m, tc.m, tc.t)
+		e, err := CliqueOnChimera(tc.k, tc.m, tc.t)
+		if err != nil {
+			t.Fatalf("K_%d on C(%d,%d,%d): %v", tc.k, tc.m, tc.m, tc.t, err)
+		}
+		if err := e.Validate(Complete(tc.k), hw); err != nil {
+			t.Errorf("K_%d on C(%d,%d,%d) invalid: %v", tc.k, tc.m, tc.m, tc.t, err)
+		}
+		if got, want := e.MaxChainLength(), tc.m+1; got > want {
+			t.Errorf("K_%d chains too long: %d > %d", tc.k, got, want)
+		}
+	}
+}
+
+func TestCliqueOnChimeraCapacity(t *testing.T) {
+	if _, err := CliqueOnChimera(17, 4, 4); err == nil {
+		t.Error("K_17 on C(4,4,4) accepted (capacity 16)")
+	}
+	if _, err := CliqueOnChimera(-1, 4, 4); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := CliqueOnChimera(4, 0, 4); err == nil {
+		t.Error("zero m accepted")
+	}
+}
+
+func TestCliqueEmbeddingCoversSparseGraphs(t *testing.T) {
+	// Any logical graph on k vertices is covered by the clique
+	// embedding.
+	e, err := CliqueOnChimera(6, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := NewGraph(6)
+	sparse.AddEdge(0, 5)
+	sparse.AddEdge(2, 3)
+	if err := e.Validate(sparse, Chimera(2, 2, 4)); err != nil {
+		t.Errorf("clique embedding invalid for sparse graph: %v", err)
+	}
+}
+
+func TestEmbeddedSamplerWithCliqueEmbeddingSolvesIncludes(t *testing.T) {
+	c := &core.Includes{T: "hello, hello", S: "ell"} // K10 interaction graph
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clique, err := CliqueOnChimera(c.NumVars(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := &EmbeddedSampler{
+		Hardware:  Chimera(4, 4, 4),
+		Embedding: clique,
+		Base:      &anneal.SimulatedAnnealer{Reads: 24, Sweeps: 800, Seed: 7},
+	}
+	ss, err := es.Sample(m.Compile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range ss.Samples {
+		if w, derr := c.Decode(s.X); derr == nil && c.Check(w) == nil {
+			if w.Index != 1 {
+				t.Errorf("index = %d, want 1", w.Index)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no verified sample through the clique-embedded path")
+	}
+	if es.LastEmbedding.MaxChainLength() < 2 {
+		t.Error("expected real chains for a K10 embedding")
+	}
+}
+
+func TestEmbeddedSamplerRejectsInvalidSuppliedEmbedding(t *testing.T) {
+	c := &core.Palindrome{N: 2}
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := &EmbeddedSampler{
+		Hardware:  Chimera(2, 2, 4),
+		Embedding: &Embedding{Chains: [][]int{{0}}}, // wrong variable count
+		Base:      &anneal.SimulatedAnnealer{Reads: 2, Sweeps: 10},
+	}
+	if _, err := es.Sample(m.Compile()); err == nil {
+		t.Error("invalid supplied embedding accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package embed
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/core"
+	"qsmt/internal/qubo"
+)
+
+func TestInteractionGraph(t *testing.T) {
+	m := qubo.New(4)
+	m.AddQuadratic(0, 2, 1)
+	m.AddQuadratic(1, 3, -1)
+	m.AddLinear(0, 5) // linear terms do not create edges
+	g := InteractionGraph(m.Compile())
+	if g.NumEdges() != 2 || !g.HasEdge(0, 2) || !g.HasEdge(1, 3) {
+		t.Errorf("interaction graph wrong: %d edges", g.NumEdges())
+	}
+}
+
+func TestEmbedIdentityOnCompleteHardware(t *testing.T) {
+	logical := Complete(5)
+	hw := Complete(8)
+	e, err := (&Embedder{}).Find(logical, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(logical, hw); err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxChainLength() != 1 {
+		t.Errorf("complete hardware should give unit chains, max = %d", e.MaxChainLength())
+	}
+}
+
+func TestEmbedTriangleOnGrid(t *testing.T) {
+	// K3 is not a subgraph of a grid (grids are bipartite), so at least
+	// one chain must be longer than 1.
+	logical := Complete(3)
+	hw := Grid(4, 4)
+	e, err := (&Embedder{}).Find(logical, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(logical, hw); err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxChainLength() < 2 {
+		t.Errorf("bipartite hardware needs chains for K3, max = %d", e.MaxChainLength())
+	}
+}
+
+func TestEmbedK5OnChimera(t *testing.T) {
+	// K5 requires chains on Chimera (K_{4,4} cells only embed K5 with
+	// chained qubits).
+	logical := Complete(5)
+	hw := Chimera(2, 2, 4)
+	e, err := (&Embedder{}).Find(logical, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(logical, hw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbedTooLarge(t *testing.T) {
+	if _, err := (&Embedder{}).Find(Complete(10), Complete(4)); !errors.Is(err, ErrNoEmbedding) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEmbedEmptyLogical(t *testing.T) {
+	e, err := (&Embedder{}).Find(NewGraph(0), Complete(4))
+	if err != nil || e.NumLogical() != 0 {
+		t.Errorf("e=%v err=%v", e, err)
+	}
+}
+
+func TestEmbedDisconnectedLogical(t *testing.T) {
+	logical := NewGraph(4) // no edges at all
+	hw := Grid(2, 4)
+	e, err := (&Embedder{}).Find(logical, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(logical, hw); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumPhysical() != 4 {
+		t.Errorf("isolated vertices should take one qubit each, used %d", e.NumPhysical())
+	}
+}
+
+func TestValidateRejectsBadEmbeddings(t *testing.T) {
+	logical := Complete(2)
+	hw := Grid(2, 2)
+	cases := []struct {
+		name string
+		e    *Embedding
+	}{
+		{"wrong count", &Embedding{Chains: [][]int{{0}}}},
+		{"empty chain", &Embedding{Chains: [][]int{{0}, {}}}},
+		{"shared qubit", &Embedding{Chains: [][]int{{0}, {0}}}},
+		{"out of range", &Embedding{Chains: [][]int{{0}, {9}}}},
+		{"disconnected chain", &Embedding{Chains: [][]int{{0, 3}, {1}}}}, // 0-3 not adjacent in 2x2 grid
+		{"uncoupled edge", &Embedding{Chains: [][]int{{0}, {3}}}},        // 0 and 3 diagonal
+	}
+	for _, tc := range cases {
+		if err := tc.e.Validate(logical, hw); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	good := &Embedding{Chains: [][]int{{0}, {1}}}
+	if err := good.Validate(logical, hw); err != nil {
+		t.Errorf("valid embedding rejected: %v", err)
+	}
+}
+
+func TestEmbedQUBOEnergyEquivalenceOnChainAgreement(t *testing.T) {
+	// For any assignment whose chains agree, the embedded energy equals
+	// the logical energy.
+	logical := qubo.New(3)
+	logical.AddLinear(0, -1)
+	logical.AddLinear(1, 2)
+	logical.AddQuadratic(0, 1, -3)
+	logical.AddQuadratic(1, 2, 1.5)
+	logical.AddOffset(0.25)
+
+	hw := Grid(3, 3)
+	e, err := (&Embedder{}).Find(InteractionGraph(logical.Compile()), hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := EmbedQUBO(logical, e, hw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for assign := 0; assign < 8; assign++ {
+		lx := []qubo.Bit{qubo.Bit(assign & 1), qubo.Bit(assign >> 1 & 1), qubo.Bit(assign >> 2 & 1)}
+		px := make([]qubo.Bit, hw.N())
+		for i, chain := range e.Chains {
+			for _, q := range chain {
+				px[q] = lx[i]
+			}
+		}
+		le, pe := logical.Energy(lx), phys.Energy(px)
+		if math.Abs(le-pe) > 1e-9 {
+			t.Errorf("assignment %03b: logical %g, physical %g", assign, le, pe)
+		}
+	}
+}
+
+func TestEmbedQUBOChainBreakCostsEnergy(t *testing.T) {
+	logical := qubo.New(2)
+	logical.AddQuadratic(0, 1, -1)
+	hw := Grid(2, 2)
+	e := &Embedding{Chains: [][]int{{0, 1}, {3}}} // 0-1 adjacent; 1-3 adjacent
+	if err := e.Validate(InteractionGraph(logical.Compile()), hw); err != nil {
+		t.Fatal(err)
+	}
+	phys, err := EmbedQUBO(logical, e, hw, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := []qubo.Bit{1, 1, 0, 1}
+	broken := []qubo.Bit{1, 0, 0, 1}
+	if phys.Energy(broken) <= phys.Energy(agree) {
+		t.Errorf("broken chain (%g) should cost more than agreement (%g)",
+			phys.Energy(broken), phys.Energy(agree))
+	}
+}
+
+func TestUnembedMajorityVote(t *testing.T) {
+	e := &Embedding{Chains: [][]int{{0, 1, 2}, {3}}}
+	x := []qubo.Bit{1, 0, 1, 0}
+	out := Unembed(x, e)
+	if out[0] != 1 || out[1] != 0 {
+		t.Errorf("unembed = %v", out)
+	}
+	// Exact tie resolves to 1.
+	e2 := &Embedding{Chains: [][]int{{0, 1}}}
+	if got := Unembed([]qubo.Bit{1, 0}, e2); got[0] != 1 {
+		t.Errorf("tie = %v", got)
+	}
+}
+
+func TestBrokenChains(t *testing.T) {
+	e := &Embedding{Chains: [][]int{{0, 1}, {2, 3}, {4}}}
+	x := []qubo.Bit{1, 1, 1, 0, 0}
+	if got := BrokenChains(x, e); got != 1 {
+		t.Errorf("broken = %d", got)
+	}
+	if got := BrokenChains([]qubo.Bit{0, 0, 1, 1, 1}, e); got != 0 {
+		t.Errorf("broken = %d", got)
+	}
+}
+
+func TestEmbeddedSamplerSolvesStringConstraint(t *testing.T) {
+	// End to end: equality constraint through a Chimera topology.
+	c := &core.Equality{Target: "hi"} // 14 logical vars, no couplers
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := &EmbeddedSampler{
+		Hardware: Chimera(2, 2, 4), // 32 qubits
+		Base:     &anneal.SimulatedAnnealer{Reads: 16, Sweeps: 400, Seed: 3},
+	}
+	ss, err := es.Sample(m.Compile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Decode(ss.Best().X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Str != "hi" {
+		t.Errorf("embedded solve = %q", w.Str)
+	}
+	if es.LastEmbedding == nil {
+		t.Error("embedding stats not recorded")
+	}
+}
+
+func TestEmbeddedSamplerPalindromeOnChimera(t *testing.T) {
+	// Palindrome n=2 has 7 mirror couplers spanning 14 vars.
+	c := &core.Palindrome{N: 2}
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := &EmbeddedSampler{
+		Hardware: Chimera(2, 2, 4),
+		Base:     &anneal.SimulatedAnnealer{Reads: 16, Sweeps: 500, Seed: 5},
+	}
+	ss, err := es.Sample(m.Compile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Decode(ss.Best().X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(w); err != nil {
+		t.Errorf("embedded palindrome %v fails: %v", w, err)
+	}
+}
+
+func TestEmbeddedSamplerErrors(t *testing.T) {
+	if _, err := (&EmbeddedSampler{}).Sample(qubo.New(1).Compile()); err == nil {
+		t.Error("missing hardware accepted")
+	}
+	es := &EmbeddedSampler{Hardware: Complete(2)}
+	big := qubo.New(10)
+	if _, err := es.Sample(big.Compile()); !errors.Is(err, ErrNoEmbedding) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+package embed
+
+import (
+	"fmt"
+
+	"qsmt/internal/qubo"
+)
+
+// DefaultChainStrengthFactor scales the automatic chain strength
+// relative to the logical model's largest coefficient. D-Wave practice
+// uses 1–2× the coefficient scale; 2 is a safe default for the
+// small-coefficient string QUBOs here.
+const DefaultChainStrengthFactor = 2.0
+
+// EmbedQUBO translates a logical QUBO onto hardware through an
+// embedding:
+//
+//   - each logical linear term h_i is split evenly across chain i's
+//     qubits;
+//   - each logical coupler W_ij is split evenly across all available
+//     physical couplers between chains i and j (at least one exists in
+//     a valid embedding);
+//   - every physical edge inside a chain receives the agreement gadget
+//     S·(x_u + x_v − 2·x_u·x_v), which charges S whenever two chain
+//     qubits disagree — the QUBO form of the ferromagnetic chain
+//     coupling that makes the chain act as one variable.
+//
+// chainStrength ≤ 0 selects DefaultChainStrengthFactor × max|coeff|.
+// The returned model has hw.N() variables; configurations whose chains
+// all agree have exactly the logical model's energy (including offset).
+func EmbedQUBO(logical *qubo.Model, e *Embedding, hw *Graph, chainStrength float64) (*qubo.Model, error) {
+	if e.NumLogical() != logical.N() {
+		return nil, fmt.Errorf("embed: embedding has %d chains for %d variables", e.NumLogical(), logical.N())
+	}
+	if chainStrength <= 0 {
+		chainStrength = DefaultChainStrengthFactor * logical.MaxAbsCoefficient()
+		if chainStrength == 0 {
+			chainStrength = 1
+		}
+	}
+	phys := qubo.New(hw.N())
+	phys.AddOffset(logical.Offset())
+
+	// Linear terms across chains.
+	for i := 0; i < logical.N(); i++ {
+		h := logical.Linear(i)
+		if h == 0 {
+			continue
+		}
+		chain := e.Chains[i]
+		share := h / float64(len(chain))
+		for _, q := range chain {
+			phys.AddLinear(q, share)
+		}
+	}
+
+	// Couplers across chain-to-chain physical edges.
+	for _, t := range logical.Terms() {
+		edges := physicalEdges(e.Chains[t.I], e.Chains[t.J], hw)
+		if len(edges) == 0 {
+			return nil, fmt.Errorf("embed: no physical coupler for logical edge {%d,%d}", t.I, t.J)
+		}
+		share := t.W / float64(len(edges))
+		for _, ed := range edges {
+			phys.AddQuadratic(ed[0], ed[1], share)
+		}
+	}
+
+	// Intra-chain agreement gadgets.
+	for _, chain := range e.Chains {
+		for ai, u := range chain {
+			for _, v := range chain[ai+1:] {
+				if hw.HasEdge(u, v) {
+					phys.AddLinear(u, chainStrength)
+					phys.AddLinear(v, chainStrength)
+					phys.AddQuadratic(u, v, -2*chainStrength)
+				}
+			}
+		}
+	}
+	return phys, nil
+}
+
+func physicalEdges(a, b []int, hw *Graph) [][2]int {
+	var out [][2]int
+	for _, u := range a {
+		for _, v := range b {
+			if hw.HasEdge(u, v) {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Unembed projects a physical assignment back to logical variables by
+// majority vote within each chain; exact ties resolve to 1 (both halves
+// claim the value, either consistent choice is a valid repair).
+func Unembed(x []qubo.Bit, e *Embedding) []qubo.Bit {
+	out := make([]qubo.Bit, e.NumLogical())
+	for i, chain := range e.Chains {
+		ones := 0
+		for _, q := range chain {
+			if x[q] != 0 {
+				ones++
+			}
+		}
+		if 2*ones >= len(chain) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// BrokenChains counts chains whose physical qubits disagree in x — the
+// standard health metric of an embedded sample.
+func BrokenChains(x []qubo.Bit, e *Embedding) int {
+	broken := 0
+	for _, chain := range e.Chains {
+		first := x[chain[0]]
+		for _, q := range chain[1:] {
+			if x[q] != first {
+				broken++
+				break
+			}
+		}
+	}
+	return broken
+}

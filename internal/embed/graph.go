@@ -1,0 +1,185 @@
+// Package embed implements the hardware-topology substrate a real
+// quantum annealer imposes. The paper claims its "QUBO formulations are
+// compatible with a real quantum annealer" and lists running on real
+// hardware as future work (§6); this package supplies the missing piece
+// of that path: physical qubits on a D-Wave-style Chimera topology only
+// couple to their graph neighbors, so an arbitrary QUBO must first be
+// *minor-embedded* — each logical variable becomes a chain of physical
+// qubits held together by a strong ferromagnetic coupling.
+//
+// The package provides hardware graphs (Chimera, complete, grid), a
+// greedy chain-growth embedder, the QUBO-to-hardware translation with
+// chain penalties, majority-vote unembedding with broken-chain repair,
+// and an EmbeddedSampler that wraps any sampler behind the full
+// embed → sample → unembed round trip.
+package embed
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected hardware topology over vertices 0..N-1.
+type Graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// NewGraph returns an edgeless graph on n vertices.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("embed: negative vertex count %d", n))
+	}
+	g := &Graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are rejected.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic("embed: self-loop")
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Neighbors returns u's neighbors in ascending order.
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("embed: vertex %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// Complete returns K_n: every pair of vertices coupled. It models an
+// idealized fully-connected annealer (embedding onto it is the identity).
+func Complete(n int) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns an r×c king-move-free lattice (4-neighbor grid), a
+// minimal sparse topology useful in tests.
+func Grid(r, c int) *Graph {
+	g := NewGraph(r * c)
+	at := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if i+1 < r {
+				g.AddEdge(at(i, j), at(i+1, j))
+			}
+			if j+1 < c {
+				g.AddEdge(at(i, j), at(i, j+1))
+			}
+		}
+	}
+	return g
+}
+
+// King returns the r×c king-graph lattice: every cell couples to its 8
+// surrounding neighbors (the topology of several annealing ASICs, e.g.
+// Fujitsu/Hitachi-style CMOS annealers).
+func King(r, c int) *Graph {
+	g := NewGraph(r * c)
+	at := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(at(i, j), at(i, j+1))
+			}
+			if i+1 < r {
+				g.AddEdge(at(i, j), at(i+1, j))
+				if j+1 < c {
+					g.AddEdge(at(i, j), at(i+1, j+1))
+				}
+				if j > 0 {
+					g.AddEdge(at(i, j), at(i+1, j-1))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Chimera returns the D-Wave Chimera graph C_{m,n,t}: an m×n lattice of
+// unit cells, each a complete bipartite K_{t,t} between t "left"
+// (vertical) and t "right" (horizontal) qubits. Left qubits couple to
+// the left qubits of the cell below; right qubits couple to the right
+// qubits of the cell to the right. The D-Wave 2000Q topology is
+// C_{16,16,4}.
+//
+// Vertex numbering follows D-Wave's convention: qubit index
+// = (row·n + col)·2t + side·t + k, side 0 = left, k = 0..t-1.
+func Chimera(m, n, t int) *Graph {
+	g := NewGraph(m * n * 2 * t)
+	id := func(row, col, side, k int) int {
+		return (row*n+col)*2*t + side*t + k
+	}
+	for row := 0; row < m; row++ {
+		for col := 0; col < n; col++ {
+			// Intra-cell K_{t,t}.
+			for a := 0; a < t; a++ {
+				for b := 0; b < t; b++ {
+					g.AddEdge(id(row, col, 0, a), id(row, col, 1, b))
+				}
+			}
+			// Vertical inter-cell couplers (left side).
+			if row+1 < m {
+				for k := 0; k < t; k++ {
+					g.AddEdge(id(row, col, 0, k), id(row+1, col, 0, k))
+				}
+			}
+			// Horizontal inter-cell couplers (right side).
+			if col+1 < n {
+				for k := 0; k < t; k++ {
+					g.AddEdge(id(row, col, 1, k), id(row, col+1, 1, k))
+				}
+			}
+		}
+	}
+	return g
+}

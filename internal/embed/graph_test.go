@@ -1,0 +1,156 @@
+package embed
+
+import "testing"
+
+func TestNewGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	if g.N() != 4 || g.NumEdges() != 0 {
+		t.Fatalf("N=%d edges=%d", g.N(), g.NumEdges())
+	}
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("phantom edge")
+	}
+	if g.Degree(2) != 2 || g.Degree(1) != 0 {
+		t.Errorf("degrees: %d %d", g.Degree(2), g.Degree(1))
+	}
+	nbs := g.Neighbors(2)
+	if len(nbs) != 2 || nbs[0] != 0 || nbs[1] != 3 {
+		t.Errorf("neighbors = %v", nbs)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	// Duplicate edge is idempotent.
+	g.AddEdge(0, 2)
+	if g.NumEdges() != 2 {
+		t.Errorf("duplicate edge counted: %d", g.NumEdges())
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	g := NewGraph(2)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("self-loop", func() { g.AddEdge(1, 1) })
+	mustPanic("out of range", func() { g.AddEdge(0, 2) })
+	mustPanic("negative count", func() { NewGraph(-1) })
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(5)
+	if g.NumEdges() != 10 {
+		t.Errorf("K5 edges = %d", g.NumEdges())
+	}
+	for u := 0; u < 5; u++ {
+		if g.Degree(u) != 4 {
+			t.Errorf("degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(2, 3)
+	if g.N() != 6 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// 2×3 grid: 3 horizontal per row ×2? No: per row 2 horizontal edges
+	// ×2 rows = 4, vertical 3. Total 7.
+	if g.NumEdges() != 7 {
+		t.Errorf("edges = %d, want 7", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 3) || g.HasEdge(0, 4) {
+		t.Error("grid wiring wrong")
+	}
+}
+
+func TestChimeraStructure(t *testing.T) {
+	// C_{1,1,4} is a single K_{4,4}: 8 qubits, 16 edges.
+	g := Chimera(1, 1, 4)
+	if g.N() != 8 || g.NumEdges() != 16 {
+		t.Fatalf("C111,4: N=%d edges=%d", g.N(), g.NumEdges())
+	}
+	// Left qubits (0-3) couple to right (4-7) but not to each other.
+	if !g.HasEdge(0, 4) || g.HasEdge(0, 1) || g.HasEdge(4, 5) {
+		t.Error("cell bipartite structure wrong")
+	}
+
+	// C_{2,2,4}: 32 qubits; edges = 4 cells × 16 + vertical 1×2cols×4 +
+	// horizontal 1×2rows×4 = 64 + 8 + 8 = 80.
+	g = Chimera(2, 2, 4)
+	if g.N() != 32 || g.NumEdges() != 80 {
+		t.Fatalf("C224: N=%d edges=%d", g.N(), g.NumEdges())
+	}
+	// Vertical coupler: cell (0,0) left k=0 (qubit 0) to cell (1,0) left
+	// k=0 (qubit (1*2+0)*8+0 = 16).
+	if !g.HasEdge(0, 16) {
+		t.Error("vertical inter-cell coupler missing")
+	}
+	// Horizontal coupler: cell (0,0) right k=0 (qubit 4) to cell (0,1)
+	// right k=0 (qubit 8+4 = 12).
+	if !g.HasEdge(4, 12) {
+		t.Error("horizontal inter-cell coupler missing")
+	}
+	// No coupling between left of one cell and right of a neighbor.
+	if g.HasEdge(0, 12) {
+		t.Error("phantom inter-cell coupler")
+	}
+}
+
+func TestChimeraDegreeBounds(t *testing.T) {
+	// Interior qubits of a big Chimera have degree t+2.
+	g := Chimera(3, 3, 4)
+	center := (1*3 + 1) * 8 // cell (1,1) left k=0
+	if d := g.Degree(center); d != 6 {
+		t.Errorf("interior degree = %d, want 6", d)
+	}
+	// Corner cell left qubit: t + 1 (only one vertical neighbor).
+	if d := g.Degree(0); d != 5 {
+		t.Errorf("corner degree = %d, want 5", d)
+	}
+}
+
+func TestKingGraph(t *testing.T) {
+	g := King(3, 3)
+	if g.N() != 9 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Center cell has 8 neighbors.
+	if d := g.Degree(4); d != 8 {
+		t.Errorf("center degree = %d, want 8", d)
+	}
+	// Corner has 3.
+	if d := g.Degree(0); d != 3 {
+		t.Errorf("corner degree = %d, want 3", d)
+	}
+	// Diagonal adjacency present, long-range absent.
+	if !g.HasEdge(0, 4) || g.HasEdge(0, 8) {
+		t.Error("king adjacency wrong")
+	}
+	// Edge count: horizontal 3*2=6, vertical 6, diagonals 2*2*2=8 → 20.
+	if g.NumEdges() != 20 {
+		t.Errorf("edges = %d, want 20", g.NumEdges())
+	}
+}
+
+func TestEmbedOnKingGraph(t *testing.T) {
+	// K4 is a subgraph of the king graph (any 2×2 block).
+	e, err := (&Embedder{}).Find(Complete(4), King(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(Complete(4), King(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+}

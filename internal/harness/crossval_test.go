@@ -1,0 +1,122 @@
+package harness
+
+// Cross-solver metamorphic validation: for randomized instances of every
+// constraint family, the annealer, the CP solver, and the constructive
+// Direct solver must each produce witnesses accepted by the constraint's
+// own Check — and on instances small enough to enumerate, the exact
+// solver's QUBO ground states must contain a verifying witness. Any
+// disagreement indicates an encoder/propagator bug.
+
+import (
+	"testing"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/baseline"
+)
+
+func TestCrossSolverAgreement(t *testing.T) {
+	w := NewWorkload(271)
+	cp := &baseline.CPSolver{}
+	var direct baseline.Direct
+	for _, kind := range AllKinds() {
+		for _, n := range []int{2, 3, 5} {
+			c := w.Generate(kind, n)
+			label := string(kind)
+
+			dw, derr := direct.Solve(c)
+			if derr != nil {
+				t.Errorf("%s n=%d: direct: %v", label, n, derr)
+				continue
+			}
+			if err := c.Check(dw); err != nil {
+				t.Errorf("%s n=%d: direct witness %v rejected: %v", label, n, dw, err)
+			}
+
+			cw, cerr := cp.Solve(c)
+			if cerr != nil {
+				t.Errorf("%s n=%d: cp: %v", label, n, cerr)
+				continue
+			}
+			if err := c.Check(cw); err != nil {
+				t.Errorf("%s n=%d: cp witness %v rejected: %v", label, n, cw, err)
+			}
+
+			// Annealer: random regex classes may be unsolvable per-read
+			// (the §4.11 averaging caveat), so only demand success where
+			// the encoding guarantees verifying ground states.
+			if kind == KindRegex {
+				continue
+			}
+			ok, _, _ := annealOnce(c, 32, 800, 271+int64(n))
+			if !ok {
+				t.Errorf("%s n=%d: annealer found no verifying sample", label, n)
+			}
+		}
+	}
+}
+
+func TestExactGroundStatesVerifyAcrossFamilies(t *testing.T) {
+	// Families whose ground states must all (or partially) verify; only
+	// instances within the exact solver's variable budget.
+	w := NewWorkload(281)
+	for _, kind := range []ConstraintKind{
+		KindEquality, KindReplaceAll, KindReplace, KindReverse,
+		KindSubstring, KindIncludes, KindLength,
+	} {
+		c := w.Generate(kind, 3)
+		m, err := c.BuildModel()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		compiled := m.Compile()
+		if compiled.N > anneal.MaxExactVars {
+			continue
+		}
+		ss, err := (&anneal.ExactSolver{MaxStates: 512, Tol: 1e-9}).Sample(compiled)
+		if err != nil {
+			t.Fatalf("%s: exact: %v", kind, err)
+		}
+		verified := false
+		for _, s := range ss.Samples {
+			if wit, derr := c.Decode(s.X); derr == nil && c.Check(wit) == nil {
+				verified = true
+				break
+			}
+		}
+		if !verified {
+			t.Errorf("%s: no exact ground state verifies", kind)
+		}
+	}
+}
+
+func TestAnnealerAndCPFindSameUniqueWitness(t *testing.T) {
+	// Deterministic families have a unique model; both solver paths must
+	// agree exactly.
+	w := NewWorkload(291)
+	var direct baseline.Direct
+	cp := &baseline.CPSolver{}
+	for _, kind := range []ConstraintKind{KindEquality, KindConcat, KindReplaceAll, KindReverse} {
+		c := w.Generate(kind, 4)
+		dw, _ := direct.Solve(c)
+		cw, _ := cp.Solve(c)
+		if dw.Str != cw.Str {
+			t.Errorf("%s: direct %q, cp %q", kind, dw.Str, cw.Str)
+		}
+		m, err := c.BuildModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa := &anneal.SimulatedAnnealer{Reads: 16, Sweeps: 600, Seed: 291}
+		ss, err := sa.Sample(m.Compile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		aw, err := c.Decode(ss.Best().X)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", kind, err)
+		}
+		if aw.Str != dw.Str {
+			t.Errorf("%s: annealer %q, classical %q", kind, aw.Str, dw.Str)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"time"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/baseline"
+	"qsmt/internal/core"
+)
+
+// annealOnce solves a constraint with a fresh annealer and reports
+// whether a verified witness was found, plus sampler statistics.
+func annealOnce(c core.Constraint, reads, sweeps int, seed int64) (ok bool, groundFrac float64, elapsed time.Duration) {
+	start := time.Now()
+	m, err := c.BuildModel()
+	if err != nil {
+		return false, 0, time.Since(start)
+	}
+	sa := &anneal.SimulatedAnnealer{Reads: reads, Sweeps: sweeps, Seed: seed}
+	ss, err := sa.Sample(m.Compile())
+	if err != nil {
+		return false, 0, time.Since(start)
+	}
+	elapsed = time.Since(start)
+	// Success: any sample decodes and checks.
+	hit, total := 0, 0
+	for _, s := range ss.Samples {
+		w, derr := c.Decode(s.X)
+		good := derr == nil && c.Check(w) == nil
+		total += s.Occurrences
+		if good {
+			hit += s.Occurrences
+			ok = true
+		}
+	}
+	if total > 0 {
+		groundFrac = float64(hit) / float64(total)
+	}
+	return ok, groundFrac, elapsed
+}
+
+// Scaling (Ext-A) measures solve success and time as witness length
+// grows — the search-space growth motivating §1. One row per
+// (kind, length).
+func Scaling(kinds []ConstraintKind, lengths []int, reads, sweeps int, seed int64) *Series {
+	s := &Series{
+		Name:    "Ext-A — annealer scaling with string length (QUBO size 7n)",
+		Columns: []string{"kind", "n", "vars", "solved", "read success rate", "time"},
+	}
+	w := NewWorkload(seed)
+	for _, kind := range kinds {
+		for _, n := range lengths {
+			c := w.Generate(kind, n)
+			ok, frac, elapsed := annealOnce(c, reads, sweeps, seed+int64(n))
+			s.Add(string(kind), n, c.NumVars(), ok, frac, elapsed.Round(time.Microsecond))
+		}
+	}
+	return s
+}
+
+// Reads (Ext-B1) measures success rate versus the number of annealer
+// reads on the paper's generative constraints.
+func Reads(readsList []int, sweeps int, seed int64) *Series {
+	s := &Series{
+		Name:    "Ext-B — success rate vs annealer reads (palindrome n=6, regex a[bc]+ n=5)",
+		Columns: []string{"constraint", "reads", "solved", "read success rate", "time"},
+	}
+	cs := []core.Constraint{
+		&core.Palindrome{N: 6, Printable: true},
+		&core.Regex{Pattern: "a[bc]+", Length: 5},
+	}
+	for _, c := range cs {
+		for _, reads := range readsList {
+			ok, frac, elapsed := annealOnce(c, reads, sweeps, seed)
+			s.Add(c.Name(), reads, ok, frac, elapsed.Round(time.Microsecond))
+		}
+	}
+	return s
+}
+
+// Penalty (Ext-B2) sweeps the penalty strength A, testing the paper's
+// "A = 1 works best with our simulated annealer" claim.
+func Penalty(aValues []float64, reads, sweeps int, seed int64) *Series {
+	s := &Series{
+		Name:    "Ext-B — success rate vs penalty strength A",
+		Columns: []string{"constraint", "A", "solved", "read success rate", "time"},
+	}
+	for _, a := range aValues {
+		cs := []core.Constraint{
+			&core.Palindrome{N: 6, Printable: true, A: a},
+			&core.Regex{Pattern: "a[bc]+", Length: 5, A: a},
+			&core.Equality{Target: "hello", A: a},
+		}
+		for _, c := range cs {
+			ok, frac, elapsed := annealOnce(c, reads, sweeps, seed)
+			s.Add(c.Name(), a, ok, frac, elapsed.Round(time.Microsecond))
+		}
+	}
+	return s
+}
+
+// Baseline (Ext-C) compares the annealer against the classical solvers
+// on one instance of every constraint family.
+func Baseline(n, reads, sweeps int, seed int64) *Series {
+	s := &Series{
+		Name:    "Ext-C — annealer vs classical baselines",
+		Columns: []string{"kind", "n", "annealer ok", "annealer time", "direct time", "CP time", "brute-force time", "brute-force candidates"},
+	}
+	w := NewWorkload(seed)
+	var direct baseline.Direct
+	cp := &baseline.CPSolver{}
+	for _, kind := range AllKinds() {
+		c := w.Generate(kind, n)
+
+		_, _, aTime := annealOnce(c, reads, sweeps, seed)
+		aOK, _, _ := annealOnce(c, reads, sweeps, seed+1)
+
+		dStart := time.Now()
+		_, dErr := direct.Solve(c)
+		dTime := time.Since(dStart)
+		_ = dErr
+
+		cpStart := time.Now()
+		_, cpErr := cp.Solve(c)
+		cpTime := time.Since(cpStart)
+		_ = cpErr
+
+		bf := &baseline.BruteForce{Alphabet: []byte(lowercase), MaxCandidates: 2_000_000}
+		bStart := time.Now()
+		_, bErr := bf.Solve(c)
+		bTime := time.Since(bStart)
+		bNote := "found"
+		if bErr != nil {
+			bNote = "exhausted"
+		}
+		s.Add(string(kind), n, aOK, aTime.Round(time.Microsecond),
+			dTime.Round(time.Nanosecond), cpTime.Round(time.Microsecond),
+			bTime.Round(time.Microsecond), bNote)
+	}
+	return s
+}
+
+// StageTiming reproduces Figure 1 as measurements: per-stage wall clock
+// for the pipeline overview (encode → anneal → decode+check) on a
+// representative constraint.
+func StageTiming(c core.Constraint, reads, sweeps int, seed int64) *Series {
+	s := &Series{
+		Name:    "Figure 1 — pipeline stage timing: " + c.Name(),
+		Columns: []string{"stage", "time", "detail"},
+	}
+	t0 := time.Now()
+	m, err := c.BuildModel()
+	if err != nil {
+		s.Add("encode", time.Since(t0), "error: "+err.Error())
+		return s
+	}
+	encodeT := time.Since(t0)
+	s.Add("encode (binary vars + QUBO matrix)", encodeT.Round(time.Microsecond),
+		formatVars(m.N(), m.NumQuadratic()))
+
+	t1 := time.Now()
+	compiled := m.Compile()
+	sa := &anneal.SimulatedAnnealer{Reads: reads, Sweeps: sweeps, Seed: seed}
+	ss, err := sa.Sample(compiled)
+	annealT := time.Since(t1)
+	if err != nil {
+		s.Add("anneal", annealT, "error: "+err.Error())
+		return s
+	}
+	s.Add("anneal (simulated)", annealT.Round(time.Microsecond), ss.String())
+
+	t2 := time.Now()
+	decoded := ""
+	for _, sample := range ss.Samples {
+		w, derr := c.Decode(sample.X)
+		if derr == nil && c.Check(w) == nil {
+			decoded = w.String()
+			break
+		}
+	}
+	s.Add("decode + check", time.Since(t2).Round(time.Microsecond), decoded)
+	return s
+}
+
+func formatVars(n, q int) string {
+	return "vars=" + itoa(n) + " couplers=" + itoa(q)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// RunAll executes every experiment at the default evaluation scale and
+// returns the series in presentation order. Solver work is deterministic
+// for a fixed seed.
+func RunAll(seed int64) []*Series {
+	rows := Table1(nil, seed)
+	return []*Series{
+		Table1Series(rows),
+		StageTiming(&core.Palindrome{N: 6, Printable: true}, 64, 1000, seed),
+		Scaling([]ConstraintKind{KindEquality, KindPalindrome, KindRegex},
+			[]int{2, 4, 8, 16, 32}, 64, 1000, seed),
+		Reads([]int{1, 2, 4, 8, 16, 32, 64, 128}, 1000, seed),
+		Penalty([]float64{0.25, 0.5, 1, 2, 4}, 64, 1000, seed),
+		Baseline(6, 64, 1000, seed),
+		Samplers(seed),
+		Topology(seed),
+		Composition(seed),
+	}
+}

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"qsmt/internal/core"
+)
+
+func TestSamplersExperiment(t *testing.T) {
+	s := Samplers(61)
+	// 3 constraints × 5 samplers.
+	if len(s.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(s.Rows))
+	}
+	solvedBy := map[string]bool{}
+	for _, row := range s.Rows {
+		if row[2] == "true" {
+			solvedBy[row[1]] = true
+		}
+	}
+	// The serious samplers must solve at least one constraint each.
+	for _, name := range []string{"simulated-annealing", "tabu", "parallel-tempering"} {
+		if !solvedBy[name] {
+			t.Errorf("%s solved nothing", name)
+		}
+	}
+}
+
+func TestTopologyExperiment(t *testing.T) {
+	s := Topology(62)
+	if len(s.Rows) != 8 { // (3 sparse + includes) × {native, embedded}
+		t.Fatalf("rows = %d, want 8:\n%+v", len(s.Rows), s.Rows)
+	}
+	for i := 0; i < len(s.Rows); i += 2 {
+		native, chimera := s.Rows[i], s.Rows[i+1]
+		if native[1] != "native" || !strings.HasPrefix(chimera[1], "chimera") {
+			t.Fatalf("row order wrong: %v / %v", native, chimera)
+		}
+		if native[6] != "true" {
+			t.Errorf("%s native unsolved", native[0])
+		}
+		if chimera[6] != "true" {
+			t.Errorf("%s chimera-embedded unsolved", chimera[0])
+		}
+	}
+	// The includes row must show a real chain blow-up.
+	last := s.Rows[len(s.Rows)-1]
+	if last[0] != "includes" || last[4] == "1" {
+		t.Errorf("clique row missing chains: %v", last)
+	}
+}
+
+func TestCompositionExperiment(t *testing.T) {
+	s := Composition(63)
+	if len(s.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(s.Rows))
+	}
+	// The merged formulations must solve.
+	for _, row := range s.Rows {
+		if row[1] == "merged" && row[2] != "true" {
+			t.Errorf("merged row unsolved: %v", row)
+		}
+	}
+	// Merged prefix∧suffix output must carry both affixes.
+	for _, row := range s.Rows {
+		if row[0] == "prefix∧suffix" && row[1] == "merged" {
+			out := row[3]
+			if !strings.HasPrefix(out, "ab") || !strings.HasSuffix(out, "yz") {
+				t.Errorf("merged output %q lacks affixes", out)
+			}
+		}
+	}
+}
+
+func TestTTSMetric(t *testing.T) {
+	if got := TTS(time.Second, 1.0, 0.99); got != time.Second {
+		t.Errorf("TTS(p=1) = %v", got)
+	}
+	if got := TTS(time.Second, 0, 0.99); got >= 0 {
+		t.Errorf("TTS(p=0) = %v, want negative sentinel", got)
+	}
+	// p=0.5, confidence 0.99: factor = ln(0.01)/ln(0.5) ≈ 6.64.
+	got := TTS(time.Second, 0.5, 0.99)
+	if got < 6*time.Second || got > 7*time.Second {
+		t.Errorf("TTS(0.5) = %v, want ~6.64s", got)
+	}
+	// A run that always succeeds can never need less than one run.
+	if got := TTS(time.Second, 0.999999, 0.01); got < time.Second {
+		t.Errorf("TTS floor violated: %v", got)
+	}
+}
+
+func TestTimeToSolutionExperiment(t *testing.T) {
+	s := TimeToSolution([]ConstraintKind{KindEquality, KindPalindrome}, []int{2, 4}, 300, 8, 64)
+	if len(s.Rows) != 4 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	for _, row := range s.Rows {
+		if row[5] == "" {
+			t.Errorf("empty TTS cell: %v", row)
+		}
+	}
+}
+
+func TestEnergyTrajectory(t *testing.T) {
+	s := EnergyTrajectory(&core.Palindrome{N: 6, Printable: true}, 200, 20, 3)
+	if len(s.Rows) < 10 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	// Rows carry four columns and the header names them.
+	if len(s.Columns) != 4 {
+		t.Errorf("columns = %v", s.Columns)
+	}
+}

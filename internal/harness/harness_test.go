@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"qsmt"
+	"qsmt/internal/anneal"
+	"qsmt/internal/core"
+	"qsmt/internal/strtheory"
+)
+
+func fastSolver(seed int64) *qsmt.Solver {
+	return qsmt.NewSolver(&qsmt.Options{
+		Sampler: &anneal.SimulatedAnnealer{Reads: 32, Sweeps: 800, Seed: seed},
+	})
+}
+
+func TestTable1AllRowsVerify(t *testing.T) {
+	rows := Table1(fastSolver(3), 3)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Constraint, r.Err)
+			continue
+		}
+		if !r.Verified {
+			t.Errorf("%s: not verified (output %q)", r.Constraint, r.Output)
+		}
+		if r.MatrixExcerpt == "" {
+			t.Errorf("%s: empty matrix excerpt", r.Constraint)
+		}
+	}
+}
+
+func TestTable1DeterministicRowsMatchPaperExactly(t *testing.T) {
+	rows := Table1(fastSolver(4), 4)
+	for _, r := range rows {
+		if !r.Deterministic {
+			continue
+		}
+		if r.Output != r.PaperOutput {
+			t.Errorf("%s: output %q, paper %q", r.Constraint, r.Output, r.PaperOutput)
+		}
+	}
+}
+
+func TestTable1GenerativeRowsObeyConstraints(t *testing.T) {
+	rows := Table1(fastSolver(5), 5)
+	// Row 2: palindrome of length 6.
+	if p := rows[1].Output; len(p) != 6 || !strtheory.IsPalindrome(p) {
+		t.Errorf("palindrome row output %q", p)
+	}
+	// Row 3: regex a[bc]+ length 5.
+	if re := rows[2].Output; len(re) != 5 || re[0] != 'a' {
+		t.Errorf("regex row output %q", re)
+	}
+	// Row 5: "hi" at index 2, length 6.
+	if s := rows[4].Output; len(s) != 6 || s[2:4] != "hi" {
+		t.Errorf("indexof row output %q", s)
+	}
+}
+
+func TestTable1MatrixExcerptMatchesPaperValues(t *testing.T) {
+	rows := Table1(fastSolver(6), 6)
+	// The palindrome matrix prints +1.00 diagonals; its -2.00 couplers
+	// connect mirrored bit positions (e.g. bit 0 to bit 35 at n=6), which
+	// the 8×8 excerpt cannot reach — verify them on the model directly.
+	pal := rows[1].MatrixExcerpt
+	if !strings.Contains(pal, "1.00") {
+		t.Errorf("palindrome matrix excerpt missing diagonal entries:\n%s", pal)
+	}
+	m, err := (&core.Palindrome{N: 6}).BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Quadratic(0, 35); got != -2 {
+		t.Errorf("palindrome coupler (0,35) = %g, want -2 (paper's -2.00)", got)
+	}
+	// The reverse matrix is ±1 diagonal.
+	rev := rows[0].MatrixExcerpt
+	if !strings.Contains(rev, "-1.00") {
+		t.Errorf("reverse matrix excerpt:\n%s", rev)
+	}
+}
+
+func TestTable1Series(t *testing.T) {
+	rows := Table1(fastSolver(7), 7)
+	s := Table1Series(rows)
+	if len(s.Rows) != 5 || len(s.Columns) != 6 {
+		t.Fatalf("series shape %dx%d", len(s.Rows), len(s.Columns))
+	}
+	var md strings.Builder
+	if err := s.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "ollah") {
+		t.Errorf("markdown missing row data:\n%s", md.String())
+	}
+}
+
+func TestSeriesRenderers(t *testing.T) {
+	s := &Series{Name: "t", Columns: []string{"a", "b"}}
+	s.Add(1, "x,y")
+	s.Add(2.5, `quote"inside`)
+	var md, csv strings.Builder
+	if err := s.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| a") {
+		t.Errorf("markdown header missing:\n%s", md.String())
+	}
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	out := csv.String()
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"quote""inside"`) {
+		t.Errorf("csv quoting wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("csv header wrong:\n%s", out)
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	a := NewWorkload(9).RandomWord(12)
+	b := NewWorkload(9).RandomWord(12)
+	if a != b {
+		t.Errorf("same seed produced %q and %q", a, b)
+	}
+	if len(a) != 12 {
+		t.Errorf("len = %d", len(a))
+	}
+}
+
+func TestWorkloadGeneratesValidConstraints(t *testing.T) {
+	w := NewWorkload(10)
+	for _, kind := range AllKinds() {
+		for _, n := range []int{2, 5, 9} {
+			c := w.Generate(kind, n)
+			if _, err := c.BuildModel(); err != nil {
+				t.Errorf("%s n=%d: BuildModel: %v", kind, n, err)
+			}
+		}
+	}
+}
+
+func TestScalingExperiment(t *testing.T) {
+	s := Scaling([]ConstraintKind{KindEquality}, []int{2, 4}, 8, 200, 11)
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	// Short equality targets must be solved at this budget.
+	for _, row := range s.Rows {
+		if row[3] != "true" {
+			t.Errorf("equality n=%s unsolved: %v", row[1], row)
+		}
+	}
+}
+
+func TestReadsExperiment(t *testing.T) {
+	s := Reads([]int{1, 8}, 300, 12)
+	if len(s.Rows) != 4 { // 2 constraints × 2 read counts
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+}
+
+func TestPenaltyExperiment(t *testing.T) {
+	s := Penalty([]float64{1}, 8, 300, 13)
+	if len(s.Rows) != 3 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	// At A=1 (the paper's setting) everything here must solve.
+	for _, row := range s.Rows {
+		if row[2] != "true" {
+			t.Errorf("A=1 unsolved: %v", row)
+		}
+	}
+}
+
+func TestBaselineExperiment(t *testing.T) {
+	s := Baseline(4, 8, 300, 14)
+	if len(s.Rows) != len(AllKinds()) {
+		t.Fatalf("rows = %d, want %d", len(s.Rows), len(AllKinds()))
+	}
+}
+
+func TestStageTiming(t *testing.T) {
+	s := StageTiming(&core.Equality{Target: "hi"}, 8, 200, 15)
+	if len(s.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 stages", len(s.Rows))
+	}
+	if !strings.Contains(s.Rows[0][2], "vars=14") {
+		t.Errorf("encode detail = %q", s.Rows[0][2])
+	}
+	if !strings.Contains(s.Rows[2][2], "hi") {
+		t.Errorf("decode stage did not find the witness: %v", s.Rows[2])
+	}
+}
+
+func TestAnnealOnceReportsFailureForUnsat(t *testing.T) {
+	ok, frac, _ := annealOnce(&core.SubstringMatch{Sub: "toolong", Length: 2}, 4, 100, 16)
+	if ok || frac != 0 {
+		t.Errorf("unsat constraint reported ok=%v frac=%g", ok, frac)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 1000: "1000"}
+	for n, want := range cases {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q", n, got)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package harness drives the evaluation: it regenerates the paper's
+// Table 1 and Figure 1 pipeline, and runs the extension experiments
+// (scaling, reads/penalty ablations, classical-baseline comparison) that
+// DESIGN.md indexes. Each experiment returns a Series — a named table of
+// rows — with markdown and CSV renderers shared by cmd/table1, cmd/sweep,
+// and the benchmark suite.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one experiment's output table.
+type Series struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (s *Series) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	s.Rows = append(s.Rows, row)
+}
+
+// WriteMarkdown renders the series as a GitHub-flavored markdown table.
+func (s *Series) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", s.Name); err != nil {
+		return err
+	}
+	widths := make([]int, len(s.Columns))
+	for i, c := range s.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range s.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	pad := func(v string, w int) string {
+		return v + strings.Repeat(" ", w-len(v))
+	}
+	var sb strings.Builder
+	sb.WriteString("|")
+	for i, c := range s.Columns {
+		sb.WriteString(" " + pad(c, widths[i]) + " |")
+	}
+	sb.WriteString("\n|")
+	for i := range s.Columns {
+		sb.WriteString(strings.Repeat("-", widths[i]+2) + "|")
+	}
+	sb.WriteString("\n")
+	for _, row := range s.Rows {
+		sb.WriteString("|")
+		for i := range s.Columns {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			sb.WriteString(" " + pad(cell, widths[i]) + " |")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the series as CSV with a header row. Cells containing
+// commas, quotes, or newlines are quoted.
+func (s *Series) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(s.Columns); err != nil {
+		return err
+	}
+	for _, row := range s.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qsmt"
+	"qsmt/internal/anneal"
+	"qsmt/internal/core"
+	"qsmt/internal/qubo"
+)
+
+// Table1Row is one reproduced row of the paper's Table 1.
+type Table1Row struct {
+	Constraint    string        // the row's description, as printed in the paper
+	MatrixExcerpt string        // top-left corner of the (first-stage) QUBO matrix
+	Output        string        // witness produced by the solver
+	PaperOutput   string        // what the paper's Table 1 printed
+	Deterministic bool          // whether Output must equal PaperOutput exactly
+	Verified      bool          // Check passed
+	Energy        float64       // accepted sample energy (final stage)
+	Elapsed       time.Duration // wall clock for the full (pipeline) solve
+	Err           error         // non-nil when the solve failed
+}
+
+// table1Case defines one row: either a pipeline or a single constraint.
+type table1Case struct {
+	desc          string
+	paperOutput   string
+	deterministic bool
+	pipeline      *qsmt.Pipeline
+	matrixOf      core.Constraint // constraint whose matrix the paper printed
+}
+
+func table1Cases() []table1Case {
+	return []table1Case{
+		{
+			desc:          "Reverse 'hello' and replace 'e' with 'a'",
+			paperOutput:   "ollah",
+			deterministic: true,
+			pipeline:      qsmt.NewPipeline(qsmt.Reverse("hello")).Replace('e', 'a'),
+			matrixOf:      &core.Reverse{Input: "hello"},
+		},
+		{
+			desc:        "Generate a palindrome with length 6",
+			paperOutput: "OnFFnO",
+			pipeline:    qsmt.NewPipeline(qsmt.Palindrome(6)),
+			matrixOf:    &core.Palindrome{N: 6}, // bias-free matrix, as printed
+		},
+		{
+			desc:        "Generate the regex a[bc]+ with length 5",
+			paperOutput: "abcbb",
+			pipeline:    qsmt.NewPipeline(qsmt.Regex("a[bc]+", 5)),
+			matrixOf:    &core.Regex{Pattern: "a[bc]+", Length: 5},
+		},
+		{
+			desc:          "Concatenate 'hello' and ' world', and replace all 'l' with 'x'",
+			paperOutput:   "hexxo worxd",
+			deterministic: true,
+			pipeline:      qsmt.NewPipeline(qsmt.Concat("hello", " world")).ReplaceAll('l', 'x'),
+			matrixOf:      &core.Concat{Parts: []string{"hello", " world"}},
+		},
+		{
+			desc:        "Generate a string of length 6 that contains the substring 'hi' at index 2",
+			paperOutput: "qphiqp",
+			pipeline:    qsmt.NewPipeline(qsmt.IndexOf("hi", 2, 6)),
+			matrixOf:    &core.IndexOf{Sub: "hi", Index: 2, Length: 6},
+		},
+	}
+}
+
+// Table1 solves all five sample constraints of the paper's Table 1 and
+// returns the reproduced rows. A nil solver selects qsmt defaults seeded
+// with seed.
+func Table1(solver *qsmt.Solver, seed int64) []Table1Row {
+	if solver == nil {
+		solver = qsmt.NewSolver(&qsmt.Options{
+			Sampler: &anneal.SimulatedAnnealer{Reads: 64, Sweeps: 1000, Seed: seed},
+		})
+	}
+	var out []Table1Row
+	for _, tc := range table1Cases() {
+		row := Table1Row{
+			Constraint:    tc.desc,
+			PaperOutput:   tc.paperOutput,
+			Deterministic: tc.deterministic,
+			MatrixExcerpt: matrixExcerpt(tc.matrixOf),
+		}
+		res, err := solver.Run(tc.pipeline)
+		if err != nil {
+			row.Err = err
+			out = append(out, row)
+			continue
+		}
+		row.Output = res.Output
+		last := res.Stages[len(res.Stages)-1]
+		row.Energy = last.Result.Energy
+		for _, st := range res.Stages {
+			row.Elapsed += st.Result.Elapsed
+		}
+		row.Verified = true
+		if tc.deterministic && res.Output != tc.paperOutput {
+			row.Verified = false
+			row.Err = fmt.Errorf("deterministic row produced %q, paper prints %q", res.Output, tc.paperOutput)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// matrixExcerpt renders the top-left corner of a constraint's QUBO,
+// matching the paper's space-limited matrix presentation.
+func matrixExcerpt(c core.Constraint) string {
+	m, err := c.BuildModel()
+	if err != nil {
+		return "(error: " + err.Error() + ")"
+	}
+	var sb strings.Builder
+	_ = m.WriteMatrix(&sb, qubo.FormatOptions{MaxRows: 8, MaxCols: 8, Format: "%.2f"})
+	return sb.String()
+}
+
+// Table1Series flattens rows into a renderable Series.
+func Table1Series(rows []Table1Row) *Series {
+	s := &Series{
+		Name:    "Table 1 — sample string constraints (paper vs reproduction)",
+		Columns: []string{"constraint", "paper output", "our output", "verified", "energy", "time"},
+	}
+	for _, r := range rows {
+		verified := "yes"
+		if !r.Verified {
+			verified = "NO"
+			if r.Err != nil {
+				verified = "NO: " + r.Err.Error()
+			}
+		}
+		s.Add(r.Constraint, r.PaperOutput, r.Output, verified, r.Energy, r.Elapsed.Round(time.Millisecond))
+	}
+	return s
+}

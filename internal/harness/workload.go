@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"math/rand"
+	"strings"
+
+	"qsmt/internal/core"
+)
+
+// Workload generates randomized constraint instances with a seeded RNG,
+// so sweeps are reproducible.
+type Workload struct {
+	rng *rand.Rand
+}
+
+// NewWorkload returns a generator seeded deterministically.
+func NewWorkload(seed int64) *Workload {
+	return &Workload{rng: rand.New(rand.NewSource(seed))}
+}
+
+const lowercase = "abcdefghijklmnopqrstuvwxyz"
+
+// RandomWord returns a random lowercase string of length n.
+func (w *Workload) RandomWord(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(lowercase[w.rng.Intn(len(lowercase))])
+	}
+	return sb.String()
+}
+
+// ConstraintKind names a generated constraint family.
+type ConstraintKind string
+
+// Families covered by the sweeps.
+const (
+	KindEquality   ConstraintKind = "equality"
+	KindConcat     ConstraintKind = "concat"
+	KindReplaceAll ConstraintKind = "replace-all"
+	KindReplace    ConstraintKind = "replace"
+	KindReverse    ConstraintKind = "reverse"
+	KindSubstring  ConstraintKind = "substring-match"
+	KindIndexOf    ConstraintKind = "indexof"
+	KindIncludes   ConstraintKind = "includes"
+	KindPalindrome ConstraintKind = "palindrome"
+	KindRegex      ConstraintKind = "regex"
+	KindLength     ConstraintKind = "length"
+)
+
+// AllKinds lists every generated family in a stable order.
+func AllKinds() []ConstraintKind {
+	return []ConstraintKind{
+		KindEquality, KindConcat, KindReplaceAll, KindReplace, KindReverse,
+		KindSubstring, KindIndexOf, KindIncludes, KindPalindrome, KindRegex, KindLength,
+	}
+}
+
+// Generate builds a random instance of the given kind whose witness
+// string has length n (n ≥ 2).
+func (w *Workload) Generate(kind ConstraintKind, n int) core.Constraint {
+	if n < 2 {
+		n = 2
+	}
+	switch kind {
+	case KindEquality:
+		return &core.Equality{Target: w.RandomWord(n)}
+	case KindConcat:
+		k := 1 + w.rng.Intn(n-1)
+		return &core.Concat{Parts: []string{w.RandomWord(k), w.RandomWord(n - k)}}
+	case KindReplaceAll:
+		in := w.RandomWord(n)
+		return &core.ReplaceAll{Input: in, X: in[w.rng.Intn(n)], Y: lowercase[w.rng.Intn(26)]}
+	case KindReplace:
+		in := w.RandomWord(n)
+		return &core.Replace{Input: in, X: in[w.rng.Intn(n)], Y: lowercase[w.rng.Intn(26)]}
+	case KindReverse:
+		return &core.Reverse{Input: w.RandomWord(n)}
+	case KindSubstring:
+		m := 1 + w.rng.Intn(n)
+		return &core.SubstringMatch{Sub: w.RandomWord(m), Length: n}
+	case KindIndexOf:
+		m := 1 + w.rng.Intn(n)
+		idx := w.rng.Intn(n - m + 1)
+		return &core.IndexOf{Sub: w.RandomWord(m), Index: idx, Length: n}
+	case KindIncludes:
+		t := w.RandomWord(n)
+		m := 1 + w.rng.Intn(n)
+		start := w.rng.Intn(n - m + 1)
+		return &core.Includes{T: t, S: t[start : start+m]}
+	case KindPalindrome:
+		return &core.Palindrome{N: n, Printable: true}
+	case KindRegex:
+		// lit class+ : always expandable to any n ≥ 2.
+		a := lowercase[w.rng.Intn(26)]
+		b := lowercase[w.rng.Intn(26)]
+		c := lowercase[w.rng.Intn(26)]
+		for c == b {
+			c = lowercase[w.rng.Intn(26)]
+		}
+		return &core.Regex{Pattern: string(a) + "[" + string(b) + string(c) + "]+", Length: n}
+	case KindLength:
+		return &core.Length{L: w.rng.Intn(n + 1), N: n}
+	default:
+		return &core.Equality{Target: w.RandomWord(n)}
+	}
+}

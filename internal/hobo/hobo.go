@@ -1,0 +1,302 @@
+// Package hobo implements higher-order binary optimization: polynomials
+// over binary variables of arbitrary degree, and their reduction to
+// quadratic (QUBO) form by Rosenberg's substitution.
+//
+// The paper's encodings are at most quadratic, which limits them to
+// *positive* constraints (drive these bits toward this pattern). Negative
+// constraints — "this character must NOT appear" — charge a penalty only
+// when all seven bits of a position match a pattern, a degree-7 product.
+// Quadratization introduces one auxiliary variable per eliminated pair,
+//
+//	z = x_i·x_j  enforced by  M·(x_i·x_j − 2·x_i·z − 2·x_j·z + 3·z),
+//
+// which is 0 exactly when z equals the product and ≥ M otherwise. The
+// reduced QUBO's minimum over auxiliaries equals the original
+// polynomial's value on every primary assignment, so ground states are
+// preserved.
+package hobo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qsmt/internal/qubo"
+)
+
+// Poly is a pseudo-Boolean polynomial Σ w·Π_{i∈S} x_i over binary
+// variables 0..n−1. The zero value is unusable; construct with New.
+type Poly struct {
+	n      int
+	terms  map[string]*term
+	offset float64
+}
+
+type term struct {
+	vars []int // sorted, distinct
+	w    float64
+}
+
+// New returns the zero polynomial over n variables.
+func New(n int) *Poly {
+	if n < 0 {
+		panic(fmt.Sprintf("hobo: negative variable count %d", n))
+	}
+	return &Poly{n: n, terms: make(map[string]*term)}
+}
+
+// N returns the number of primary variables.
+func (p *Poly) N() int { return p.n }
+
+// AddOffset adds a constant.
+func (p *Poly) AddOffset(w float64) { p.offset += w }
+
+// Add adds w·Π_{i∈vars} x_i. Variables are deduplicated (x² = x) and
+// must be in range. An empty set adds a constant.
+func (p *Poly) Add(vars []int, w float64) {
+	if w == 0 {
+		return
+	}
+	vs := normalize(vars)
+	for _, v := range vs {
+		if v < 0 || v >= p.n {
+			panic(fmt.Sprintf("hobo: variable %d out of range [0,%d)", v, p.n))
+		}
+	}
+	if len(vs) == 0 {
+		p.offset += w
+		return
+	}
+	k := key(vs)
+	if t, ok := p.terms[k]; ok {
+		t.w += w
+		if t.w == 0 {
+			delete(p.terms, k)
+		}
+		return
+	}
+	p.terms[k] = &term{vars: vs, w: w}
+}
+
+func normalize(vars []int) []int {
+	vs := append([]int(nil), vars...)
+	sort.Ints(vs)
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func key(vs []int) string {
+	var sb strings.Builder
+	for i, v := range vs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	return sb.String()
+}
+
+// Degree returns the largest term size (0 for a constant polynomial).
+func (p *Poly) Degree() int {
+	d := 0
+	for _, t := range p.terms {
+		if len(t.vars) > d {
+			d = len(t.vars)
+		}
+	}
+	return d
+}
+
+// NumTerms returns the number of non-constant terms.
+func (p *Poly) NumTerms() int { return len(p.terms) }
+
+// Energy evaluates the polynomial; len(x) must be N().
+func (p *Poly) Energy(x []qubo.Bit) float64 {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("hobo: assignment length %d != %d", len(x), p.n))
+	}
+	e := p.offset
+	for _, t := range p.terms {
+		on := true
+		for _, v := range t.vars {
+			if x[v] == 0 {
+				on = false
+				break
+			}
+		}
+		if on {
+			e += t.w
+		}
+	}
+	return e
+}
+
+// AddProductTerm is a convenience: w·Π over the literals, where a
+// literal is x_i (positive) or (1−x_i) (negated). It expands the product
+// into monomials — the natural way to write "penalty when position
+// matches bit pattern b": Π_i [x_i if b_i else (1−x_i)].
+func (p *Poly) AddProductTerm(w float64, pos []int, neg []int) {
+	// Expand Π x_i · Π (1−x_j) = Σ_{S ⊆ neg} (−1)^{|S|} Π x_i Π_{j∈S} x_j.
+	pos = normalize(pos)
+	neg = normalize(neg)
+	subsets := 1 << len(neg)
+	for s := 0; s < subsets; s++ {
+		vars := append([]int(nil), pos...)
+		sign := 1.0
+		for b := 0; b < len(neg); b++ {
+			if s&(1<<b) != 0 {
+				vars = append(vars, neg[b])
+				sign = -sign
+			}
+		}
+		p.Add(vars, sign*w)
+	}
+}
+
+// Quadratization is the result of reducing a Poly to quadratic form.
+type Quadratization struct {
+	// Model is the equivalent QUBO over primary + auxiliary variables;
+	// variables 0..N−1 are the primaries, the rest are auxiliaries.
+	Model *qubo.Model
+	// NumPrimary is the original variable count.
+	NumPrimary int
+	// Pairs[k] records which primary-or-aux pair auxiliary k stands for.
+	Pairs [][2]int
+}
+
+// NumAux returns the number of auxiliary variables introduced.
+func (q *Quadratization) NumAux() int { return len(q.Pairs) }
+
+// Project returns the primary prefix of a full assignment.
+func (q *Quadratization) Project(x []qubo.Bit) []qubo.Bit {
+	return x[:q.NumPrimary]
+}
+
+// Extend computes the auxiliary values implied by a primary assignment
+// (z = product of its pair) and returns the full assignment.
+func (q *Quadratization) Extend(primary []qubo.Bit) []qubo.Bit {
+	full := make([]qubo.Bit, q.NumPrimary+len(q.Pairs))
+	copy(full, primary)
+	for k, pair := range q.Pairs {
+		full[q.NumPrimary+k] = full[pair[0]] & full[pair[1]]
+	}
+	return full
+}
+
+// Quadratize reduces the polynomial to a QUBO by repeated Rosenberg
+// substitution: while any term has degree > 2, the most frequent
+// co-occurring variable pair inside high-degree terms is replaced by a
+// fresh auxiliary with the enforcing penalty. penaltyM ≤ 0 selects
+// 1 + Σ|w| (always sufficient).
+func (p *Poly) Quadratize(penaltyM float64) *Quadratization {
+	if penaltyM <= 0 {
+		total := 0.0
+		for _, t := range p.terms {
+			total += math.Abs(t.w)
+		}
+		penaltyM = total + 1
+	}
+
+	// Work on a mutable copy of the term list.
+	work := make([]*term, 0, len(p.terms))
+	for _, t := range p.terms {
+		work = append(work, &term{vars: append([]int(nil), t.vars...), w: t.w})
+	}
+	sort.Slice(work, func(a, b int) bool { return key(work[a].vars) < key(work[b].vars) })
+
+	nextVar := p.n
+	var pairs [][2]int
+	type penalty struct{ i, j, z int }
+	var penalties []penalty
+
+	for {
+		// Count pair frequencies within terms of degree ≥ 3.
+		counts := map[[2]int]int{}
+		maxDeg := 0
+		for _, t := range work {
+			if len(t.vars) < 3 {
+				continue
+			}
+			if len(t.vars) > maxDeg {
+				maxDeg = len(t.vars)
+			}
+			for a := 0; a < len(t.vars); a++ {
+				for b := a + 1; b < len(t.vars); b++ {
+					counts[[2]int{t.vars[a], t.vars[b]}]++
+				}
+			}
+		}
+		if maxDeg < 3 {
+			break
+		}
+		// Pick the most frequent pair (deterministic tie-break).
+		var best [2]int
+		bestCount := 0
+		for pair, c := range counts {
+			if c > bestCount || (c == bestCount && lessPair(pair, best)) {
+				best, bestCount = pair, c
+			}
+		}
+		z := nextVar
+		nextVar++
+		pairs = append(pairs, best)
+		penalties = append(penalties, penalty{i: best[0], j: best[1], z: z})
+		// Substitute z for the pair in every high-degree term containing it.
+		for _, t := range work {
+			if len(t.vars) < 3 || !contains(t.vars, best[0]) || !contains(t.vars, best[1]) {
+				continue
+			}
+			vs := t.vars[:0]
+			for _, v := range t.vars {
+				if v != best[0] && v != best[1] {
+					vs = append(vs, v)
+				}
+			}
+			t.vars = normalize(append(vs, z))
+		}
+	}
+
+	m := qubo.New(nextVar)
+	m.AddOffset(p.offset)
+	for _, t := range work {
+		switch len(t.vars) {
+		case 1:
+			m.AddLinear(t.vars[0], t.w)
+		case 2:
+			m.AddQuadratic(t.vars[0], t.vars[1], t.w)
+		default:
+			// Degree-0 cannot occur (constants live in offset); > 2 is a bug.
+			panic(fmt.Sprintf("hobo: residual term of degree %d after quadratization", len(t.vars)))
+		}
+	}
+	for _, pn := range penalties {
+		m.AddQuadratic(pn.i, pn.j, penaltyM)
+		m.AddQuadratic(pn.i, pn.z, -2*penaltyM)
+		m.AddQuadratic(pn.j, pn.z, -2*penaltyM)
+		m.AddLinear(pn.z, 3*penaltyM)
+	}
+	return &Quadratization{Model: m, NumPrimary: p.n, Pairs: pairs}
+}
+
+func lessPair(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func contains(vs []int, v int) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,254 @@
+package hobo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qsmt/internal/qubo"
+)
+
+func TestPolyBasics(t *testing.T) {
+	p := New(3)
+	p.Add([]int{0}, 2)
+	p.Add([]int{0, 1}, -1)
+	p.Add([]int{0, 1, 2}, 4)
+	p.AddOffset(0.5)
+	if p.Degree() != 3 || p.NumTerms() != 3 {
+		t.Fatalf("degree=%d terms=%d", p.Degree(), p.NumTerms())
+	}
+	cases := []struct {
+		x    []qubo.Bit
+		want float64
+	}{
+		{[]qubo.Bit{0, 0, 0}, 0.5},
+		{[]qubo.Bit{1, 0, 0}, 2.5},
+		{[]qubo.Bit{1, 1, 0}, 1.5},
+		{[]qubo.Bit{1, 1, 1}, 5.5},
+	}
+	for _, tc := range cases {
+		if got := p.Energy(tc.x); got != tc.want {
+			t.Errorf("E(%v) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestPolyDeduplicatesAndCancels(t *testing.T) {
+	p := New(2)
+	p.Add([]int{1, 0, 1}, 3) // x0·x1 (x1² = x1)
+	p.Add([]int{0, 1}, -3)   // cancels
+	if p.NumTerms() != 0 {
+		t.Errorf("terms = %d, want 0", p.NumTerms())
+	}
+	p.Add(nil, 2) // constant
+	if p.Energy([]qubo.Bit{0, 0}) != 2 {
+		t.Error("empty-set Add did not become a constant")
+	}
+}
+
+func TestPolyPanics(t *testing.T) {
+	p := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range variable accepted")
+		}
+	}()
+	p.Add([]int{1}, 1)
+}
+
+func TestAddProductTerm(t *testing.T) {
+	// w·x0·(1−x1): value w iff x0=1, x1=0.
+	p := New(2)
+	p.AddProductTerm(5, []int{0}, []int{1})
+	cases := []struct {
+		x    []qubo.Bit
+		want float64
+	}{
+		{[]qubo.Bit{0, 0}, 0},
+		{[]qubo.Bit{1, 0}, 5},
+		{[]qubo.Bit{1, 1}, 0},
+		{[]qubo.Bit{0, 1}, 0},
+	}
+	for _, tc := range cases {
+		if got := p.Energy(tc.x); got != tc.want {
+			t.Errorf("E(%v) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestAddProductTermAllNegated(t *testing.T) {
+	// Indicator of the all-zero pattern over 3 variables.
+	p := New(3)
+	p.AddProductTerm(1, nil, []int{0, 1, 2})
+	for assign := 0; assign < 8; assign++ {
+		x := bits3(assign)
+		want := 0.0
+		if assign == 0 {
+			want = 1
+		}
+		if got := p.Energy(x); got != want {
+			t.Errorf("E(%v) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func bits3(a int) []qubo.Bit {
+	return []qubo.Bit{qubo.Bit(a & 1), qubo.Bit(a >> 1 & 1), qubo.Bit(a >> 2 & 1)}
+}
+
+// minOverAux computes min over auxiliary assignments of the quadratized
+// energy for a fixed primary assignment.
+func minOverAux(q *Quadratization, primary []qubo.Bit) float64 {
+	nAux := q.NumAux()
+	full := make([]qubo.Bit, q.NumPrimary+nAux)
+	copy(full, primary)
+	best := math.Inf(1)
+	for a := 0; a < 1<<nAux; a++ {
+		for k := 0; k < nAux; k++ {
+			full[q.NumPrimary+k] = qubo.Bit(a >> k & 1)
+		}
+		if e := q.Model.Energy(full); e < best {
+			best = e
+		}
+	}
+	return best
+}
+
+func TestQuadratizePreservesEnergiesCubic(t *testing.T) {
+	p := New(3)
+	p.Add([]int{0, 1, 2}, -7)
+	p.Add([]int{0}, 1)
+	p.Add([]int{1, 2}, 2)
+	q := p.Quadratize(0)
+	if q.Model == nil || q.NumAux() == 0 {
+		t.Fatal("no quadratization happened")
+	}
+	for assign := 0; assign < 8; assign++ {
+		x := bits3(assign)
+		if got, want := minOverAux(q, x), p.Energy(x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("x=%v: min-aux %g, poly %g", x, got, want)
+		}
+	}
+}
+
+func TestQuadratizePreservesEnergiesDegree7(t *testing.T) {
+	// The forbid-character gadget shape: one degree-7 product term plus
+	// assorted lower-degree structure.
+	p := New(7)
+	p.AddProductTerm(3, []int{0, 2, 4}, []int{1, 3, 5, 6})
+	p.Add([]int{0}, -0.5)
+	p.Add([]int{5, 6}, 1)
+	q := p.Quadratize(0)
+	for assign := 0; assign < 128; assign++ {
+		x := make([]qubo.Bit, 7)
+		for b := 0; b < 7; b++ {
+			x[b] = qubo.Bit(assign >> b & 1)
+		}
+		if got, want := minOverAux(q, x), p.Energy(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("x=%v: min-aux %g, poly %g", x, got, want)
+		}
+	}
+}
+
+func TestQuadratizeAlreadyQuadraticIsIdentityShaped(t *testing.T) {
+	p := New(3)
+	p.Add([]int{0, 1}, 2)
+	p.Add([]int{2}, -1)
+	p.AddOffset(4)
+	q := p.Quadratize(0)
+	if q.NumAux() != 0 {
+		t.Errorf("aux = %d for quadratic input", q.NumAux())
+	}
+	for assign := 0; assign < 8; assign++ {
+		x := bits3(assign)
+		if math.Abs(q.Model.Energy(x)-p.Energy(x)) > 1e-9 {
+			t.Errorf("quadratic passthrough wrong at %v", x)
+		}
+	}
+}
+
+func TestExtendComputesProducts(t *testing.T) {
+	p := New(4)
+	p.Add([]int{0, 1, 2, 3}, 1)
+	q := p.Quadratize(0)
+	primary := []qubo.Bit{1, 1, 1, 1}
+	full := q.Extend(primary)
+	if len(full) != q.NumPrimary+q.NumAux() {
+		t.Fatalf("full length %d", len(full))
+	}
+	// With all primaries 1, every product aux must be 1 and the full
+	// assignment must reproduce the polynomial energy exactly (penalties
+	// all zero).
+	if math.Abs(q.Model.Energy(full)-p.Energy(primary)) > 1e-9 {
+		t.Errorf("extended energy %g, poly %g", q.Model.Energy(full), p.Energy(primary))
+	}
+	if got := q.Project(full); len(got) != 4 {
+		t.Errorf("Project length %d", len(got))
+	}
+}
+
+func TestExtendMatchesMinOverAuxProperty(t *testing.T) {
+	// Property: Extend's implied auxiliaries achieve the min-over-aux
+	// energy for random cubic polynomials.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(5)
+		for k := 0; k < 6; k++ {
+			deg := 1 + rng.Intn(3)
+			vars := make([]int, deg)
+			for i := range vars {
+				vars[i] = rng.Intn(5)
+			}
+			p.Add(vars, math.Round(rng.NormFloat64()*4)/2)
+		}
+		q := p.Quadratize(0)
+		for trial := 0; trial < 8; trial++ {
+			x := make([]qubo.Bit, 5)
+			for i := range x {
+				x[i] = qubo.Bit(rng.Intn(2))
+			}
+			if math.Abs(q.Model.Energy(q.Extend(x))-p.Energy(x)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuadratizeGroundStatePreservedUnderSampling(t *testing.T) {
+	// The quadratized model's global minimum equals the polynomial's.
+	p := New(4)
+	p.Add([]int{0, 1, 2, 3}, -10) // reward all-ones
+	p.Add([]int{0}, 1)
+	q := p.Quadratize(0)
+	// Exhaustive over the full (primary+aux) space.
+	n := q.NumPrimary + q.NumAux()
+	if n > 20 {
+		t.Fatalf("unexpectedly many variables: %d", n)
+	}
+	best := math.Inf(1)
+	var bestX []qubo.Bit
+	x := make([]qubo.Bit, n)
+	for a := 0; a < 1<<n; a++ {
+		for k := 0; k < n; k++ {
+			x[k] = qubo.Bit(a >> k & 1)
+		}
+		if e := q.Model.Energy(x); e < best {
+			best = e
+			bestX = append(bestX[:0], x...)
+		}
+	}
+	// Polynomial minimum: all ones → −10+1 = −9.
+	if math.Abs(best-(-9)) > 1e-9 {
+		t.Errorf("quadratized minimum %g, want -9", best)
+	}
+	for i := 0; i < 4; i++ {
+		if bestX[i] != 1 {
+			t.Errorf("ground primary = %v, want all ones", bestX[:4])
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package qubo
+
+import "fmt"
+
+// Neighbor is one coupler incident to a variable in a Compiled model.
+type Neighbor struct {
+	J int     // the other endpoint
+	W float64 // coupler weight Q_ij
+}
+
+// Compiled is an immutable adjacency-list view of a Model, laid out for
+// the annealer's inner loop: computing the energy change of a single bit
+// flip touches only the bit's neighbor list. Compiled values are safe for
+// concurrent use.
+type Compiled struct {
+	N      int
+	Linear []float64
+	Neigh  [][]Neighbor
+	Offset float64
+}
+
+// Compile freezes the model into adjacency-list form.
+func (m *Model) Compile() *Compiled {
+	c := &Compiled{
+		N:      m.n,
+		Linear: make([]float64, m.n),
+		Neigh:  make([][]Neighbor, m.n),
+		Offset: m.offset,
+	}
+	copy(c.Linear, m.diag)
+	deg := make([]int, m.n)
+	for k := range m.quad {
+		deg[k.I]++
+		deg[k.J]++
+	}
+	for i, d := range deg {
+		if d > 0 {
+			c.Neigh[i] = make([]Neighbor, 0, d)
+		}
+	}
+	for _, t := range m.Terms() {
+		c.Neigh[t.I] = append(c.Neigh[t.I], Neighbor{J: t.J, W: t.W})
+		c.Neigh[t.J] = append(c.Neigh[t.J], Neighbor{J: t.I, W: t.W})
+	}
+	return c
+}
+
+// Energy evaluates E(x). len(x) must equal N.
+func (c *Compiled) Energy(x []Bit) float64 {
+	if len(x) != c.N {
+		panic(fmt.Sprintf("qubo: assignment length %d != %d variables", len(x), c.N))
+	}
+	e := c.Offset
+	for i, h := range c.Linear {
+		if x[i] != 0 {
+			e += h
+		}
+	}
+	for i, ns := range c.Neigh {
+		if x[i] == 0 {
+			continue
+		}
+		for _, nb := range ns {
+			if nb.J > i && x[nb.J] != 0 { // count each coupler once
+				e += nb.W
+			}
+		}
+	}
+	return e
+}
+
+// FlipDelta returns E(x with bit i flipped) − E(x) without mutating x.
+// This is the annealer's hot path: O(degree(i)).
+func (c *Compiled) FlipDelta(x []Bit, i int) float64 {
+	// Local field at i: h_i + Σ_j W_ij x_j.
+	field := c.Linear[i]
+	for _, nb := range c.Neigh[i] {
+		if x[nb.J] != 0 {
+			field += nb.W
+		}
+	}
+	if x[i] == 0 { // 0 -> 1 adds the field
+		return field
+	}
+	return -field // 1 -> 0 removes it
+}
+
+// Degree returns the number of couplers incident to variable i.
+func (c *Compiled) Degree(i int) int { return len(c.Neigh[i]) }

@@ -1,0 +1,101 @@
+package qubo
+
+// Ising is the spin-glass form of a QUBO: variables s ∈ {−1,+1}^n with
+//
+//	E(s) = Σ_i h_i·s_i + Σ_{i<j} J_ij·s_i·s_j + Offset
+//
+// QUBO and Ising are related by the substitution x = (1+s)/2; a QUBO's
+// cost function "being equivalent to an Ising model" is exactly why its
+// global optimum can be approximated by (quantum) annealing (§2.3 of the
+// paper). The conversion here is exact: energies agree configuration by
+// configuration.
+type Ising struct {
+	H      []float64
+	J      []QuadTerm
+	Offset float64
+}
+
+// N returns the number of spins.
+func (is *Ising) N() int { return len(is.H) }
+
+// ToIsing converts the QUBO into the equivalent Ising model.
+//
+// With x_i = (1+s_i)/2:
+//
+//	Q_ii·x_i            → (Q_ii/2)·s_i + Q_ii/2
+//	Q_ij·x_i·x_j        → (Q_ij/4)·s_i·s_j + (Q_ij/4)·s_i + (Q_ij/4)·s_j + Q_ij/4
+func (m *Model) ToIsing() *Ising {
+	is := &Ising{
+		H:      make([]float64, m.n),
+		Offset: m.offset,
+	}
+	for i, q := range m.diag {
+		is.H[i] += q / 2
+		is.Offset += q / 2
+	}
+	for _, t := range m.Terms() {
+		is.J = append(is.J, QuadTerm{I: t.I, J: t.J, W: t.W / 4})
+		is.H[t.I] += t.W / 4
+		is.H[t.J] += t.W / 4
+		is.Offset += t.W / 4
+	}
+	return is
+}
+
+// Energy evaluates the Ising energy of a spin configuration; each entry of
+// s must be −1 or +1.
+func (is *Ising) Energy(s []int8) float64 {
+	e := is.Offset
+	for i, h := range is.H {
+		e += h * float64(s[i])
+	}
+	for _, t := range is.J {
+		e += t.W * float64(s[t.I]) * float64(s[t.J])
+	}
+	return e
+}
+
+// FromIsing converts an Ising model back into QUBO form (the inverse
+// substitution s = 2x − 1).
+func FromIsing(is *Ising) *Model {
+	m := New(is.N())
+	m.offset = is.Offset
+	for i, h := range is.H {
+		// h·s = h·(2x−1) = 2h·x − h
+		m.AddLinear(i, 2*h)
+		m.offset -= h
+	}
+	for _, t := range is.J {
+		// J·s_i·s_j = J·(2x_i−1)(2x_j−1) = 4J·x_i·x_j − 2J·x_i − 2J·x_j + J
+		m.AddQuadratic(t.I, t.J, 4*t.W)
+		m.AddLinear(t.I, -2*t.W)
+		m.AddLinear(t.J, -2*t.W)
+		m.offset += t.W
+	}
+	return m
+}
+
+// SpinsToBits converts a spin configuration to the corresponding bits
+// (s=+1 → x=1, s=−1 → x=0).
+func SpinsToBits(s []int8) []Bit {
+	x := make([]Bit, len(s))
+	for i, v := range s {
+		if v > 0 {
+			x[i] = 1
+		}
+	}
+	return x
+}
+
+// BitsToSpins converts bits to spins (x=1 → s=+1, x=0 → s=−1).
+func BitsToSpins(x []Bit) []int8 {
+	s := make([]int8, len(x))
+	for i, v := range x {
+		if v != 0 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+package qubo
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FormatOptions controls matrix rendering. The zero value prints the full
+// matrix with %g entries, matching the abbreviated matrices of the paper's
+// Table 1 when MaxRows/MaxCols truncate the output.
+type FormatOptions struct {
+	MaxRows int    // truncate after this many rows (0 = all)
+	MaxCols int    // truncate after this many columns (0 = all)
+	Format  string // fmt verb for entries, default "%g"
+	ColSep  string // default " "
+}
+
+// WriteMatrix renders the dense upper-triangular matrix to w.
+func (m *Model) WriteMatrix(w io.Writer, opt FormatOptions) error {
+	if opt.Format == "" {
+		opt.Format = "%g"
+	}
+	if opt.ColSep == "" {
+		opt.ColSep = " "
+	}
+	rows, cols := m.n, m.n
+	truncR, truncC := false, false
+	if opt.MaxRows > 0 && rows > opt.MaxRows {
+		rows, truncR = opt.MaxRows, true
+	}
+	if opt.MaxCols > 0 && cols > opt.MaxCols {
+		cols, truncC = opt.MaxCols, true
+	}
+	dense := m.Dense()
+
+	// Format all cells first so each column can be right-aligned.
+	cells := make([][]string, rows)
+	width := 0
+	for i := 0; i < rows; i++ {
+		cells[i] = make([]string, cols)
+		for j := 0; j < cols; j++ {
+			s := fmt.Sprintf(opt.Format, dense[i][j])
+			cells[i][j] = s
+			if len(s) > width {
+				width = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		sb.Reset()
+		for j := 0; j < cols; j++ {
+			if j > 0 {
+				sb.WriteString(opt.ColSep)
+			}
+			s := cells[i][j]
+			for pad := width - len(s); pad > 0; pad-- {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(s)
+		}
+		if truncC {
+			sb.WriteString(opt.ColSep)
+			sb.WriteString("...")
+		}
+		sb.WriteByte('\n')
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	if truncR {
+		if _, err := io.WriteString(w, "...\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the matrix, truncated to at most 12×12 entries so large
+// models stay readable (the paper abbreviates its matrices the same way).
+func (m *Model) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "QUBO n=%d nonzero_quadratic=%d offset=%g\n", m.n, len(m.quad), m.offset)
+	_ = m.WriteMatrix(&sb, FormatOptions{MaxRows: 12, MaxCols: 12})
+	return sb.String()
+}

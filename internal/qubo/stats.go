@@ -1,0 +1,136 @@
+package qubo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a model's structure — the numbers a practitioner
+// checks before submitting a QUBO to hardware (size, density, coefficient
+// dynamic range, degree distribution).
+type Stats struct {
+	N             int     // variables
+	LinearTerms   int     // nonzero diagonal entries
+	QuadTerms     int     // nonzero couplers
+	Density       float64 // couplers / C(N,2)
+	MaxAbsCoeff   float64
+	MinAbsNonzero float64
+	DynamicRange  float64 // MaxAbsCoeff / MinAbsNonzero (1 when flat)
+	MaxDegree     int     // most couplers on one variable
+	MeanDegree    float64
+	Offset        float64
+}
+
+// Stats computes structural statistics.
+func (m *Model) Stats() Stats {
+	s := Stats{
+		N:             m.n,
+		QuadTerms:     len(m.quad),
+		MaxAbsCoeff:   m.MaxAbsCoefficient(),
+		MinAbsNonzero: m.MinAbsNonzero(),
+		Offset:        m.offset,
+	}
+	for _, v := range m.diag {
+		if v != 0 {
+			s.LinearTerms++
+		}
+	}
+	if m.n > 1 {
+		s.Density = float64(len(m.quad)) / float64(m.n*(m.n-1)/2)
+	}
+	if s.MinAbsNonzero > 0 {
+		s.DynamicRange = s.MaxAbsCoeff / s.MinAbsNonzero
+	} else if s.MaxAbsCoeff == 0 {
+		s.DynamicRange = 1
+	}
+	deg := make([]int, m.n)
+	for k := range m.quad {
+		deg[k.I]++
+		deg[k.J]++
+	}
+	total := 0
+	for _, d := range deg {
+		total += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if m.n > 0 {
+		s.MeanDegree = float64(total) / float64(m.n)
+	}
+	return s
+}
+
+// String renders the statistics as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d linear=%d quad=%d density=%.3f |coeff|∈[%g,%g] range=%.3g degree(max=%d mean=%.2f) offset=%g",
+		s.N, s.LinearTerms, s.QuadTerms, s.Density,
+		s.MinAbsNonzero, s.MaxAbsCoeff, s.DynamicRange, s.MaxDegree, s.MeanDegree, s.Offset)
+}
+
+// Normalize rescales every coefficient (and the offset) so the largest
+// magnitude becomes 1, returning the factor the energies were divided
+// by. Physical annealers accept couplings in a fixed range with limited
+// precision, so submissions are normalized first; ground states are
+// invariant under positive rescaling. A zero model returns factor 1.
+func (m *Model) Normalize() float64 {
+	max := m.MaxAbsCoefficient()
+	if max == 0 {
+		return 1
+	}
+	for i, v := range m.diag {
+		if v != 0 {
+			m.diag[i] = v / max
+		}
+	}
+	for k, v := range m.quad {
+		m.quad[k] = v / max
+	}
+	m.offset /= max
+	return max
+}
+
+// CoefficientHistogram buckets |coefficients| into decades and renders
+// a compact text histogram, diagnosing dynamic-range problems (the
+// quantity hardware coefficient precision limits punish).
+func (m *Model) CoefficientHistogram() string {
+	var values []float64
+	for _, v := range m.diag {
+		if v != 0 {
+			values = append(values, math.Abs(v))
+		}
+	}
+	for _, v := range m.quad {
+		values = append(values, math.Abs(v))
+	}
+	if len(values) == 0 {
+		return "(no coefficients)"
+	}
+	buckets := map[int]int{}
+	for _, v := range values {
+		buckets[int(math.Floor(math.Log10(v)))]++
+	}
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "1e%+d: %s (%d)\n", k, strings.Repeat("#", bars(buckets[k], len(values))), buckets[k])
+	}
+	return sb.String()
+}
+
+func bars(count, total int) int {
+	if total == 0 {
+		return 0
+	}
+	b := count * 40 / total
+	if b == 0 && count > 0 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,48 @@
+package regexlite
+
+import "testing"
+
+// FuzzParse checks the pattern parser never panics and that accepted
+// patterns are render/re-parse stable and safe to match against.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"a[bc]+", "a+b*c?", "[a-z]", `\+`, "[", "a++", "[]", "[z-a]", "x",
+	}
+	for _, s := range seeds {
+		f.Add(s, "abc")
+	}
+	f.Fuzz(func(t *testing.T, pattern, input string) {
+		p, err := Parse(pattern)
+		if err != nil {
+			return
+		}
+		// Matching must never panic.
+		_ = p.Match(input)
+		// Rendering must re-parse to the same element structure.
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q fails: %v", pattern, p.String(), err)
+		}
+		if len(p2.Elements) != len(p.Elements) {
+			t.Fatalf("round trip changed element count for %q", pattern)
+		}
+		// Expansion must agree with the matcher on every length it
+		// claims to support.
+		for n := p.MinLength(); n <= p.MinLength()+3; n++ {
+			spec, err := p.Expand(n)
+			if err != nil {
+				continue
+			}
+			if len(spec) != n {
+				t.Fatalf("Expand(%d) of %q gave %d positions", n, pattern, len(spec))
+			}
+			s := make([]byte, n)
+			for i, ps := range spec {
+				s[i] = ps.Chars[0]
+			}
+			if !p.Match(string(s)) {
+				t.Fatalf("expansion %q of %q does not match", s, pattern)
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package regexlite
+
+import "testing"
+
+func TestStarQuantifier(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"ab*c", "ac", true},
+		{"ab*c", "abc", true},
+		{"ab*c", "abbbc", true},
+		{"ab*c", "a", false},
+		{"a[bc]*", "a", true},
+		{"a[bc]*", "abcbc", true},
+		{"a[bc]*", "abd", false},
+		{"a*", "", true},
+		{"a*", "aaa", true},
+		{"a*b", "b", true},
+	}
+	for _, tc := range cases {
+		p := mustParse(t, tc.pattern)
+		if got := p.Match(tc.s); got != tc.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", tc.pattern, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestOptQuantifier(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"ab?c", "ac", true},
+		{"ab?c", "abc", true},
+		{"ab?c", "abbc", false},
+		{"colou?r", "color", true},
+		{"colou?r", "colour", true},
+		{"colou?r", "colouur", false},
+	}
+	for _, tc := range cases {
+		p := mustParse(t, tc.pattern)
+		if got := p.Match(tc.s); got != tc.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", tc.pattern, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestExpandWithStarAndOpt(t *testing.T) {
+	// Star takes the residual slack.
+	p := mustParse(t, "ab*")
+	spec, err := p.Expand(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 4 || spec[0].Chars[0] != 'a' || spec[3].Chars[0] != 'b' {
+		t.Errorf("spec = %+v", spec)
+	}
+	// Star at zero reps.
+	spec, err = p.Expand(1)
+	if err != nil || len(spec) != 1 {
+		t.Fatalf("Expand(1): %v", err)
+	}
+	// Opt absorbs one unit of slack without any unbounded element.
+	p = mustParse(t, "ab?c?")
+	for n := 1; n <= 3; n++ {
+		spec, err := p.Expand(n)
+		if err != nil {
+			t.Fatalf("Expand(%d): %v", n, err)
+		}
+		if len(spec) != n {
+			t.Errorf("Expand(%d) gave %d positions", n, len(spec))
+		}
+		s := make([]byte, len(spec))
+		for i, ps := range spec {
+			s[i] = ps.Chars[0]
+		}
+		if !p.Match(string(s)) {
+			t.Errorf("expansion %q does not match %q", s, p.Source())
+		}
+	}
+	if _, err := p.Expand(4); err == nil {
+		t.Error("opt-only pattern expanded beyond capacity")
+	}
+}
+
+func TestExpansionsWithOpt(t *testing.T) {
+	p := mustParse(t, "a?b?")
+	// n=1: either a or b → 2 expansions.
+	if got := p.Expansions(1, 0); len(got) != 2 {
+		t.Errorf("expansions(1) = %d, want 2", len(got))
+	}
+	// n=0: both skipped → 1 (empty) expansion.
+	if got := p.Expansions(0, 0); len(got) != 1 {
+		t.Errorf("expansions(0) = %d, want 1", len(got))
+	}
+}
+
+func TestStackedQuantifiersRejected(t *testing.T) {
+	for _, src := range []string{"a+*", "a*?", "a?+", "+", "*a", "?x"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestQuantifierStringRoundTrip(t *testing.T) {
+	for _, src := range []string{"ab*c?", "a[bc]*d+", `\*x\?`} {
+		p := mustParse(t, src)
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p.String(), err)
+		}
+		for i := range p.Elements {
+			if p.Elements[i].Quant != p2.Elements[i].Quant {
+				t.Errorf("round trip of %q changed quantifiers", src)
+			}
+		}
+	}
+}

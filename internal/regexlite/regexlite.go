@@ -1,0 +1,402 @@
+// Package regexlite implements the regular-expression subset supported by
+// the paper's regex-matching constraint (§4.11): literal characters,
+// character classes ("[bc]" matches 'b' or 'c'), and the plus operator
+// ("one or more of the preceding element"). As a small extension, classes
+// may contain ranges ("[a-z]").
+//
+// The package provides three views of a pattern:
+//
+//   - an AST ([]Element) from Parse;
+//   - a classical matcher (Pattern.Match) used by the verifier as ground
+//     truth;
+//   - a fixed-length expansion (Pattern.Expand) that assigns every output
+//     position a set of admissible characters, which is exactly the shape
+//     the QUBO encoder consumes. Following the paper, "we consider the
+//     plus constraint as a literal when it appears after a literal, and a
+//     character class when it appears after a character class": expansion
+//     replicates the element's character set across the repeated
+//     positions.
+package regexlite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Quantifier is an element's repetition rule.
+type Quantifier int
+
+// Quantifiers. The paper's subset has One and Plus; Star and Opt are
+// extensions in the same spirit ("more formulations", §6).
+const (
+	QuantOne  Quantifier = iota // exactly one
+	QuantPlus                   // one or more ('+')
+	QuantStar                   // zero or more ('*')
+	QuantOpt                    // zero or one ('?')
+)
+
+func (q Quantifier) String() string {
+	switch q {
+	case QuantPlus:
+		return "+"
+	case QuantStar:
+		return "*"
+	case QuantOpt:
+		return "?"
+	default:
+		return ""
+	}
+}
+
+// minReps returns the fewest positions the quantifier admits.
+func (q Quantifier) minReps() int {
+	if q == QuantStar || q == QuantOpt {
+		return 0
+	}
+	return 1
+}
+
+// unbounded reports whether the quantifier admits arbitrarily many
+// repetitions.
+func (q Quantifier) unbounded() bool { return q == QuantPlus || q == QuantStar }
+
+// Element is one parsed unit of a pattern: a set of admissible
+// characters with a repetition rule.
+type Element struct {
+	Chars []byte     // sorted, deduplicated set of admissible characters
+	Quant Quantifier // repetition rule
+}
+
+// Plus reports the paper's original one-or-more flag (§4.11).
+func (e Element) Plus() bool { return e.Quant == QuantPlus }
+
+// admits reports whether c is in the element's character set.
+func (e Element) admits(c byte) bool {
+	for _, a := range e.Chars {
+		if a == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Pattern is a parsed regex.
+type Pattern struct {
+	Elements []Element
+	src      string
+}
+
+// Source returns the original pattern text.
+func (p *Pattern) Source() string { return p.src }
+
+// MinLength returns the length of the shortest string matching the
+// pattern (star/opt elements may contribute nothing).
+func (p *Pattern) MinLength() int {
+	min := 0
+	for _, e := range p.Elements {
+		min += e.Quant.minReps()
+	}
+	return min
+}
+
+// HasUnbounded reports whether any element admits arbitrarily many
+// repetitions ('+' or '*').
+func (p *Pattern) HasUnbounded() bool {
+	for _, e := range p.Elements {
+		if e.Quant.unbounded() {
+			return true
+		}
+	}
+	return false
+}
+
+// SyntaxError describes a pattern parse failure.
+type SyntaxError struct {
+	Pos     int
+	Pattern string
+	Msg     string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("regexlite: %s at position %d in %q", e.Msg, e.Pos, e.Pattern)
+}
+
+// Parse compiles a pattern. Metacharacters are '[', ']', '+', and '\'
+// (escape); every other byte is a literal.
+func Parse(pattern string) (*Pattern, error) {
+	p := &Pattern{src: pattern}
+	i := 0
+	fail := func(pos int, msg string) (*Pattern, error) {
+		return nil, &SyntaxError{Pos: pos, Pattern: pattern, Msg: msg}
+	}
+	for i < len(pattern) {
+		c := pattern[i]
+		switch c {
+		case '+', '*', '?':
+			return fail(i, fmt.Sprintf("%q must follow a literal or character class", string(c)))
+		case ']':
+			return fail(i, "unmatched ']'")
+		case '[':
+			start := i
+			i++
+			var chars []byte
+			for i < len(pattern) && pattern[i] != ']' {
+				cc := pattern[i]
+				if cc == '\\' {
+					if i+1 >= len(pattern) {
+						return fail(i, "dangling escape")
+					}
+					i++
+					chars = append(chars, pattern[i])
+					i++
+					continue
+				}
+				// Range "a-z": a '-' with a class member on both sides.
+				if i+2 < len(pattern) && pattern[i+1] == '-' && pattern[i+2] != ']' {
+					lo, hi := cc, pattern[i+2]
+					if lo > hi {
+						return fail(i, fmt.Sprintf("inverted range %c-%c", lo, hi))
+					}
+					for b := lo; ; b++ {
+						chars = append(chars, b)
+						if b == hi {
+							break
+						}
+					}
+					i += 3
+					continue
+				}
+				chars = append(chars, cc)
+				i++
+			}
+			if i >= len(pattern) {
+				return fail(start, "unterminated character class")
+			}
+			i++ // consume ']'
+			if len(chars) == 0 {
+				return fail(start, "empty character class")
+			}
+			p.Elements = append(p.Elements, Element{Chars: dedupe(chars)})
+		case '\\':
+			if i+1 >= len(pattern) {
+				return fail(i, "dangling escape")
+			}
+			p.Elements = append(p.Elements, Element{Chars: []byte{pattern[i+1]}})
+			i += 2
+		default:
+			p.Elements = append(p.Elements, Element{Chars: []byte{c}})
+			i++
+		}
+		// An optional quantifier applies to the element just added.
+		if i < len(pattern) {
+			var q Quantifier
+			switch pattern[i] {
+			case '+':
+				q = QuantPlus
+			case '*':
+				q = QuantStar
+			case '?':
+				q = QuantOpt
+			}
+			if q != QuantOne {
+				p.Elements[len(p.Elements)-1].Quant = q
+				i++
+				if i < len(pattern) && (pattern[i] == '+' || pattern[i] == '*' || pattern[i] == '?') {
+					return fail(i, "stacked quantifiers are not supported")
+				}
+			}
+		}
+	}
+	if len(p.Elements) == 0 {
+		return fail(0, "empty pattern")
+	}
+	return p, nil
+}
+
+func dedupe(chars []byte) []byte {
+	sort.Slice(chars, func(a, b int) bool { return chars[a] < chars[b] })
+	out := chars[:0]
+	var prev byte
+	for k, c := range chars {
+		if k == 0 || c != prev {
+			out = append(out, c)
+		}
+		prev = c
+	}
+	return out
+}
+
+// Match reports whether s matches the whole pattern. It is a dynamic
+// program over (element index, string index); quantified elements may
+// consume an admissible run of the lengths their quantifier allows.
+func (p *Pattern) Match(s string) bool {
+	ne := len(p.Elements)
+	// reach[j] = true when elements[:i] can consume s[:j].
+	reach := make([]bool, len(s)+1)
+	next := make([]bool, len(s)+1)
+	reach[0] = true
+	for i := 0; i < ne; i++ {
+		e := p.Elements[i]
+		for j := range next {
+			next[j] = false
+		}
+		for j := 0; j <= len(s); j++ {
+			if !reach[j] {
+				continue
+			}
+			// Zero repetitions for star/opt.
+			if e.Quant.minReps() == 0 {
+				next[j] = true
+			}
+			// One admissible character…
+			if j < len(s) && e.admits(s[j]) {
+				next[j+1] = true
+				// …and, for unbounded quantifiers, any further run.
+				if e.Quant.unbounded() {
+					for k := j + 1; k < len(s) && e.admits(s[k]); k++ {
+						next[k+1] = true
+					}
+				}
+			}
+		}
+		reach, next = next, reach
+	}
+	return reach[len(s)]
+}
+
+// PositionSpec is the admissible character set for one output position of
+// a fixed-length expansion.
+type PositionSpec struct {
+	Chars []byte
+	// FromElement records which pattern element produced this position
+	// (useful for diagnostics and for the encoder's per-position labels).
+	FromElement int
+}
+
+// Expand distributes a fixed output length n across the pattern's
+// elements and returns one admissible character set per position.
+//
+// Every element consumes its quantifier's minimum (one position for
+// plain and '+' elements, none for '*'/'?'); remaining positions are
+// distributed left-to-right to '?' elements (at most one each) with the
+// rest going to the *last* unbounded element — matching the paper's
+// worked example where a[bc]+ at n=5 expands to a,[bc],[bc],[bc],[bc].
+// An error is returned when the pattern cannot match length n.
+func (p *Pattern) Expand(n int) ([]PositionSpec, error) {
+	min := p.MinLength()
+	if n < min {
+		return nil, fmt.Errorf("regexlite: length %d shorter than pattern minimum %d for %q", n, min, p.src)
+	}
+	slack := n - min
+	// Index of the last unbounded element takes the residual slack.
+	lastUnbounded := -1
+	optCapacity := 0
+	for i, e := range p.Elements {
+		if e.Quant.unbounded() {
+			lastUnbounded = i
+		}
+		if e.Quant == QuantOpt {
+			optCapacity++
+		}
+	}
+	if lastUnbounded < 0 && slack > optCapacity {
+		return nil, fmt.Errorf("regexlite: pattern %q cannot match length %d", p.src, n)
+	}
+	// Assign reps: min per element, then '?' top-ups, then the residue.
+	reps := make([]int, len(p.Elements))
+	for i, e := range p.Elements {
+		reps[i] = e.Quant.minReps()
+	}
+	if lastUnbounded >= 0 {
+		reps[lastUnbounded] += slack
+	} else {
+		for i, e := range p.Elements {
+			if slack == 0 {
+				break
+			}
+			if e.Quant == QuantOpt {
+				reps[i]++
+				slack--
+			}
+		}
+	}
+	out := make([]PositionSpec, 0, n)
+	for i, e := range p.Elements {
+		for r := 0; r < reps[i]; r++ {
+			out = append(out, PositionSpec{Chars: e.Chars, FromElement: i})
+		}
+	}
+	return out, nil
+}
+
+// Expansions enumerates every distribution of length n across the
+// pattern's quantified elements, up to max results (0 = no cap). Each
+// result has exactly n positions.
+func (p *Pattern) Expansions(n, max int) [][]PositionSpec {
+	if n < p.MinLength() {
+		return nil
+	}
+	var out [][]PositionSpec
+	reps := make([]int, len(p.Elements))
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if max > 0 && len(out) >= max {
+			return
+		}
+		if i == len(p.Elements) {
+			if remaining != 0 {
+				return
+			}
+			spec := make([]PositionSpec, 0, n)
+			for k, e := range p.Elements {
+				for r := 0; r < reps[k]; r++ {
+					spec = append(spec, PositionSpec{Chars: e.Chars, FromElement: k})
+				}
+			}
+			out = append(out, spec)
+			return
+		}
+		e := p.Elements[i]
+		lo := e.Quant.minReps()
+		hi := remaining
+		switch e.Quant {
+		case QuantOne:
+			hi = 1
+		case QuantOpt:
+			hi = 1
+		}
+		for r := lo; r <= hi && r <= remaining; r++ {
+			reps[i] = r
+			rec(i+1, remaining-r)
+		}
+		reps[i] = 0
+	}
+	rec(0, n)
+	return out
+}
+
+// String reconstructs a pattern equivalent to the parsed form.
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	for _, e := range p.Elements {
+		if len(e.Chars) == 1 {
+			c := e.Chars[0]
+			if c == '[' || c == ']' || c == '+' || c == '*' || c == '?' || c == '\\' {
+				sb.WriteByte('\\')
+			}
+			sb.WriteByte(c)
+		} else {
+			sb.WriteByte('[')
+			for _, c := range e.Chars {
+				if c == '[' || c == ']' || c == '\\' {
+					sb.WriteByte('\\')
+				}
+				sb.WriteByte(c)
+			}
+			sb.WriteByte(']')
+		}
+		sb.WriteString(e.Quant.String())
+	}
+	return sb.String()
+}

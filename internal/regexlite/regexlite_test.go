@@ -1,0 +1,295 @@
+package regexlite
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *Pattern {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseLiteral(t *testing.T) {
+	p := mustParse(t, "abc")
+	if len(p.Elements) != 3 {
+		t.Fatalf("elements = %d", len(p.Elements))
+	}
+	for i, want := range []byte{'a', 'b', 'c'} {
+		e := p.Elements[i]
+		if len(e.Chars) != 1 || e.Chars[0] != want || e.Plus() {
+			t.Errorf("element %d = %+v", i, e)
+		}
+	}
+}
+
+func TestParseClassAndPlus(t *testing.T) {
+	p := mustParse(t, "a[tyz]+b")
+	if len(p.Elements) != 3 {
+		t.Fatalf("elements = %d", len(p.Elements))
+	}
+	if !reflect.DeepEqual(p.Elements[1].Chars, []byte{'t', 'y', 'z'}) {
+		t.Errorf("class chars = %v", p.Elements[1].Chars)
+	}
+	if !p.Elements[1].Plus() || p.Elements[0].Plus() || p.Elements[2].Plus() {
+		t.Error("plus flags wrong")
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	p := mustParse(t, "[a-e]")
+	if !reflect.DeepEqual(p.Elements[0].Chars, []byte("abcde")) {
+		t.Errorf("range chars = %q", p.Elements[0].Chars)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	p := mustParse(t, `\+\[`)
+	if len(p.Elements) != 2 || p.Elements[0].Chars[0] != '+' || p.Elements[1].Chars[0] != '[' {
+		t.Errorf("escape parse wrong: %+v", p.Elements)
+	}
+	p = mustParse(t, `[\]a]`)
+	if !reflect.DeepEqual(p.Elements[0].Chars, []byte{']', 'a'}) {
+		t.Errorf("class escape wrong: %q", p.Elements[0].Chars)
+	}
+}
+
+func TestParseDeduplicatesClass(t *testing.T) {
+	p := mustParse(t, "[aab]")
+	if !reflect.DeepEqual(p.Elements[0].Chars, []byte{'a', 'b'}) {
+		t.Errorf("chars = %q", p.Elements[0].Chars)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "+a", "a++b" /* second + has no operand */, "[ab", "a]b", "[]", `ab\`, `[a\`, "[z-a]",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		} else if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("Parse(%q) returned %T, want *SyntaxError", src, err)
+		}
+	}
+}
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		// The paper's worked example: a[tyz]+b.
+		{"a[tyz]+b", "atytyzb", true},
+		{"a[tyz]+b", "azb", true},
+		{"a[tyz]+b", "atyzb", true},
+		{"a[tyz]+b", "ab", false},
+		{"a[tyz]+b", "atyz", false},
+		{"a[tyz]+b", "xtyzb", false},
+		// Table 1 row 3: a[bc]+ of length 5.
+		{"a[bc]+", "abcbb", true},
+		{"a[bc]+", "a", false},
+		{"a[bc]+", "abcd", false},
+		// Plain literals.
+		{"abc", "abc", true},
+		{"abc", "abcd", false},
+		{"abc", "ab", false},
+		// Plus on a literal.
+		{"ab+c", "abc", true},
+		{"ab+c", "abbbbc", true},
+		{"ab+c", "ac", false},
+		// Multiple plus elements.
+		{"a+b+", "aabbb", true},
+		{"a+b+", "ba", false},
+		{"a+b+", "ab", true},
+		// Class without plus.
+		{"[ab][cd]", "ac", true},
+		{"[ab][cd]", "bd", true},
+		{"[ab][cd]", "ca", false},
+	}
+	for _, tc := range cases {
+		p := mustParse(t, tc.pattern)
+		if got := p.Match(tc.s); got != tc.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", tc.pattern, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestMatchEmptyString(t *testing.T) {
+	p := mustParse(t, "a")
+	if p.Match("") {
+		t.Error("single literal matched empty string")
+	}
+}
+
+func TestExpandCanonical(t *testing.T) {
+	// Paper: a[bc]+ at length 5 -> a, then four [bc] positions.
+	p := mustParse(t, "a[bc]+")
+	spec, err := p.Expand(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 5 {
+		t.Fatalf("positions = %d", len(spec))
+	}
+	if !reflect.DeepEqual(spec[0].Chars, []byte{'a'}) {
+		t.Errorf("pos 0 = %q", spec[0].Chars)
+	}
+	for i := 1; i < 5; i++ {
+		if !reflect.DeepEqual(spec[i].Chars, []byte{'b', 'c'}) {
+			t.Errorf("pos %d = %q", i, spec[i].Chars)
+		}
+		if spec[i].FromElement != 1 {
+			t.Errorf("pos %d from element %d", i, spec[i].FromElement)
+		}
+	}
+}
+
+func TestExpandSlackGoesToLastPlus(t *testing.T) {
+	p := mustParse(t, "a+b+")
+	spec, err := p.Expand(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical: one 'a', four 'b'.
+	want := "abbbb"
+	for i, s := range spec {
+		if len(s.Chars) != 1 || s.Chars[0] != want[i] {
+			t.Fatalf("expansion = %+v, want %q shape", spec, want)
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	p := mustParse(t, "abc")
+	if _, err := p.Expand(2); err == nil {
+		t.Error("too-short expansion accepted")
+	}
+	if _, err := p.Expand(4); err == nil {
+		t.Error("plus-free pattern expanded beyond its length")
+	}
+	if spec, err := p.Expand(3); err != nil || len(spec) != 3 {
+		t.Errorf("exact-length expansion failed: %v", err)
+	}
+}
+
+func TestExpansionsEnumeratesAll(t *testing.T) {
+	p := mustParse(t, "a+b+")
+	// Length 4: slack 2 split across two plus elements: (0,2),(1,1),(2,0).
+	all := p.Expansions(4, 0)
+	if len(all) != 3 {
+		t.Fatalf("expansions = %d, want 3", len(all))
+	}
+	shapes := map[string]bool{}
+	for _, spec := range all {
+		s := ""
+		for _, pos := range spec {
+			s += string(pos.Chars[0])
+		}
+		shapes[s] = true
+	}
+	for _, want := range []string{"abbb", "aabb", "aaab"} {
+		if !shapes[want] {
+			t.Errorf("missing shape %q (got %v)", want, shapes)
+		}
+	}
+}
+
+func TestExpansionsCap(t *testing.T) {
+	p := mustParse(t, "a+b+c+")
+	if got := p.Expansions(10, 2); len(got) != 2 {
+		t.Errorf("cap ignored: %d", len(got))
+	}
+}
+
+func TestExpansionsNoPlusExact(t *testing.T) {
+	p := mustParse(t, "ab")
+	if got := p.Expansions(2, 0); len(got) != 1 {
+		t.Errorf("exact expansion count = %d", len(got))
+	}
+	if got := p.Expansions(3, 0); got != nil {
+		t.Errorf("infeasible expansion returned %d results", len(got))
+	}
+}
+
+func TestExpandedSpecAdmitsOnlyMatchingStrings(t *testing.T) {
+	// Property: any string assembled by picking a char from each position
+	// of Expand(n) matches the pattern.
+	p := mustParse(t, "a[bc]+d")
+	for n := 3; n <= 8; n++ {
+		spec, err := p.Expand(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pick first char everywhere, and last char everywhere.
+		lo := make([]byte, n)
+		hi := make([]byte, n)
+		for i, s := range spec {
+			lo[i] = s.Chars[0]
+			hi[i] = s.Chars[len(s.Chars)-1]
+		}
+		if !p.Match(string(lo)) || !p.Match(string(hi)) {
+			t.Errorf("n=%d: expanded strings %q/%q do not match %q", n, lo, hi, p.Source())
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{"abc", "a[bc]+", "a[tyz]+b", `\+x`, "[a-c]z+"} {
+		p := mustParse(t, src)
+		p2 := mustParse(t, p.String())
+		if !reflect.DeepEqual(p.Elements, p2.Elements) {
+			t.Errorf("round trip of %q via %q changed elements", src, p.String())
+		}
+	}
+}
+
+func TestMinLengthHasUnbounded(t *testing.T) {
+	p := mustParse(t, "a[bc]+d")
+	if p.MinLength() != 3 || !p.HasUnbounded() {
+		t.Errorf("MinLength=%d HasUnbounded=%v", p.MinLength(), p.HasUnbounded())
+	}
+	q := mustParse(t, "xy")
+	if q.MinLength() != 2 || q.HasUnbounded() {
+		t.Errorf("MinLength=%d HasUnbounded=%v", q.MinLength(), q.HasUnbounded())
+	}
+	// Star and opt lower the minimum.
+	r := mustParse(t, "ab*c?")
+	if r.MinLength() != 1 || !r.HasUnbounded() {
+		t.Errorf("MinLength=%d HasUnbounded=%v", r.MinLength(), r.HasUnbounded())
+	}
+}
+
+func TestMatchAgreesWithExpansionProperty(t *testing.T) {
+	// Property: for random small patterns and lengths, Expand(n) succeeds
+	// iff some string of length n matches — validated via Expansions.
+	f := func(slackSeed uint8) bool {
+		p := mustParse2("a[bc]+d+")
+		n := 4 + int(slackSeed%5)
+		spec, err := p.Expand(n)
+		if err != nil {
+			return false
+		}
+		s := make([]byte, n)
+		for i, ps := range spec {
+			s[i] = ps.Chars[0]
+		}
+		return p.Match(string(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustParse2(src string) *Pattern {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

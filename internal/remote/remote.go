@@ -1,0 +1,299 @@
+// Package remote implements a network annealer service: the shape of a
+// cloud quantum-annealing API (submit a QUBO, receive energy-sorted
+// samples) over plain HTTP/JSON. The paper's pipeline "passes the QUBO
+// matrix to a quantum (or simulated) annealer"; in production that
+// annealer lives behind a solver API, and this package supplies both
+// sides — a Server wrapping any local sampler, and a Client that
+// satisfies the solver's Sampler contract, so a qsmt.Solver can
+// transparently submit its string QUBOs to a remote annealer.
+//
+// Protocol (versioned under /v1):
+//
+//	POST /v1/sample   body:  {"qubo": "<text serialization>",
+//	                          "reads": 64, "sweeps": 1000, "seed": 1}
+//	                  reply: {"samples": [{"x": "0101…", "energy": -3,
+//	                          "occurrences": 2}, …]}
+//	GET  /v1/health   reply: {"status": "ok", "sampler": "…"}
+//
+// The QUBO travels in the deterministic text format of qubo.WriteTo.
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+)
+
+// SampleRequest is the wire form of a sampling job.
+type SampleRequest struct {
+	QUBO   string `json:"qubo"`             // qubo.WriteTo text
+	Reads  int    `json:"reads,omitempty"`  // 0 = server default
+	Sweeps int    `json:"sweeps,omitempty"` // 0 = server default
+	Seed   int64  `json:"seed,omitempty"`   // 0 = server default
+}
+
+// WireSample is one returned read.
+type WireSample struct {
+	X           string  `json:"x"` // "0"/"1" per variable
+	Energy      float64 `json:"energy"`
+	Occurrences int     `json:"occurrences"`
+}
+
+// SampleResponse is the wire form of a result.
+type SampleResponse struct {
+	Samples []WireSample `json:"samples"`
+}
+
+// HealthResponse is the /v1/health reply.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Sampler string `json:"sampler"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// MaxRequestBytes bounds accepted request bodies (16 MiB covers QUBOs
+// far larger than any string constraint here produces).
+const MaxRequestBytes = 16 << 20
+
+// Server serves the annealer API over any sampler factory. The factory
+// receives the per-request knobs so each job can carry its own seed.
+type Server struct {
+	// NewSampler builds the sampler for one request; nil defaults to a
+	// SimulatedAnnealer honoring the request's reads/sweeps/seed.
+	NewSampler func(req SampleRequest) interface {
+		Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+	}
+	// Description appears in health responses.
+	Description string
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sample", s.handleSample)
+	mux.HandleFunc("/v1/health", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	desc := s.Description
+	if desc == "" {
+		desc = "simulated-annealer"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Sampler: desc})
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if len(body) > MaxRequestBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "request exceeds limit")
+		return
+	}
+	var req SampleRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	model, err := qubo.Read(strings.NewReader(req.QUBO))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed QUBO: "+err.Error())
+		return
+	}
+	sampler := s.sampler(req)
+	ss, err := sampler.Sample(model.Compile())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "sampling: "+err.Error())
+		return
+	}
+	resp := SampleResponse{Samples: make([]WireSample, 0, len(ss.Samples))}
+	for _, sm := range ss.Samples {
+		resp.Samples = append(resp.Samples, WireSample{
+			X:           bitsToString(sm.X),
+			Energy:      sm.Energy,
+			Occurrences: sm.Occurrences,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) sampler(req SampleRequest) interface {
+	Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+} {
+	if s.NewSampler != nil {
+		return s.NewSampler(req)
+	}
+	return &anneal.SimulatedAnnealer{Reads: req.Reads, Sweeps: req.Sweeps, Seed: req.Seed}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func bitsToString(x []qubo.Bit) string {
+	b := make([]byte, len(x))
+	for i, v := range x {
+		b[i] = '0' + byte(v&1)
+	}
+	return string(b)
+}
+
+func stringToBits(s string) ([]qubo.Bit, error) {
+	x := make([]qubo.Bit, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			x[i] = 1
+		default:
+			return nil, fmt.Errorf("remote: invalid bit character %q", s[i])
+		}
+	}
+	return x, nil
+}
+
+// Client submits sampling jobs to a remote annealer service. It
+// satisfies the solver's Sampler contract, so it can be plugged straight
+// into qsmt.Options.
+type Client struct {
+	BaseURL    string        // e.g. "http://annealer:8080"
+	HTTPClient *http.Client  // nil = http.DefaultClient with Timeout
+	Timeout    time.Duration // default 60s (only when HTTPClient is nil)
+	Reads      int           // per-job reads (0 = server default)
+	Sweeps     int           // per-job sweeps
+	Seed       int64         // per-job seed
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	return &http.Client{Timeout: timeout}
+}
+
+// Sample implements the sampler contract by round-tripping through the
+// service.
+func (c *Client) Sample(compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	if compiled == nil {
+		return nil, errors.New("remote: nil model")
+	}
+	if c.BaseURL == "" {
+		return nil, errors.New("remote: client has no BaseURL")
+	}
+	// Reconstruct the serializable model from the compiled view.
+	model := qubo.New(compiled.N)
+	model.AddOffset(compiled.Offset)
+	for i, h := range compiled.Linear {
+		if h != 0 {
+			model.SetLinear(i, h)
+		}
+	}
+	for i, ns := range compiled.Neigh {
+		for _, nb := range ns {
+			if nb.J > i {
+				model.SetQuadratic(i, nb.J, nb.W)
+			}
+		}
+	}
+	var quboText bytes.Buffer
+	if _, err := model.WriteTo(&quboText); err != nil {
+		return nil, fmt.Errorf("remote: serializing QUBO: %w", err)
+	}
+	reqBody, err := json.Marshal(SampleRequest{
+		QUBO: quboText.String(), Reads: c.Reads, Sweeps: c.Sweeps, Seed: c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(
+		strings.TrimRight(c.BaseURL, "/")+"/v1/sample", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, fmt.Errorf("remote: submitting job: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
+	if err != nil {
+		return nil, fmt.Errorf("remote: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("remote: service error (%d): %s", resp.StatusCode, er.Error)
+		}
+		return nil, fmt.Errorf("remote: service returned status %d", resp.StatusCode)
+	}
+	var sr SampleResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return nil, fmt.Errorf("remote: malformed response: %w", err)
+	}
+	raw := make([]anneal.Sample, 0, len(sr.Samples))
+	for _, ws := range sr.Samples {
+		x, err := stringToBits(ws.X)
+		if err != nil {
+			return nil, err
+		}
+		if len(x) != compiled.N {
+			return nil, fmt.Errorf("remote: sample has %d variables, want %d", len(x), compiled.N)
+		}
+		occ := ws.Occurrences
+		if occ <= 0 {
+			occ = 1
+		}
+		// Re-evaluate locally: never trust remote energy labels.
+		raw = append(raw, anneal.Sample{X: x, Energy: compiled.Energy(x), Occurrences: occ})
+	}
+	if len(raw) == 0 {
+		return nil, errors.New("remote: service returned no samples")
+	}
+	return anneal.Aggregate(raw), nil
+}
+
+// Health checks the service.
+func (c *Client) Health() (*HealthResponse, error) {
+	resp, err := c.httpClient().Get(strings.TrimRight(c.BaseURL, "/") + "/v1/health")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote: health status %d", resp.StatusCode)
+	}
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return nil, err
+	}
+	return &hr, nil
+}

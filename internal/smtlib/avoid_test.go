@@ -1,0 +1,93 @@
+package smtlib
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNotContainsCompilesToAvoid(t *testing.T) {
+	it, _ := testInterp(41)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (not (str.contains x "a")))
+		(assert (not (str.contains x "e")))
+		(assert (= (str.len x) 4))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := it.Model()["x"]
+	if len(v.Str) != 4 || strings.ContainsAny(v.Str, "ae") {
+		t.Errorf("x = %q", v.Str)
+	}
+}
+
+func TestNotContainsNeedsLength(t *testing.T) {
+	it, _ := testInterp(42)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (not (str.contains x "a")))
+		(check-sat)
+	`)
+	if err == nil {
+		t.Error("missing length accepted")
+	}
+}
+
+func TestNotContainsMultiCharRejected(t *testing.T) {
+	it, _ := testInterp(43)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (not (str.contains x "ab")))
+		(assert (= (str.len x) 4))
+		(check-sat)
+	`)
+	if err == nil {
+		t.Error("multi-character negative needle accepted")
+	}
+}
+
+func TestNotContainsCannotMixWithOtherForms(t *testing.T) {
+	it, _ := testInterp(44)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (not (str.contains x "a")))
+		(assert (str.prefixof "b" x))
+		(assert (= (str.len x) 4))
+		(check-sat)
+	`)
+	if err == nil {
+		t.Error("avoid + structural mix accepted")
+	}
+}
+
+func TestRegexStarAndOptScripts(t *testing.T) {
+	it, _ := testInterp(45)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (str.in_re x (re.++ (str.to_re "a") (re.* (str.to_re "b")) (str.to_re "c"))))
+		(assert (= (str.len x) 5))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := it.Model()["x"]; v.Str != "abbbc" {
+		t.Errorf("x = %q, want abbbc", v.Str)
+	}
+
+	it2, _ := testInterp(46)
+	err = it2.Execute(`
+		(declare-const y String)
+		(assert (str.in_re y (re.++ (str.to_re "colo") (re.opt (str.to_re "u")) (str.to_re "r"))))
+		(assert (= (str.len y) 6))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := it2.Model()["y"]; v.Str != "colour" {
+		t.Errorf("y = %q, want colour", v.Str)
+	}
+}

@@ -1,0 +1,125 @@
+package smtlib
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestBenchmarkCorpus runs every .smt2 file under testdata and checks
+// the final check-sat verdict against the file's (set-info :status …)
+// annotation — the convention of the SMT-LIB benchmark library the
+// paper's §2.1.1 describes.
+func TestBenchmarkCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.smt2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 8 {
+		t.Fatalf("corpus too small: %d files", len(files))
+	}
+	statusRe := regexp.MustCompile(`\(set-info :status (\w+)\)`)
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := statusRe.FindSubmatch(src)
+			if m == nil {
+				t.Fatalf("%s lacks a :status annotation", file)
+			}
+			want := string(m[1])
+
+			it, out := testInterp(99)
+			if err := it.Execute(string(src)); err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			lines := strings.Fields(strings.ReplaceAll(out.String(), "(", " ("))
+			// The final verdict line must match the annotation.
+			st, ran := it.Status()
+			if !ran {
+				t.Fatal("no check-sat ran")
+			}
+			if st.String() != want {
+				t.Errorf("verdict %s, annotated %s\noutput:\n%s", st, want, out.String())
+			}
+			_ = lines
+		})
+	}
+}
+
+// TestCorpusModelsVerify replays each sat benchmark's model against the
+// ground evaluator: substituting the model values back into the original
+// assertions must make every one true.
+func TestCorpusModelsVerify(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.smt2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			it, _ := testInterp(7)
+			if err := it.Execute(string(src)); err != nil {
+				t.Fatal(err)
+			}
+			st, _ := it.Status()
+			if st != StatusSat {
+				t.Skip("not sat")
+			}
+			model := it.Model()
+			// Re-parse, substitute, and ground-evaluate the live-scope
+			// assertions. Only the final scope's assertions are checked
+			// (push/pop scripts may contain popped contradictions).
+			sc, err := ParseScript(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			asserts := liveAsserts(sc)
+			for _, a := range asserts {
+				sub := substituteModel(a, model)
+				ok, err := evalBool(sub)
+				if err != nil {
+					t.Fatalf("evaluating %s: %v", sub, err)
+				}
+				if !ok {
+					t.Errorf("model does not satisfy %s (substituted: %s)", a, sub)
+				}
+			}
+		})
+	}
+}
+
+// liveAsserts replays push/pop over the item stream and returns the
+// assertions in scope at the end.
+func liveAsserts(sc *Script) []*Node {
+	var live []*Node
+	var stack []int
+	for _, item := range sc.Items {
+		switch item.Kind {
+		case ItemAssert:
+			live = append(live, item.Assert)
+		case ItemCommand:
+			switch item.Cmd.Kind {
+			case CmdPush:
+				for k := 0; k < item.Cmd.N; k++ {
+					stack = append(stack, len(live))
+				}
+			case CmdPop:
+				for k := 0; k < item.Cmd.N && len(stack) > 0; k++ {
+					live = live[:stack[len(stack)-1]]
+					stack = stack[:len(stack)-1]
+				}
+			}
+		}
+	}
+	return live
+}

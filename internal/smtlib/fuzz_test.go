@@ -1,0 +1,59 @@
+package smtlib
+
+import "testing"
+
+// FuzzParseSExprs checks the reader never panics and that anything it
+// accepts re-parses from its own rendering.
+func FuzzParseSExprs(f *testing.F) {
+	seeds := []string{
+		`(assert (= x "hi"))`,
+		`(set-logic QF_S) (declare-const x String) (check-sat)`,
+		`"unterminated`,
+		`((((`,
+		`)`,
+		`(echo "a""b")`,
+		`(a |quoted sym| :kw 42)`,
+		"; comment\n(exit)",
+		"(\x00)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nodes, err := ParseSExprs(src)
+		if err != nil {
+			return
+		}
+		for _, n := range nodes {
+			round, err := ParseSExprs(n.String())
+			if err != nil {
+				t.Fatalf("accepted %q but rendering %q fails: %v", src, n.String(), err)
+			}
+			if len(round) != 1 {
+				t.Fatalf("rendering %q re-parsed to %d nodes", n.String(), len(round))
+			}
+		}
+	})
+}
+
+// FuzzParseScript checks the command-level parser never panics.
+func FuzzParseScript(f *testing.F) {
+	seeds := []string{
+		`(declare-const x String)(assert (= x "a"))(check-sat)`,
+		`(push 2)(pop)(pop)`,
+		`(declare-fun f () Int)`,
+		`(assert)`,
+		`(wat)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sc, err := ParseScript(src)
+		if err != nil {
+			return
+		}
+		// Anything parseable must also compile or fail cleanly.
+		_, _ = Compile(sc)
+	})
+}

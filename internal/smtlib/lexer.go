@@ -1,0 +1,229 @@
+// Package smtlib implements the solver's SMT-LIB v2 front end: an
+// S-expression reader, a script interpreter for the command subset
+// (set-logic, set-info, set-option, declare-const, declare-fun, assert,
+// check-sat, get-model, echo, exit), and a compiler from the string
+// theory's assertion forms to the QUBO constraints of package core.
+//
+// The supported theory symbols mirror the paper's operation list:
+// str.++, str.len, str.contains, str.indexof, str.substr, str.replace,
+// str.replace_all, str.rev, str.in_re with re.++/re.+/re.union/str.to_re
+// and re.range. Palindrome generation is expressed the natural SMT way,
+// (= x (str.rev x)) plus a length constraint.
+package smtlib
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind discriminates lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokLParen TokenKind = iota
+	TokRParen
+	TokSymbol  // identifier or reserved word
+	TokString  // "…" literal, unescaped
+	TokNumeral // decimal integer
+	TokKeyword // :keyword (used by set-info/set-option)
+	TokEOF
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // decoded text (string literals are unquoted/unescaped)
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokLParen:
+		return "("
+	case TokRParen:
+		return ")"
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// ParseError reports a lexing or parsing failure with position info.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("smtlib: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(format string, args ...interface{}) *ParseError {
+	return &ParseError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peek() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// isSymbolChar reports SMT-LIB simple-symbol characters.
+func isSymbolChar(c byte) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+		return true
+	}
+	return strings.IndexByte("~!@$%^&*_-+=<>.?/", c) >= 0
+}
+
+// next returns the next token.
+func (lx *lexer) next() (Token, error) {
+	for {
+		c, ok := lx.peek()
+		if !ok {
+			return Token{Kind: TokEOF, Line: lx.line, Col: lx.col}, nil
+		}
+		switch {
+		case c == ';': // comment to end of line
+			for {
+				c, ok := lx.peek()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		case unicode.IsSpace(rune(c)):
+			lx.advance()
+		case c == '(':
+			tok := Token{Kind: TokLParen, Line: lx.line, Col: lx.col}
+			lx.advance()
+			return tok, nil
+		case c == ')':
+			tok := Token{Kind: TokRParen, Line: lx.line, Col: lx.col}
+			lx.advance()
+			return tok, nil
+		case c == '"':
+			return lx.stringLit()
+		case c == ':':
+			tok := Token{Kind: TokKeyword, Line: lx.line, Col: lx.col}
+			lx.advance()
+			var sb strings.Builder
+			for {
+				c, ok := lx.peek()
+				if !ok || !isSymbolChar(c) {
+					break
+				}
+				sb.WriteByte(lx.advance())
+			}
+			if sb.Len() == 0 {
+				return Token{}, lx.errorf("bare ':'")
+			}
+			tok.Text = sb.String()
+			return tok, nil
+		case c == '|': // quoted symbol
+			tok := Token{Kind: TokSymbol, Line: lx.line, Col: lx.col}
+			lx.advance()
+			var sb strings.Builder
+			for {
+				c, ok := lx.peek()
+				if !ok {
+					return Token{}, lx.errorf("unterminated quoted symbol")
+				}
+				lx.advance()
+				if c == '|' {
+					break
+				}
+				sb.WriteByte(c)
+			}
+			tok.Text = sb.String()
+			return tok, nil
+		case c >= '0' && c <= '9':
+			tok := Token{Kind: TokNumeral, Line: lx.line, Col: lx.col}
+			var sb strings.Builder
+			for {
+				c, ok := lx.peek()
+				if !ok || c < '0' || c > '9' {
+					break
+				}
+				sb.WriteByte(lx.advance())
+			}
+			// A numeral followed by symbol chars is really a symbol
+			// (e.g. "2x"); SMT-LIB forbids it, we report it.
+			if c, ok := lx.peek(); ok && isSymbolChar(c) {
+				return Token{}, lx.errorf("malformed numeral")
+			}
+			tok.Text = sb.String()
+			return tok, nil
+		case isSymbolChar(c):
+			tok := Token{Kind: TokSymbol, Line: lx.line, Col: lx.col}
+			var sb strings.Builder
+			for {
+				c, ok := lx.peek()
+				if !ok || !isSymbolChar(c) {
+					break
+				}
+				sb.WriteByte(lx.advance())
+			}
+			tok.Text = sb.String()
+			return tok, nil
+		default:
+			return Token{}, lx.errorf("unexpected character %q", c)
+		}
+	}
+}
+
+// stringLit lexes a "…" literal. SMT-LIB escapes a double quote by
+// doubling it ("" inside a literal).
+func (lx *lexer) stringLit() (Token, error) {
+	tok := Token{Kind: TokString, Line: lx.line, Col: lx.col}
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		c, ok := lx.peek()
+		if !ok {
+			return Token{}, lx.errorf("unterminated string literal")
+		}
+		lx.advance()
+		if c == '"' {
+			if nc, ok := lx.peek(); ok && nc == '"' {
+				lx.advance()
+				sb.WriteByte('"')
+				continue
+			}
+			break
+		}
+		sb.WriteByte(c)
+	}
+	tok.Text = sb.String()
+	return tok, nil
+}

@@ -1,0 +1,215 @@
+package smtlib
+
+import (
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.Kind == TokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexAll(t, `(assert (= x "hi"))`)
+	kinds := []TokenKind{TokLParen, TokSymbol, TokLParen, TokSymbol, TokSymbol, TokString, TokRParen, TokRParen}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d kind = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[5].Text != "hi" {
+		t.Errorf("string text = %q", toks[5].Text)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks := lexAll(t, `"a""b"`)
+	if len(toks) != 1 || toks[0].Text != `a"b` {
+		t.Errorf("tokens = %v", toks)
+	}
+	toks = lexAll(t, `""`)
+	if len(toks) != 1 || toks[0].Text != "" {
+		t.Errorf("empty string lexed as %v", toks)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "; a comment\n(exit) ; trailing\n")
+	if len(toks) != 3 {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexNumerals(t *testing.T) {
+	toks := lexAll(t, "0 42 1000")
+	for _, tok := range toks {
+		if tok.Kind != TokNumeral {
+			t.Errorf("token %v is not a numeral", tok)
+		}
+	}
+	lx := newLexer("12ab")
+	if _, err := lx.next(); err == nil {
+		t.Error("malformed numeral accepted")
+	}
+}
+
+func TestLexKeywordsAndQuotedSymbols(t *testing.T) {
+	toks := lexAll(t, ":status |weird symbol|")
+	if toks[0].Kind != TokKeyword || toks[0].Text != "status" {
+		t.Errorf("keyword = %v", toks[0])
+	}
+	if toks[1].Kind != TokSymbol || toks[1].Text != "weird symbol" {
+		t.Errorf("quoted symbol = %v", toks[1])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `|unterminated`, ":", "{"} {
+		lx := newLexer(src)
+		var err error
+		for err == nil {
+			var tok Token
+			tok, err = lx.next()
+			if err == nil && tok.Kind == TokEOF {
+				t.Errorf("lex %q reached EOF without error", src)
+				break
+			}
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	lx := newLexer("(\n  foo")
+	tok, _ := lx.next()
+	if tok.Line != 1 || tok.Col != 1 {
+		t.Errorf("lparen at %d:%d", tok.Line, tok.Col)
+	}
+	tok, _ = lx.next()
+	if tok.Line != 2 || tok.Col != 3 {
+		t.Errorf("foo at %d:%d", tok.Line, tok.Col)
+	}
+}
+
+func TestParseSExprs(t *testing.T) {
+	nodes, err := ParseSExprs(`(a (b 1) "s") (c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	n := nodes[0]
+	if n.Head() != "a" || len(n.Args()) != 2 {
+		t.Errorf("node = %s", n)
+	}
+	if n.Args()[0].Head() != "b" {
+		t.Errorf("inner head = %q", n.Args()[0].Head())
+	}
+	if got := n.String(); got != `(a (b 1) "s")` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseSExprErrors(t *testing.T) {
+	for _, src := range []string{"(", ")", "(a))"} {
+		if _, err := ParseSExprs(src); err == nil && src != "(a))" {
+			t.Errorf("ParseSExprs(%q) succeeded", src)
+		}
+	}
+	// Trailing garbage after a complete expression: the extra ')' errors.
+	if _, err := ParseSExprs("(a))"); err == nil {
+		t.Error("trailing ')' accepted")
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	nodes, err := ParseSExprs(`(= (str.len x) 5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nodes[0]
+	if !n.List[1].Args()[0].IsSymbol("x") {
+		t.Error("IsSymbol failed")
+	}
+	if v, err := n.Args()[1].Int(); err != nil || v != 5 {
+		t.Errorf("Int = %d, %v", v, err)
+	}
+	if _, err := n.Args()[0].Int(); err == nil {
+		t.Error("Int on list succeeded")
+	}
+	var nilNode *Node
+	if nilNode.Head() != "" || nilNode.IsSymbol("x") {
+		t.Error("nil node helpers wrong")
+	}
+}
+
+func TestStringQuotingRoundTrip(t *testing.T) {
+	nodes, err := ParseSExprs(`(echo "say ""hi""")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].Args()[0].Atom != `say "hi"` {
+		t.Errorf("atom = %q", nodes[0].Args()[0].Atom)
+	}
+	round, err := ParseSExprs(nodes[0].String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", nodes[0].String(), err)
+	}
+	if round[0].Args()[0].Atom != nodes[0].Args()[0].Atom {
+		t.Error("string quoting not round-trippable")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: TokLParen}, "("},
+		{Token{Kind: TokRParen}, ")"},
+		{Token{Kind: TokEOF}, "<eof>"},
+		{Token{Kind: TokString, Text: "hi"}, `"hi"`},
+		{Token{Kind: TokSymbol, Text: "foo"}, "foo"},
+		{Token{Kind: TokNumeral, Text: "42"}, "42"},
+	}
+	for _, tc := range cases {
+		if got := tc.tok.String(); got != tc.want {
+			t.Errorf("Token.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestSortString(t *testing.T) {
+	if SortString.String() != "String" || SortInt.String() != "Int" {
+		t.Error("sort strings wrong")
+	}
+}
+
+func TestQuotedSymbolRendering(t *testing.T) {
+	n := &Node{Kind: NodeSymbol, Atom: "has space"}
+	if n.String() != "|has space|" {
+		t.Errorf("quoted symbol rendered %q", n.String())
+	}
+	n2 := &Node{Kind: NodeSymbol, Atom: "1starts-with-digit"}
+	if n2.String() != "|1starts-with-digit|" {
+		t.Errorf("digit-led symbol rendered %q", n2.String())
+	}
+	plain := &Node{Kind: NodeSymbol, Atom: "ok"}
+	if plain.String() != "ok" {
+		t.Errorf("plain symbol rendered %q", plain.String())
+	}
+}

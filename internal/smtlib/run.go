@@ -1,0 +1,373 @@
+package smtlib
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"qsmt"
+)
+
+// Status is a check-sat verdict.
+type Status int
+
+// Verdicts.
+const (
+	StatusSat Status = iota
+	StatusUnsat
+	StatusUnknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "sat"
+	case StatusUnsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Value is a model entry.
+type Value struct {
+	Sort Sort
+	Str  string
+	Int  int
+}
+
+// Interpreter executes SMT-LIB scripts against a qsmt solver. It
+// supports incremental solving: push/pop maintain a stack of assertion
+// scopes, and each check-sat compiles the assertions visible at that
+// point.
+type Interpreter struct {
+	Solver *qsmt.Solver
+	Out    io.Writer
+	// Parallel solves independent variables concurrently at check-sat.
+	// Each declared variable's constraints form an isolated QUBO
+	// problem, so a multi-variable script fans out across cores. Enable
+	// only when the solver's sampler is safe for concurrent use (the
+	// built-in annealers are; the topology-embedding sampler records
+	// per-call statistics and is not).
+	Parallel bool
+
+	// Live assertion state (push/pop-scoped).
+	decls   []Decl
+	asserts []*Node
+	defines []Item // define-fun items (name, sort, expanded body)
+	frames  []frame
+
+	status Status
+	model  map[string]Value
+	ran    bool
+}
+
+// frame records the state sizes at a push, restored by the matching pop.
+type frame struct{ nDecls, nAsserts int }
+
+// NewInterpreter returns an interpreter writing command responses to out.
+// A nil solver selects qsmt defaults.
+func NewInterpreter(solver *qsmt.Solver, out io.Writer) *Interpreter {
+	if solver == nil {
+		solver = qsmt.NewSolver(nil)
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	return &Interpreter{Solver: solver, Out: out}
+}
+
+// Execute parses and runs a script, writing one response line per
+// output-producing command (check-sat, get-model, echo). State persists
+// across Execute calls, so an interactive front end can feed commands
+// incrementally.
+func (it *Interpreter) Execute(src string) error {
+	sc, err := ParseScript(src)
+	if err != nil {
+		return err
+	}
+	for _, item := range sc.Items {
+		switch item.Kind {
+		case ItemDecl:
+			for _, d := range it.decls {
+				if d.Name == item.Decl.Name {
+					return fmt.Errorf("smtlib: duplicate declaration of %s", d.Name)
+				}
+			}
+			it.decls = append(it.decls, item.Decl)
+		case ItemAssert:
+			it.asserts = append(it.asserts, item.Assert)
+		case ItemDefine:
+			it.defines = append(it.defines, item)
+		case ItemCommand:
+			done, err := it.runCommand(item.Cmd)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// runCommand executes one command; done reports an (exit).
+func (it *Interpreter) runCommand(cmd Command) (done bool, err error) {
+	switch cmd.Kind {
+	case CmdEcho:
+		fmt.Fprintln(it.Out, cmd.Arg)
+	case CmdCheckSat:
+		if err := it.checkSat(); err != nil {
+			return false, err
+		}
+		fmt.Fprintln(it.Out, it.status)
+	case CmdCheckSatAssuming:
+		// Temporary assumptions: check against the current assertions
+		// plus the listed terms, then restore.
+		saved := len(it.asserts)
+		it.asserts = append(it.asserts, cmd.Terms...)
+		err := it.checkSat()
+		it.asserts = it.asserts[:saved]
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintln(it.Out, it.status)
+	case CmdGetModel:
+		if err := it.printModel(); err != nil {
+			return false, err
+		}
+	case CmdGetValue:
+		if err := it.printValues(cmd.Terms); err != nil {
+			return false, err
+		}
+	case CmdGetInfo:
+		it.printInfo(cmd.Arg)
+	case CmdPush:
+		for k := 0; k < cmd.N; k++ {
+			it.frames = append(it.frames, frame{nDecls: len(it.decls), nAsserts: len(it.asserts)})
+		}
+	case CmdPop:
+		for k := 0; k < cmd.N; k++ {
+			if len(it.frames) == 0 {
+				return false, errors.New("smtlib: pop without matching push")
+			}
+			f := it.frames[len(it.frames)-1]
+			it.frames = it.frames[:len(it.frames)-1]
+			it.decls = it.decls[:f.nDecls]
+			it.asserts = it.asserts[:f.nAsserts]
+		}
+	case CmdExit:
+		return true, nil
+	}
+	return false, nil
+}
+
+// Status returns the most recent check-sat verdict.
+func (it *Interpreter) Status() (Status, bool) { return it.status, it.ran }
+
+// Model returns the model found by the most recent sat check-sat.
+func (it *Interpreter) Model() map[string]Value { return it.model }
+
+func (it *Interpreter) checkSat() error {
+	it.ran = true
+	it.model = map[string]Value{}
+	snapshot := &Script{Decls: it.decls, Asserts: it.asserts}
+	comp, err := Compile(snapshot)
+	if err != nil {
+		return err
+	}
+	if len(comp.GroundFalse) > 0 {
+		it.status = StatusUnsat
+		return nil
+	}
+	type solved struct {
+		val Value
+		err error
+	}
+	results := make([]solved, len(comp.Problems))
+	solveOne := func(i int) {
+		p := comp.Problems[i]
+		switch {
+		case p.Pipeline != nil:
+			res, err := it.Solver.Run(p.Pipeline)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].val = Value{Sort: SortString, Str: res.Output}
+		case p.Single != nil:
+			res, err := it.Solver.Solve(p.Single)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].val = Value{Sort: SortInt, Int: res.Witness.Index}
+		}
+	}
+	if it.Parallel && len(comp.Problems) > 1 {
+		var wg sync.WaitGroup
+		for i := range comp.Problems {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				solveOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range comp.Problems {
+			solveOne(i)
+		}
+	}
+	// Process outcomes in declaration order so verdicts are
+	// deterministic regardless of goroutine scheduling.
+	for i, p := range comp.Problems {
+		if results[i].err != nil {
+			return it.classify(results[i].err)
+		}
+		it.model[p.Var] = results[i].val
+	}
+	// define-fun macros evaluate to concrete values for the model.
+	for _, def := range it.defines {
+		if def.Decl.Sort == SortString {
+			if v, err := evalString(def.Assert); err == nil {
+				it.model[def.Decl.Name] = Value{Sort: SortString, Str: v}
+			}
+		} else if v, err := evalInt(def.Assert); err == nil {
+			it.model[def.Decl.Name] = Value{Sort: SortInt, Int: v}
+		}
+	}
+	// Unconstrained declared variables still deserve model entries.
+	for _, d := range it.decls {
+		if _, ok := it.model[d.Name]; !ok {
+			if d.Sort == SortString {
+				it.model[d.Name] = Value{Sort: SortString, Str: ""}
+			} else {
+				it.model[d.Name] = Value{Sort: SortInt, Int: 0}
+			}
+		}
+	}
+	it.status = StatusSat
+	return nil
+}
+
+// classify converts solver failures into verdicts: provable
+// unsatisfiability is "unsat", an exhausted annealing budget is
+// "unknown" (the honest answer for an incomplete solver).
+func (it *Interpreter) classify(err error) error {
+	switch {
+	case errors.Is(err, qsmt.ErrUnsatisfiable):
+		it.status = StatusUnsat
+		return nil
+	case errors.Is(err, qsmt.ErrNoModel):
+		it.status = StatusUnknown
+		return nil
+	default:
+		return err
+	}
+}
+
+// printValues answers (get-value (t₁ t₂ …)): every term is substituted
+// with the current model and ground-evaluated.
+func (it *Interpreter) printValues(terms []*Node) error {
+	if !it.ran {
+		return errors.New("smtlib: get-value before check-sat")
+	}
+	if it.status != StatusSat {
+		return fmt.Errorf("smtlib: get-value after %s", it.status)
+	}
+	fmt.Fprint(it.Out, "(")
+	for i, term := range terms {
+		sub := substituteModel(term, it.model)
+		var rendered string
+		if v, err := evalString(sub); err == nil {
+			rendered = (&Node{Kind: NodeString, Atom: v}).String()
+		} else if v, err := evalInt(sub); err == nil {
+			rendered = fmt.Sprintf("%d", v)
+		} else if v, err := evalBool(sub); err == nil {
+			rendered = fmt.Sprintf("%v", v)
+		} else {
+			return fmt.Errorf("smtlib: get-value cannot evaluate %s", term)
+		}
+		if i > 0 {
+			fmt.Fprint(it.Out, " ")
+		}
+		fmt.Fprintf(it.Out, "(%s %s)", term, rendered)
+	}
+	fmt.Fprintln(it.Out, ")")
+	return nil
+}
+
+// printInfo answers (get-info :keyword) for the common benchmark
+// keywords.
+func (it *Interpreter) printInfo(keyword string) {
+	switch keyword {
+	case "name":
+		fmt.Fprintln(it.Out, `(:name "qsmt")`)
+	case "version":
+		fmt.Fprintln(it.Out, `(:version "1.0")`)
+	case "authors":
+		fmt.Fprintln(it.Out, `(:authors "qsmt — QUBO/annealing string solver")`)
+	default:
+		fmt.Fprintf(it.Out, "(:%s unsupported)\n", keyword)
+	}
+}
+
+// substituteModel replaces model variables inside a term by value nodes.
+func substituteModel(n *Node, model map[string]Value) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Kind == NodeSymbol {
+		if v, ok := model[n.Atom]; ok {
+			if v.Sort == SortString {
+				return &Node{Kind: NodeString, Atom: v.Str, Line: n.Line, Col: n.Col}
+			}
+			if v.Int < 0 {
+				return &Node{Kind: NodeList, Line: n.Line, Col: n.Col, List: []*Node{
+					{Kind: NodeSymbol, Atom: "-"},
+					{Kind: NodeNumeral, Atom: fmt.Sprintf("%d", -v.Int)},
+				}}
+			}
+			return &Node{Kind: NodeNumeral, Atom: fmt.Sprintf("%d", v.Int), Line: n.Line, Col: n.Col}
+		}
+		return n
+	}
+	if n.Kind != NodeList {
+		return n
+	}
+	out := &Node{Kind: NodeList, Line: n.Line, Col: n.Col}
+	for _, c := range n.List {
+		out.List = append(out.List, substituteModel(c, model))
+	}
+	return out
+}
+
+func (it *Interpreter) printModel() error {
+	if !it.ran {
+		return errors.New("smtlib: get-model before check-sat")
+	}
+	if it.status != StatusSat {
+		return fmt.Errorf("smtlib: get-model after %s", it.status)
+	}
+	names := make([]string, 0, len(it.model))
+	for n := range it.model {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(it.Out, "(")
+	for _, n := range names {
+		v := it.model[n]
+		if v.Sort == SortString {
+			fmt.Fprintf(it.Out, "  (define-fun %s () String \"%s\")\n", n, strings.ReplaceAll(v.Str, `"`, `""`))
+		} else {
+			fmt.Fprintf(it.Out, "  (define-fun %s () Int %d)\n", n, v.Int)
+		}
+	}
+	fmt.Fprintln(it.Out, ")")
+	return nil
+}

@@ -1,0 +1,260 @@
+package smtlib
+
+import (
+	"strings"
+	"testing"
+
+	"qsmt"
+	"qsmt/internal/anneal"
+	"qsmt/internal/strtheory"
+)
+
+func testInterp(seed int64) (*Interpreter, *strings.Builder) {
+	var out strings.Builder
+	solver := qsmt.NewSolver(&qsmt.Options{
+		Sampler: &anneal.SimulatedAnnealer{Reads: 32, Sweeps: 800, Seed: seed},
+	})
+	return NewInterpreter(solver, &out), &out
+}
+
+func TestExecuteEquality(t *testing.T) {
+	it, out := testInterp(1)
+	err := it.Execute(`
+		(set-logic QF_S)
+		(declare-const x String)
+		(assert (= x "hello"))
+		(check-sat)
+		(get-model)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "sat") {
+		t.Errorf("output missing sat:\n%s", text)
+	}
+	if !strings.Contains(text, `(define-fun x () String "hello")`) {
+		t.Errorf("output missing model:\n%s", text)
+	}
+}
+
+func TestExecutePipelineScript(t *testing.T) {
+	// Table 1 row 1 end to end through the SMT front end.
+	it, _ := testInterp(2)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (= x (str.replace (str.rev "hello") "e" "a")))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := it.Model()["x"]; v.Str != "ollah" {
+		t.Errorf("x = %q, want ollah", v.Str)
+	}
+}
+
+func TestExecutePalindromeScript(t *testing.T) {
+	it, _ := testInterp(3)
+	err := it.Execute(`
+		(declare-const p String)
+		(assert (= p (str.rev p)))
+		(assert (= (str.len p) 6))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := it.Model()["p"]
+	if len(v.Str) != 6 || !strtheory.IsPalindrome(v.Str) {
+		t.Errorf("p = %q", v.Str)
+	}
+}
+
+func TestExecuteRegexScript(t *testing.T) {
+	it, _ := testInterp(4)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (str.in_re x (re.++ (str.to_re "a") (re.+ (re.union (str.to_re "b") (str.to_re "c"))))))
+		(assert (= (str.len x) 5))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := it.Model()["x"]
+	if v.Str[0] != 'a' {
+		t.Errorf("x = %q", v.Str)
+	}
+}
+
+func TestExecuteIncludesScript(t *testing.T) {
+	it, _ := testInterp(5)
+	err := it.Execute(`
+		(declare-const i Int)
+		(assert (= i (str.indexof "hello world" "world" 0)))
+		(check-sat)
+		(get-model)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := it.Model()["i"]; v.Int != 6 {
+		t.Errorf("i = %d, want 6", v.Int)
+	}
+}
+
+func TestExecuteGroundUnsat(t *testing.T) {
+	it, out := testInterp(6)
+	err := it.Execute(`
+		(assert (= "a" "b"))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "unsat") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestExecuteConstraintUnsat(t *testing.T) {
+	it, out := testInterp(7)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (str.contains x "toolong"))
+		(assert (= (str.len x) 3))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "unsat") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestExecuteEchoAndExit(t *testing.T) {
+	it, out := testInterp(8)
+	err := it.Execute(`
+		(echo "starting")
+		(exit)
+		(echo "never")
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "starting\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestGetModelBeforeCheckSat(t *testing.T) {
+	it, _ := testInterp(9)
+	if err := it.Execute(`(get-model)`); err == nil {
+		t.Error("get-model before check-sat accepted")
+	}
+}
+
+func TestGetModelAfterUnsat(t *testing.T) {
+	it, _ := testInterp(10)
+	err := it.Execute(`
+		(assert (= "a" "b"))
+		(check-sat)
+		(get-model)
+	`)
+	if err == nil {
+		t.Error("get-model after unsat accepted")
+	}
+}
+
+func TestUnconstrainedVariableGetsModelEntry(t *testing.T) {
+	it, _ := testInterp(11)
+	err := it.Execute(`
+		(declare-const x String)
+		(declare-const used String)
+		(assert (= used "u"))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Model()["x"]; !ok {
+		t.Error("unconstrained variable missing from model")
+	}
+}
+
+func TestLengthOnlyVariableSolves(t *testing.T) {
+	it, _ := testInterp(12)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (= (str.len x) 4))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := it.Model()["x"]
+	if len(v.Str) != 4 {
+		t.Errorf("x = %q, want length 4", v.Str)
+	}
+	for i := 0; i < len(v.Str); i++ {
+		if v.Str[i] < 0x20 || v.Str[i] > 0x7e {
+			t.Errorf("x[%d] = %#x not printable", i, v.Str[i])
+		}
+	}
+}
+
+func TestStatusAccessor(t *testing.T) {
+	it, _ := testInterp(13)
+	if _, ran := it.Status(); ran {
+		t.Error("Status ran before any check-sat")
+	}
+	if err := it.Execute(`(check-sat)`); err != nil {
+		t.Fatal(err)
+	}
+	st, ran := it.Status()
+	if !ran || st != StatusSat {
+		t.Errorf("Status = %v, %v", st, ran)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if StatusSat.String() != "sat" || StatusUnsat.String() != "unsat" || StatusUnknown.String() != "unknown" {
+		t.Error("status strings wrong")
+	}
+}
+
+func TestSubstrScriptEndToEnd(t *testing.T) {
+	// Table 1 row 5 as a script.
+	it, _ := testInterp(14)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (= (str.substr x 2 2) "hi"))
+		(assert (= (str.len x) 6))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := it.Model()["x"]
+	if len(v.Str) != 6 || v.Str[2:4] != "hi" {
+		t.Errorf("x = %q", v.Str)
+	}
+}
+
+func TestModelStringEscaping(t *testing.T) {
+	it, out := testInterp(15)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (= x "say ""hi"""))
+		(check-sat)
+		(get-model)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"say ""hi"""`) {
+		t.Errorf("model output does not re-escape quotes:\n%s", out.String())
+	}
+}

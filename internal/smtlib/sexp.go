@@ -1,0 +1,189 @@
+package smtlib
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NodeKind discriminates S-expression nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	NodeList NodeKind = iota
+	NodeSymbol
+	NodeString
+	NodeNumeral
+	NodeKeyword
+)
+
+// Node is one S-expression: an atom or a list.
+type Node struct {
+	Kind NodeKind
+	Atom string  // symbol text, decoded string, numeral digits, keyword name
+	List []*Node // children when Kind == NodeList
+	Line int
+	Col  int
+}
+
+// IsSymbol reports whether n is the symbol name.
+func (n *Node) IsSymbol(name string) bool {
+	return n != nil && n.Kind == NodeSymbol && n.Atom == name
+}
+
+// Head returns the leading symbol of a list node, or "".
+func (n *Node) Head() string {
+	if n == nil || n.Kind != NodeList || len(n.List) == 0 || n.List[0].Kind != NodeSymbol {
+		return ""
+	}
+	return n.List[0].Atom
+}
+
+// Args returns the elements after the head of a list node.
+func (n *Node) Args() []*Node {
+	if n == nil || n.Kind != NodeList || len(n.List) == 0 {
+		return nil
+	}
+	return n.List[1:]
+}
+
+// Int parses a numeral node.
+func (n *Node) Int() (int, error) {
+	if n.Kind != NodeNumeral {
+		return 0, fmt.Errorf("smtlib: %d:%d: expected numeral, got %s", n.Line, n.Col, n)
+	}
+	return strconv.Atoi(n.Atom)
+}
+
+// String renders the node back as SMT-LIB text. Symbols that are not
+// simple symbols (or that would lex as another token kind) are rendered
+// in |…| quoting so the output re-parses to the same node.
+func (n *Node) String() string {
+	if n == nil {
+		return "<nil>"
+	}
+	switch n.Kind {
+	case NodeString:
+		return `"` + strings.ReplaceAll(n.Atom, `"`, `""`) + `"`
+	case NodeList:
+		parts := make([]string, len(n.List))
+		for i, c := range n.List {
+			parts[i] = c.String()
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	case NodeKeyword:
+		return ":" + n.Atom
+	case NodeSymbol:
+		if isSimpleSymbol(n.Atom) {
+			return n.Atom
+		}
+		return "|" + n.Atom + "|"
+	default:
+		return n.Atom
+	}
+}
+
+// isSimpleSymbol reports whether text lexes back as a plain symbol: all
+// symbol characters, nonempty, and not starting with a digit (which
+// would lex as a numeral or an error).
+func isSimpleSymbol(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isSymbolChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+type parser struct {
+	lx   *lexer
+	tok  Token
+	err  error
+	done bool
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+// parseNode parses one S-expression. Returns nil at EOF.
+func (p *parser) parseNode() (*Node, error) {
+	switch p.tok.Kind {
+	case TokEOF:
+		return nil, nil
+	case TokLParen:
+		n := &Node{Kind: NodeList, Line: p.tok.Line, Col: p.tok.Col}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for p.tok.Kind != TokRParen {
+			if p.tok.Kind == TokEOF {
+				return nil, &ParseError{Line: n.Line, Col: n.Col, Msg: "unclosed '('"}
+			}
+			child, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.List = append(n.List, child)
+		}
+		if err := p.advance(); err != nil { // consume ')'
+			return nil, err
+		}
+		return n, nil
+	case TokRParen:
+		return nil, &ParseError{Line: p.tok.Line, Col: p.tok.Col, Msg: "unexpected ')'"}
+	case TokSymbol, TokString, TokNumeral, TokKeyword:
+		kind := map[TokenKind]NodeKind{
+			TokSymbol:  NodeSymbol,
+			TokString:  NodeString,
+			TokNumeral: NodeNumeral,
+			TokKeyword: NodeKeyword,
+		}[p.tok.Kind]
+		n := &Node{Kind: kind, Atom: p.tok.Text, Line: p.tok.Line, Col: p.tok.Col}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	default:
+		return nil, &ParseError{Line: p.tok.Line, Col: p.tok.Col, Msg: "unexpected token"}
+	}
+}
+
+// ParseSExprs parses a whole source text into top-level S-expressions.
+func ParseSExprs(src string) ([]*Node, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Node
+	for {
+		n, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		if n == nil {
+			return out, nil
+		}
+		out = append(out, n)
+	}
+}

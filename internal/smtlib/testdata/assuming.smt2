@@ -1,0 +1,9 @@
+; check-sat-assuming: a temporary hypothesis, then the base check
+(set-logic QF_S)
+(set-info :status sat)
+(declare-const x String)
+(assert (str.prefixof "ab" x))
+(assert (= (str.len x) 4))
+(check-sat-assuming ((str.suffixof "yz" x)))
+(check-sat)
+(get-model)

@@ -1,0 +1,9 @@
+; define-fun macros feeding a pipeline
+(set-logic QF_S)
+(set-info :status sat)
+(define-fun base () String "hello")
+(define-fun shouted () String (str.to_upper base))
+(declare-const x String)
+(assert (= x (str.rev shouted)))
+(check-sat)
+(get-model)

@@ -1,0 +1,7 @@
+; §4.4: where does "o w" begin inside "hello world"?
+(set-logic QF_S)
+(set-info :status sat)
+(declare-const i Int)
+(assert (= i (str.indexof "hello world" "o w" 0)))
+(check-sat)
+(get-model)

@@ -1,0 +1,8 @@
+; extension quantifiers: star and optional
+(set-logic QF_S)
+(set-info :status sat)
+(declare-const x String)
+(assert (str.in_re x (re.++ (str.to_re "a") (re.* (str.to_re "b")) (str.to_re "c"))))
+(assert (= (str.len x) 4))
+(check-sat)
+(get-model)

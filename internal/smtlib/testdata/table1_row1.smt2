@@ -1,0 +1,7 @@
+; Table 1 row 1: reverse "hello", replace 'e' with 'a'  ->  "ollah"
+(set-logic QF_S)
+(set-info :status sat)
+(declare-const x String)
+(assert (= x (str.replace (str.rev "hello") "e" "a")))
+(check-sat)
+(get-model)

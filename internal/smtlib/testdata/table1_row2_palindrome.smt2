@@ -1,0 +1,8 @@
+; Table 1 row 2: generate a palindrome of length 6
+(set-logic QF_S)
+(set-info :status sat)
+(declare-const p String)
+(assert (= p (str.rev p)))
+(assert (= (str.len p) 6))
+(check-sat)
+(get-model)

@@ -1,0 +1,8 @@
+; Table 1 row 3: generate a match of a[bc]+ with length 5
+(set-logic QF_S)
+(set-info :status sat)
+(declare-const w String)
+(assert (str.in_re w (re.++ (str.to_re "a") (re.+ (re.union (str.to_re "b") (str.to_re "c"))))))
+(assert (= (str.len w) 5))
+(check-sat)
+(get-model)

@@ -1,0 +1,7 @@
+; Table 1 row 4: concatenate then replace all 'l' with 'x'
+(set-logic QF_S)
+(set-info :status sat)
+(declare-const x String)
+(assert (= x (str.replace_all (str.++ "hello" " world") "l" "x")))
+(check-sat)
+(get-model)

@@ -1,0 +1,8 @@
+; Table 1 row 5: a length-6 string containing "hi" at index 2
+(set-logic QF_S)
+(set-info :status sat)
+(declare-const x String)
+(assert (= (str.substr x 2 2) "hi"))
+(assert (= (str.len x) 6))
+(check-sat)
+(get-model)

@@ -1,0 +1,5 @@
+; a ground contradiction: trivially unsat
+(set-logic QF_S)
+(set-info :status unsat)
+(assert (= (str.++ "a" "b") "ba"))
+(check-sat)

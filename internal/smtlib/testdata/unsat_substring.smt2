@@ -1,0 +1,7 @@
+; needle longer than the bounded string: unsat at encode time
+(set-logic QF_S)
+(set-info :status unsat)
+(declare-const x String)
+(assert (str.contains x "toolong"))
+(assert (= (str.len x) 3))
+(check-sat)

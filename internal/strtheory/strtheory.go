@@ -1,0 +1,158 @@
+// Package strtheory implements the reference (classical, executable)
+// semantics of the string operations the solver reasons about. These are
+// the deterministic SMT-LIB string-theory semantics the paper cites
+// (replace, indexOf, concat, substr, length, …) plus the two operations
+// the paper adds beyond z3's repertoire (replaceAll at the time of
+// writing, and the palindrome predicate).
+//
+// The verifier checks annealer outputs against these functions — this is
+// the "transform the solution back to the original theory and check for
+// consistency" step of the SMT loop — and the classical baseline solver
+// searches directly over them.
+package strtheory
+
+import "strings"
+
+// Concat returns the concatenation of its arguments (SMT-LIB str.++).
+func Concat(parts ...string) string {
+	var sb strings.Builder
+	for _, p := range parts {
+		sb.WriteString(p)
+	}
+	return sb.String()
+}
+
+// Length returns the length of s in characters (SMT-LIB str.len). The
+// solver operates on 7-bit ASCII, so bytes and characters coincide.
+func Length(s string) int { return len(s) }
+
+// Contains reports whether t contains s as a (contiguous) substring
+// (SMT-LIB str.contains t s). The empty string is contained in everything.
+func Contains(t, s string) bool { return strings.Contains(t, s) }
+
+// IndexOf returns the position of the first occurrence of s in t at or
+// after position from, following SMT-LIB str.indexof semantics:
+//   - if from < 0 or from > len(t), the result is −1;
+//   - if s is empty and from is in range, the result is from;
+//   - otherwise the smallest i ≥ from with t[i:i+len(s)] == s, or −1.
+func IndexOf(t, s string, from int) int {
+	if from < 0 || from > len(t) {
+		return -1
+	}
+	idx := strings.Index(t[from:], s)
+	if idx < 0 {
+		return -1
+	}
+	return from + idx
+}
+
+// Replace returns t with the first occurrence of old replaced by new
+// (SMT-LIB str.replace). When old does not occur, t is returned
+// unchanged. When old is empty, new is prepended (SMT-LIB convention:
+// the first occurrence of "" is at position 0).
+func Replace(t, old, new string) string {
+	if old == "" {
+		return new + t
+	}
+	return strings.Replace(t, old, new, 1)
+}
+
+// ReplaceAll returns t with every occurrence of old replaced by new
+// (SMT-LIB str.replace_all). When old is empty, t is returned unchanged
+// (SMT-LIB convention, which differs from str.replace).
+func ReplaceAll(t, old, new string) string {
+	if old == "" {
+		return t
+	}
+	return strings.ReplaceAll(t, old, new)
+}
+
+// ReplaceAllChar replaces every occurrence of the character x with y,
+// the exact operation of the paper's §4.7.
+func ReplaceAllChar(t string, x, y byte) string {
+	b := []byte(t)
+	for i := range b {
+		if b[i] == x {
+			b[i] = y
+		}
+	}
+	return string(b)
+}
+
+// ReplaceChar replaces the first occurrence of the character x with y,
+// the exact operation of the paper's §4.8.
+func ReplaceChar(t string, x, y byte) string {
+	b := []byte(t)
+	for i := range b {
+		if b[i] == x {
+			b[i] = y
+			break
+		}
+	}
+	return string(b)
+}
+
+// Reverse returns s reversed (§4.9).
+func Reverse(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// IsPalindrome reports whether s reads the same forwards and backwards
+// (§4.10). The empty string is a palindrome.
+func IsPalindrome(s string) bool {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		if s[i] != s[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Substr returns the substring of s starting at from with length n,
+// following SMT-LIB str.substr semantics: out-of-range from or
+// non-positive n yields the empty string, and the extraction is clamped
+// to the end of s.
+func Substr(s string, from, n int) string {
+	if from < 0 || from >= len(s) || n <= 0 {
+		return ""
+	}
+	end := from + n
+	if end > len(s) {
+		end = len(s)
+	}
+	return s[from:end]
+}
+
+// At returns the single-character string at position i (SMT-LIB str.at),
+// or the empty string when i is out of range.
+func At(s string, i int) string {
+	if i < 0 || i >= len(s) {
+		return ""
+	}
+	return s[i : i+1]
+}
+
+// PrefixOf reports whether s is a prefix of t (SMT-LIB str.prefixof).
+func PrefixOf(s, t string) bool { return strings.HasPrefix(t, s) }
+
+// SuffixOf reports whether s is a suffix of t (SMT-LIB str.suffixof).
+func SuffixOf(s, t string) bool { return strings.HasSuffix(t, s) }
+
+// CountOccurrences returns the number of (possibly overlapping)
+// occurrences of s in t; the empty string occurs len(t)+1 times.
+func CountOccurrences(t, s string) int {
+	if s == "" {
+		return len(t) + 1
+	}
+	count := 0
+	for i := 0; i+len(s) <= len(t); i++ {
+		if t[i:i+len(s)] == s {
+			count++
+		}
+	}
+	return count
+}

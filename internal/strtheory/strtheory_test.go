@@ -1,0 +1,256 @@
+package strtheory
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConcat(t *testing.T) {
+	if got := Concat("hello", " ", "world"); got != "hello world" {
+		t.Errorf("Concat = %q", got)
+	}
+	if got := Concat(); got != "" {
+		t.Errorf("Concat() = %q", got)
+	}
+	if got := Concat("", "a", ""); got != "a" {
+		t.Errorf("Concat with empties = %q", got)
+	}
+}
+
+func TestLength(t *testing.T) {
+	if Length("") != 0 || Length("abc") != 3 {
+		t.Error("Length wrong")
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		t, s string
+		want bool
+	}{
+		{"hello", "ell", true},
+		{"hello", "hello", true},
+		{"hello", "", true},
+		{"", "", true},
+		{"", "a", false},
+		{"hello", "lo!", false},
+		{"aaa", "aa", true},
+	}
+	for _, tc := range cases {
+		if got := Contains(tc.t, tc.s); got != tc.want {
+			t.Errorf("Contains(%q,%q) = %v", tc.t, tc.s, got)
+		}
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	cases := []struct {
+		t, s string
+		from int
+		want int
+	}{
+		{"hello", "l", 0, 2},
+		{"hello", "l", 3, 3},
+		{"hello", "l", 4, -1},
+		{"hello", "", 2, 2},
+		{"hello", "", 5, 5},
+		{"hello", "", 6, -1},
+		{"hello", "x", 0, -1},
+		{"hello", "hello", 0, 0},
+		{"hello", "l", -1, -1},
+		{"abcabc", "abc", 1, 3},
+	}
+	for _, tc := range cases {
+		if got := IndexOf(tc.t, tc.s, tc.from); got != tc.want {
+			t.Errorf("IndexOf(%q,%q,%d) = %d, want %d", tc.t, tc.s, tc.from, got, tc.want)
+		}
+	}
+}
+
+func TestReplace(t *testing.T) {
+	cases := []struct {
+		t, old, new, want string
+	}{
+		{"hello", "l", "L", "heLlo"},
+		{"hello", "xyz", "L", "hello"},
+		{"hello", "", "X", "Xhello"}, // SMT-LIB: first "" occurrence is at 0
+		{"", "", "X", "X"},
+		{"aaa", "aa", "b", "ba"},
+	}
+	for _, tc := range cases {
+		if got := Replace(tc.t, tc.old, tc.new); got != tc.want {
+			t.Errorf("Replace(%q,%q,%q) = %q, want %q", tc.t, tc.old, tc.new, got, tc.want)
+		}
+	}
+}
+
+func TestReplaceAll(t *testing.T) {
+	cases := []struct {
+		t, old, new, want string
+	}{
+		{"hello world", "l", "x", "hexxo worxd"}, // Table 1 row 4 (after concat)
+		{"hello", "", "X", "hello"},              // SMT-LIB: empty old is identity
+		{"aaaa", "aa", "b", "bb"},
+		{"abc", "abc", "", ""},
+	}
+	for _, tc := range cases {
+		if got := ReplaceAll(tc.t, tc.old, tc.new); got != tc.want {
+			t.Errorf("ReplaceAll(%q,%q,%q) = %q, want %q", tc.t, tc.old, tc.new, got, tc.want)
+		}
+	}
+}
+
+func TestReplaceAllChar(t *testing.T) {
+	// Table 1 row 4: "hello world" with all 'l' -> 'x'.
+	if got := ReplaceAllChar("hello world", 'l', 'x'); got != "hexxo worxd" {
+		t.Errorf("ReplaceAllChar = %q, want %q", got, "hexxo worxd")
+	}
+	if got := ReplaceAllChar("abc", 'z', 'y'); got != "abc" {
+		t.Errorf("no-op ReplaceAllChar = %q", got)
+	}
+}
+
+func TestReplaceChar(t *testing.T) {
+	if got := ReplaceChar("hello", 'l', 'L'); got != "heLlo" {
+		t.Errorf("ReplaceChar = %q", got)
+	}
+	// Table 1 row 1: reverse "hello" = "olleh", then replace 'e' with 'a'
+	// gives "ollah".
+	if got := ReplaceChar(Reverse("hello"), 'e', 'a'); got != "ollah" {
+		t.Errorf("Table 1 row 1 = %q, want %q", got, "ollah")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	cases := [][2]string{
+		{"hello", "olleh"},
+		{"", ""},
+		{"a", "a"},
+		{"ab", "ba"},
+	}
+	for _, tc := range cases {
+		if got := Reverse(tc[0]); got != tc[1] {
+			t.Errorf("Reverse(%q) = %q, want %q", tc[0], got, tc[1])
+		}
+	}
+}
+
+func TestReverseInvolutionProperty(t *testing.T) {
+	f := func(s string) bool { return Reverse(Reverse(s)) == s }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPalindrome(t *testing.T) {
+	cases := []struct {
+		s    string
+		want bool
+	}{
+		{"", true},
+		{"a", true},
+		{"abba", true},
+		{"gobog", true},
+		{"OnFFnO", true}, // Table 1 row 2's generated palindrome
+	}
+	for _, tc := range cases {
+		if got := IsPalindrome(tc.s); got != tc.want {
+			t.Errorf("IsPalindrome(%q) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+	if IsPalindrome("abc") {
+		t.Error("IsPalindrome(abc) = true")
+	}
+}
+
+func TestPalindromeMirrorProperty(t *testing.T) {
+	f := func(half string) bool {
+		// Any s ++ reverse(s) is a palindrome.
+		return IsPalindrome(half + Reverse(half))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstr(t *testing.T) {
+	cases := []struct {
+		s       string
+		from, n int
+		want    string
+	}{
+		{"hello", 1, 3, "ell"},
+		{"hello", 0, 5, "hello"},
+		{"hello", 0, 99, "hello"},
+		{"hello", 4, 1, "o"},
+		{"hello", 5, 1, ""},
+		{"hello", -1, 2, ""},
+		{"hello", 2, 0, ""},
+		{"hello", 2, -3, ""},
+	}
+	for _, tc := range cases {
+		if got := Substr(tc.s, tc.from, tc.n); got != tc.want {
+			t.Errorf("Substr(%q,%d,%d) = %q, want %q", tc.s, tc.from, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	if At("abc", 1) != "b" || At("abc", 3) != "" || At("abc", -1) != "" {
+		t.Error("At wrong")
+	}
+}
+
+func TestPrefixSuffix(t *testing.T) {
+	if !PrefixOf("he", "hello") || PrefixOf("el", "hello") {
+		t.Error("PrefixOf wrong")
+	}
+	if !SuffixOf("lo", "hello") || SuffixOf("ll", "hello") {
+		t.Error("SuffixOf wrong")
+	}
+	if !PrefixOf("", "x") || !SuffixOf("", "x") {
+		t.Error("empty prefix/suffix should hold")
+	}
+}
+
+func TestCountOccurrences(t *testing.T) {
+	cases := []struct {
+		t, s string
+		want int
+	}{
+		{"aaa", "aa", 2}, // overlapping
+		{"hello", "l", 2},
+		{"hello", "", 6},
+		{"", "", 1},
+		{"abc", "d", 0},
+	}
+	for _, tc := range cases {
+		if got := CountOccurrences(tc.t, tc.s); got != tc.want {
+			t.Errorf("CountOccurrences(%q,%q) = %d, want %d", tc.t, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestIndexOfConsistentWithContains(t *testing.T) {
+	f := func(t0, s string) bool {
+		return Contains(t0, s) == (IndexOf(t0, s, 0) >= 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplaceAllCharIdempotentProperty(t *testing.T) {
+	f := func(s string, x, y byte) bool {
+		once := ReplaceAllChar(s, x, y)
+		if x == y {
+			return once == s
+		}
+		// After replacing every x, no x remains (when x != y).
+		return !strings.ContainsRune(once, rune(x)) || ReplaceAllChar(once, x, y) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package qsmt
+
+// End-to-end property tests: random pipelines of the paper's transform
+// operations, solved stage by stage through the annealer, must agree
+// with the classical composition of the reference semantics.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/strtheory"
+)
+
+const propLowercase = "abcdefghijklmnopqrstuvwxyz"
+
+// randomPipeline builds a pipeline of 1–3 random transforms over a
+// random short seed word, together with the reference-computed expected
+// output.
+func randomPipeline(rng *rand.Rand) (*Pipeline, string) {
+	word := make([]byte, 2+rng.Intn(4))
+	for i := range word {
+		word[i] = propLowercase[rng.Intn(26)]
+	}
+	current := string(word)
+	p := NewPipeline(Equality(current))
+	stages := 1 + rng.Intn(3)
+	for s := 0; s < stages; s++ {
+		switch rng.Intn(5) {
+		case 0:
+			p = p.Reverse()
+			current = strtheory.Reverse(current)
+		case 1:
+			x := current[rng.Intn(len(current))]
+			y := propLowercase[rng.Intn(26)]
+			p = p.Replace(x, y)
+			current = strtheory.ReplaceChar(current, x, y)
+		case 2:
+			x := current[rng.Intn(len(current))]
+			y := propLowercase[rng.Intn(26)]
+			p = p.ReplaceAll(x, y)
+			current = strtheory.ReplaceAllChar(current, x, y)
+		case 3:
+			p = p.ToUpper()
+			current = mapCase(current, true)
+		case 4:
+			suffix := string(propLowercase[rng.Intn(26)])
+			p = p.Append(suffix)
+			current = strtheory.Concat(current, suffix)
+		}
+	}
+	return p, current
+}
+
+func mapCase(s string, upper bool) string {
+	b := []byte(s)
+	for i, c := range b {
+		if upper && c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+		if !upper && c >= 'A' && c <= 'Z' {
+			b[i] = c - 'A' + 'a'
+		}
+	}
+	return string(b)
+}
+
+func TestRandomPipelinesMatchReferenceSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, want := randomPipeline(rng)
+		solver := NewSolver(&Options{
+			Sampler: &anneal.SimulatedAnnealer{Reads: 24, Sweeps: 700, Seed: seed ^ 0x5eed},
+		})
+		res, err := solver.Run(p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.Output != want {
+			t.Logf("seed %d: got %q, want %q", seed, res.Output, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumeratePropertyAllDistinctAndValid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64, nRaw uint8) bool {
+		n := 3 + int(nRaw%4)
+		solver := NewSolver(&Options{
+			Sampler: &anneal.SimulatedAnnealer{Reads: 24, Sweeps: 600, Seed: seed},
+		})
+		c := Palindrome(n)
+		ws, err := solver.Enumerate(c, 4)
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, w := range ws {
+			if seen[w.Str] || c.Check(w) != nil {
+				return false
+			}
+			seen[w.Str] = true
+		}
+		return len(ws) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package qsmt is an SMT solver for the theory of strings that compiles
+// string constraints into Quadratic Unconstrained Binary Optimization
+// (QUBO) problems and solves them with an annealer, reproducing
+// "Quantum-Based SMT Solving for String Theory" (HPDC'25).
+//
+// # Quick start
+//
+//	solver := qsmt.NewSolver(nil)
+//	res, err := solver.Solve(qsmt.Palindrome(6))
+//	if err != nil { ... }
+//	fmt.Println(res.Witness.Str) // e.g. "OnFFnO"
+//
+// Constraints are built with the constructors below (one per operation of
+// the paper's §4.1–§4.11), solved individually with Solver.Solve, or
+// chained sequentially with Pipeline (§4.12). Every solve runs the full
+// SMT loop: encode to QUBO, sample with the configured annealer, decode
+// the lowest-energy samples back into string theory, check them against
+// reference semantics, and re-anneal with a fresh seed when verification
+// fails.
+//
+// The default sampler is a Metropolis simulated annealer equivalent to
+// the D-Wave `neal` sampler the paper evaluates on; any Sampler (exact
+// enumeration, greedy descent, parallel tempering) can be substituted via
+// Options.
+package qsmt
+
+import (
+	"qsmt/internal/core"
+)
+
+// Constraint is a string constraint compiled to QUBO form. Use the
+// constructor functions (Equality, Palindrome, …) to build one.
+type Constraint = core.Constraint
+
+// Witness is a decoded solution, back in string-theory terms.
+type Witness = core.Witness
+
+// Witness kinds.
+const (
+	WitnessString = core.WitnessString
+	WitnessIndex  = core.WitnessIndex
+)
+
+// ErrUnsatisfiable reports that a constraint provably has no model.
+var ErrUnsatisfiable = core.ErrUnsatisfiable
+
+// Equality returns a constraint generating a string equal to target
+// (§4.1).
+func Equality(target string) Constraint { return &core.Equality{Target: target} }
+
+// Concat returns a constraint generating the concatenation of parts
+// (§4.2).
+func Concat(parts ...string) Constraint { return &core.Concat{Parts: parts} }
+
+// SubstringMatch returns a constraint generating a string of length n
+// that contains sub (§4.3). Per the paper's overwrite encoding, the
+// generated string is sub left-padded with copies of its first character.
+func SubstringMatch(sub string, n int) Constraint {
+	return &core.SubstringMatch{Sub: sub, Length: n}
+}
+
+// Includes returns a constraint locating the first occurrence of s
+// within t (§4.4). Its witness is an index, not a string.
+func Includes(t, s string) Constraint { return &core.Includes{T: t, S: s} }
+
+// IndexOf returns a constraint generating a string of length n carrying
+// sub at position idx, with soft printable-biased filler elsewhere
+// (§4.5).
+func IndexOf(sub string, idx, n int) Constraint {
+	return &core.IndexOf{Sub: sub, Index: idx, Length: n}
+}
+
+// Length returns the paper's §4.6 length gadget: over a budget of n
+// characters, the witness is the unary indicator of a string of length l.
+func Length(l, n int) Constraint { return &core.Length{L: l, N: n} }
+
+// ReplaceAll returns a constraint generating input with every occurrence
+// of x replaced by y (§4.7).
+func ReplaceAll(input string, x, y byte) Constraint {
+	return &core.ReplaceAll{Input: input, X: x, Y: y}
+}
+
+// Replace returns a constraint generating input with the first occurrence
+// of x replaced by y (§4.8).
+func Replace(input string, x, y byte) Constraint {
+	return &core.Replace{Input: input, X: x, Y: y}
+}
+
+// Reverse returns a constraint generating the reversal of input (§4.9).
+func Reverse(input string) Constraint { return &core.Reverse{Input: input} }
+
+// Palindrome returns a constraint generating a printable palindrome of
+// exactly n characters (§4.10). Use PalindromeRaw for the bias-free
+// encoding whose matrix matches the paper's Table 1 excerpt exactly.
+func Palindrome(n int) Constraint { return &core.Palindrome{N: n, Printable: true} }
+
+// PalindromeRaw returns the §4.10 encoding without the printable bias:
+// only the mirror couplers, so ground states include unprintable
+// palindromes.
+func PalindromeRaw(n int) Constraint { return &core.Palindrome{N: n} }
+
+// Regex returns a constraint generating a string of exactly n characters
+// matching pattern (§4.11). The pattern subset is literals, character
+// classes, and '+'.
+func Regex(pattern string, n int) Constraint {
+	return &core.Regex{Pattern: pattern, Length: n}
+}
+
+// The constructors below cover the additional formulations the paper's
+// conclusion lists as future work ("more formulations … for other string
+// constraints"), built in the same encoding styles.
+
+// PrefixOf returns a constraint generating a string of length n starting
+// with prefix (str.prefixof with a length bound).
+func PrefixOf(prefix string, n int) Constraint {
+	return &core.PrefixOf{Prefix: prefix, Length: n}
+}
+
+// SuffixOf returns a constraint generating a string of length n ending
+// with suffix (str.suffixof with a length bound).
+func SuffixOf(suffix string, n int) Constraint {
+	return &core.SuffixOf{Suffix: suffix, Length: n}
+}
+
+// CharAt returns a constraint generating a string of length n with
+// character c at position idx (str.at as a generator).
+func CharAt(c byte, idx, n int) Constraint {
+	return &core.CharAt{C: c, Index: idx, Length: n}
+}
+
+// ToUpper returns a constraint generating the uppercase image of input.
+func ToUpper(input string) Constraint { return &core.ToUpper{Input: input} }
+
+// ToLower returns a constraint generating the lowercase image of input.
+func ToLower(input string) Constraint { return &core.ToLower{Input: input} }
+
+// And merges several same-length string constraints into one QUBO solved
+// simultaneously — the additive alternative to Pipeline's sequential
+// stages. All members must constrain a string of the same length; see
+// core.Conjunction for the soundness/completeness caveat.
+func And(members ...Constraint) Constraint {
+	return &core.Conjunction{Members: members}
+}
+
+// AnyString returns a constraint generating an arbitrary printable
+// string of exactly n characters (a degenerate soft-bias QUBO).
+func AnyString(n int) Constraint { return &core.AnyPrintable{N: n} }
+
+// Periodic returns a constraint generating a printable string of
+// exactly n characters repeating with the given period (s[i] = s[i+p]),
+// built from the §4.10 bit-agreement gadget along the period lattice.
+func Periodic(period, n int) Constraint {
+	return &core.Periodic{Period: period, N: n}
+}
+
+// AvoidChars returns a constraint generating a printable string of
+// exactly n characters containing none of chars — a negative constraint
+// realized through higher-order penalty terms reduced to QUBO form by
+// Rosenberg quadratization (the paper's quadratic encodings express only
+// positive constraints).
+func AvoidChars(chars []byte, n int) Constraint {
+	return &core.AvoidChars{Chars: chars, N: n}
+}

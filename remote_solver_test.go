@@ -1,0 +1,55 @@
+package qsmt
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"qsmt/internal/remote"
+	"qsmt/internal/strtheory"
+)
+
+// TestSolveThroughRemoteAnnealer runs the full stack over the network
+// service: constraint → QUBO → HTTP submission → remote simulated
+// annealer → wire samples → decode → check.
+func TestSolveThroughRemoteAnnealer(t *testing.T) {
+	srv := httptest.NewServer((&remote.Server{}).Handler())
+	defer srv.Close()
+	client := &remote.Client{BaseURL: srv.URL, Reads: 32, Sweeps: 800, Seed: 3}
+	solver := NewSolver(&Options{Sampler: client})
+
+	got, err := solver.SolveString(Equality("cloud"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "cloud" {
+		t.Errorf("remote equality = %q", got)
+	}
+
+	pal, err := solver.SolveString(Palindrome(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strtheory.IsPalindrome(pal) || len(pal) != 4 {
+		t.Errorf("remote palindrome = %q", pal)
+	}
+
+	res, err := solver.Run(NewPipeline(Reverse("hello")).Replace('e', 'a'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "ollah" {
+		t.Errorf("remote pipeline = %q", res.Output)
+	}
+}
+
+func TestSolveAvoidChars(t *testing.T) {
+	s := testSolver(301)
+	got, err := s.SolveString(AvoidChars([]byte("aeiou"), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || strings.ContainsAny(got, "aeiou") {
+		t.Errorf("AvoidChars witness = %q", got)
+	}
+}

@@ -1,0 +1,258 @@
+package qsmt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+)
+
+// Sampler minimizes a compiled QUBO and returns an energy-sorted sample
+// set. The samplers in this module (simulated annealing, parallel
+// tempering, exact enumeration, greedy descent, uniform random) all
+// satisfy it.
+type Sampler interface {
+	Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+}
+
+// Options configures a Solver. The zero value selects the defaults noted
+// on each field.
+type Options struct {
+	// Sampler minimizes the QUBOs. Default: a SimulatedAnnealer with
+	// 64 reads and 1000 sweeps — the neal-equivalent configuration the
+	// paper evaluates on.
+	Sampler Sampler
+	// MaxAttempts bounds the verify-retry loop: after a failed
+	// verification the solver re-anneals with a fresh seed. Default 4.
+	MaxAttempts int
+	// Seed is the root seed for default samplers and retry derivation.
+	// Default 1.
+	Seed int64
+	// CandidatesPerAttempt bounds how many distinct low-energy samples
+	// are decoded and checked per attempt before re-annealing.
+	// Default 16.
+	CandidatesPerAttempt int
+	// RefineRetries switches retry attempts (after the first) to
+	// *reverse annealing* from the previous attempt's best sample:
+	// instead of a fresh random start, the annealer partially reheats
+	// the near-miss and re-cools, exploring its neighborhood — the
+	// refinement mode of real annealing hardware. Only applies when no
+	// custom Sampler is set.
+	RefineRetries bool
+}
+
+// Solver runs the full SMT loop over QUBO-encoded string constraints:
+// encode, sample, decode, check, retry. A Solver is safe for concurrent
+// use when its Sampler is.
+type Solver struct {
+	opts Options
+}
+
+// NewSolver returns a solver with the given options; nil selects all
+// defaults.
+func NewSolver(opts *Options) *Solver {
+	s := &Solver{}
+	if opts != nil {
+		s.opts = *opts
+	}
+	if s.opts.MaxAttempts <= 0 {
+		s.opts.MaxAttempts = 4
+	}
+	if s.opts.Seed == 0 {
+		s.opts.Seed = 1
+	}
+	if s.opts.CandidatesPerAttempt <= 0 {
+		s.opts.CandidatesPerAttempt = 16
+	}
+	return s
+}
+
+// Result reports a successful solve.
+type Result struct {
+	Witness  Witness       // the checked model, in string-theory terms
+	Energy   float64       // QUBO energy of the accepted sample
+	Attempts int           // sampler invocations used (1 = first try)
+	Vars     int           // QUBO size (binary variables)
+	Elapsed  time.Duration // wall-clock time across all attempts
+}
+
+// ErrNoModel reports that the solver exhausted its verify-retry budget
+// without finding a checked model. Because a QUBO sampler always returns
+// *some* bitstring, this is the solver's (incomplete) analogue of unsat:
+// either the constraint truly has no model, or the annealer failed to
+// reach one.
+var ErrNoModel = errors.New("qsmt: no verified model found")
+
+// Solve runs the SMT loop on one constraint.
+func (s *Solver) Solve(c Constraint) (*Result, error) {
+	start := time.Now()
+	model, err := c.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	compiled := model.Compile()
+
+	var lastCheck error
+	var lastBest []qubo.Bit
+	for attempt := 0; attempt < s.opts.MaxAttempts; attempt++ {
+		sampler := s.samplerFor(attempt)
+		if s.opts.RefineRetries && s.opts.Sampler == nil && attempt > 0 && lastBest != nil {
+			sampler = &anneal.ReverseAnnealer{
+				Initial: lastBest,
+				Reads:   64,
+				Sweeps:  1000,
+				Seed:    s.opts.Seed + int64(attempt)*1_000_003,
+			}
+		}
+		ss, err := sampler.Sample(compiled)
+		if err != nil {
+			return nil, fmt.Errorf("qsmt: sampling %s: %w", c.Name(), err)
+		}
+		if len(ss.Samples) > 0 {
+			lastBest = ss.Best().X
+		}
+		limit := s.opts.CandidatesPerAttempt
+		if limit > len(ss.Samples) {
+			limit = len(ss.Samples)
+		}
+		for k := 0; k < limit; k++ {
+			sample := ss.Samples[k]
+			w, err := c.Decode(sample.X)
+			if err != nil {
+				lastCheck = err
+				continue
+			}
+			if err := c.Check(w); err != nil {
+				lastCheck = err
+				// A provably unsatisfiable constraint cannot be fixed by
+				// re-annealing.
+				if errors.Is(err, ErrUnsatisfiable) {
+					return nil, err
+				}
+				continue
+			}
+			return &Result{
+				Witness:  w,
+				Energy:   sample.Energy,
+				Attempts: attempt + 1,
+				Vars:     compiled.N,
+				Elapsed:  time.Since(start),
+			}, nil
+		}
+	}
+	if lastCheck != nil {
+		return nil, fmt.Errorf("%w (last failure: %v)", ErrNoModel, lastCheck)
+	}
+	return nil, ErrNoModel
+}
+
+// SolveString solves a string-witness constraint and returns the string.
+func (s *Solver) SolveString(c Constraint) (string, error) {
+	res, err := s.Solve(c)
+	if err != nil {
+		return "", err
+	}
+	if res.Witness.Kind != WitnessString {
+		return "", fmt.Errorf("qsmt: %s produced a non-string witness", c.Name())
+	}
+	return res.Witness.Str, nil
+}
+
+// SolveIndex solves an index-witness constraint (Includes) and returns
+// the index.
+func (s *Solver) SolveIndex(c Constraint) (int, error) {
+	res, err := s.Solve(c)
+	if err != nil {
+		return -1, err
+	}
+	if res.Witness.Kind != WitnessIndex {
+		return -1, fmt.Errorf("qsmt: %s produced a non-index witness", c.Name())
+	}
+	return res.Witness.Index, nil
+}
+
+// Enumerate collects up to k distinct verified witnesses for a
+// constraint by decoding and checking every sample of successive
+// annealing attempts (fresh seed per attempt). It exploits the
+// degenerate ground manifolds of generative constraints — palindromes,
+// regexes, pinned substrings — where many distinct strings satisfy the
+// same QUBO; it is the API behind corpus generation for testing
+// workloads. Fewer than k witnesses may be returned when the manifold
+// (or the attempt budget) is smaller; at least one witness or an error
+// is guaranteed.
+func (s *Solver) Enumerate(c Constraint, k int) ([]Witness, error) {
+	if k <= 0 {
+		k = 1
+	}
+	model, err := c.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	compiled := model.Compile()
+	seen := map[string]bool{}
+	var out []Witness
+	var lastCheck error
+	// Scale attempts with the request: every attempt contributes an
+	// independent read set.
+	attempts := s.opts.MaxAttempts
+	if attempts < k {
+		attempts = k
+	}
+	for attempt := 0; attempt < attempts && len(out) < k; attempt++ {
+		sampler := s.samplerFor(attempt)
+		ss, err := sampler.Sample(compiled)
+		if err != nil {
+			return nil, fmt.Errorf("qsmt: sampling %s: %w", c.Name(), err)
+		}
+		for _, sample := range ss.Samples {
+			if len(out) >= k {
+				break
+			}
+			w, err := c.Decode(sample.X)
+			if err != nil {
+				lastCheck = err
+				continue
+			}
+			if err := c.Check(w); err != nil {
+				lastCheck = err
+				if errors.Is(err, ErrUnsatisfiable) {
+					return nil, err
+				}
+				continue
+			}
+			key := w.Str
+			if w.Kind == WitnessIndex {
+				key = fmt.Sprintf("#%d", w.Index)
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		if lastCheck != nil {
+			return nil, fmt.Errorf("%w (last failure: %v)", ErrNoModel, lastCheck)
+		}
+		return nil, ErrNoModel
+	}
+	return out, nil
+}
+
+// samplerFor returns the sampler for a given retry attempt. User-supplied
+// samplers are reused as-is (their own state decides variation across
+// calls); the default annealer derives a fresh seed per attempt so
+// retries explore different basins.
+func (s *Solver) samplerFor(attempt int) Sampler {
+	if s.opts.Sampler != nil {
+		return s.opts.Sampler
+	}
+	return &anneal.SimulatedAnnealer{
+		Reads:  64,
+		Sweeps: 1000,
+		Seed:   s.opts.Seed + int64(attempt)*1_000_003,
+	}
+}
