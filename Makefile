@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+## check: the CI gate — build, vet, and race-checked tests
+## (includes the remote fault-injection suite in internal/remote
+## and the root-package context/failover acceptance tests).
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -6,29 +6,50 @@
 // Usage:
 //
 //	annealerd [-addr :8080] [-max-reads 1024] [-max-sweeps 100000]
+//	          [-max-concurrent N] [-sample-timeout 60s]
+//	          [-read-timeout 30s] [-write-timeout 120s]
+//
+// The daemon is hardened for production traffic: per-job reads/sweeps
+// are clamped server-side, in-flight jobs are bounded (excess requests
+// get 429), each job's sampling phase has a deadline (exceeded jobs get
+// 503), the HTTP server enforces read/write timeouts, and SIGINT or
+// SIGTERM drains in-flight jobs before exiting.
 //
 // Point a solver at it with cmd/qsmt's -remote flag:
 //
 //	qsmt -remote http://localhost:8080 file.smt2
+//
+// or spread load over several daemons with a comma-separated list:
+//
+//	qsmt -remote http://a:8080,http://b:8080 file.smt2
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
 
-	"qsmt/internal/anneal"
-	"qsmt/internal/qubo"
 	"qsmt/internal/remote"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		maxReads  = flag.Int("max-reads", 1024, "cap on per-job reads")
-		maxSweeps = flag.Int("max-sweeps", 100_000, "cap on per-job sweeps")
+		addr            = flag.String("addr", ":8080", "listen address")
+		maxReads        = flag.Int("max-reads", remote.DefaultMaxReads, "cap on per-job reads")
+		maxSweeps       = flag.Int("max-sweeps", remote.DefaultMaxSweeps, "cap on per-job sweeps")
+		maxConcurrent   = flag.Int("max-concurrent", 2*runtime.GOMAXPROCS(0), "max in-flight sampling jobs (excess get 429); 0 = unlimited")
+		sampleTimeout   = flag.Duration("sample-timeout", 60*time.Second, "per-job sampling deadline (exceeded jobs get 503); 0 = none")
+		readTimeout     = flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
+		writeTimeout    = flag.Duration("write-timeout", 2*time.Minute, "HTTP server write timeout (must exceed -sample-timeout)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining jobs on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -36,23 +57,45 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := &remote.Server{
-		Description: "qsmt simulated annealer",
-		NewSampler: func(req remote.SampleRequest) interface {
-			Sample(*qubo.Compiled) (*anneal.SampleSet, error)
-		} {
-			reads, sweeps := req.Reads, req.Sweeps
-			if reads > *maxReads {
-				reads = *maxReads
-			}
-			if sweeps > *maxSweeps {
-				sweeps = *maxSweeps
-			}
-			return &anneal.SimulatedAnnealer{Reads: reads, Sweeps: sweeps, Seed: req.Seed}
-		},
+	handler := (&remote.Server{
+		Description:   "qsmt simulated annealer",
+		MaxReads:      *maxReads,
+		MaxSweeps:     *maxSweeps,
+		MaxConcurrent: *maxConcurrent,
+		SampleTimeout: *sampleTimeout,
+	}).Handler()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("annealerd listening on %s (max reads %d, max sweeps %d)", *addr, *maxReads, *maxSweeps)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("annealerd listening on %s (max reads %d, max sweeps %d, max concurrent %d, sample timeout %v)",
+			*addr, *maxReads, *maxSweeps, *maxConcurrent, *sampleTimeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("annealerd draining (up to %v)…", *shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("annealerd shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("annealerd stopped")
 	}
 }

@@ -14,26 +14,31 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"qsmt"
 	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
 	"qsmt/internal/remote"
 	"qsmt/internal/smtlib"
 )
 
 func main() {
 	var (
-		seed        = flag.Int64("seed", 1, "annealer root seed")
-		reads       = flag.Int("reads", 64, "annealer reads per solve")
-		sweeps      = flag.Int("sweeps", 1000, "annealer sweeps per read")
-		attempts    = flag.Int("attempts", 4, "verify-retry budget per constraint")
-		interactive = flag.Bool("i", false, "interactive REPL mode")
-		remoteURL   = flag.String("remote", "", "base URL of a remote annealer service (see cmd/annealerd)")
+		seed          = flag.Int64("seed", 1, "annealer root seed")
+		reads         = flag.Int("reads", 64, "annealer reads per solve")
+		sweeps        = flag.Int("sweeps", 1000, "annealer sweeps per read")
+		attempts      = flag.Int("attempts", 4, "verify-retry budget per constraint")
+		interactive   = flag.Bool("i", false, "interactive REPL mode")
+		remoteURL     = flag.String("remote", "", "comma-separated base URLs of remote annealer services (see cmd/annealerd); two or more enable failover")
+		remoteRetries = flag.Int("remote-retries", remote.DefaultMaxRetries, "retries per sampling job on transient remote failures")
+		sampleTimeout = flag.Duration("sample-timeout", 0, "deadline per sampling job (0 = none)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: qsmt [flags] [file.smt2]\n\nFlags:\n")
@@ -47,12 +52,10 @@ func main() {
 		Seed:   *seed,
 	}
 	if *remoteURL != "" {
-		client := &remote.Client{BaseURL: *remoteURL, Reads: *reads, Sweeps: *sweeps, Seed: *seed}
-		if _, err := client.Health(); err != nil {
-			fmt.Fprintf(os.Stderr, "qsmt: remote annealer %s: %v\n", *remoteURL, err)
-			os.Exit(1)
-		}
-		sampler = client
+		sampler = buildRemoteSampler(*remoteURL, *reads, *sweeps, *seed, *remoteRetries)
+	}
+	if *sampleTimeout > 0 {
+		sampler = &deadlineSampler{base: sampler, timeout: *sampleTimeout}
 	}
 	solver := qsmt.NewSolver(&qsmt.Options{
 		Sampler:     sampler,
@@ -85,6 +88,64 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qsmt:", err)
 		os.Exit(1)
 	}
+}
+
+// buildRemoteSampler wires one or more annealerd backends: a single URL
+// gets a retrying Client, several get a failover Pool. Backends that
+// fail the startup health probe are reported; startup aborts only when
+// none are healthy.
+func buildRemoteSampler(urlList string, reads, sweeps int, seed int64, retries int) qsmt.Sampler {
+	var urls []string
+	for _, u := range strings.Split(urlList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	newClient := func(u string) *remote.Client {
+		return &remote.Client{BaseURL: u, Reads: reads, Sweeps: sweeps, Seed: seed, MaxRetries: retries}
+	}
+	if len(urls) == 1 {
+		client := newClient(urls[0])
+		if _, err := client.Health(); err != nil {
+			fmt.Fprintf(os.Stderr, "qsmt: remote annealer %s: %v\n", urls[0], err)
+			os.Exit(1)
+		}
+		return client
+	}
+	pool := &remote.Pool{}
+	for _, u := range urls {
+		pool.Backends = append(pool.Backends, newClient(u))
+	}
+	healthy := 0
+	for u, err := range pool.CheckHealth(context.Background()) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qsmt: remote annealer %s unhealthy at startup: %v\n", u, err)
+		} else {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		fmt.Fprintf(os.Stderr, "qsmt: no healthy remote annealer among %d backends\n", len(urls))
+		os.Exit(1)
+	}
+	return pool
+}
+
+// deadlineSampler bounds every sampling job with a timeout, using the
+// base sampler's context support when available.
+type deadlineSampler struct {
+	base    qsmt.Sampler
+	timeout time.Duration
+}
+
+func (d *deadlineSampler) Sample(c *qubo.Compiled) (*anneal.SampleSet, error) {
+	return d.SampleContext(context.Background(), c)
+}
+
+func (d *deadlineSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*anneal.SampleSet, error) {
+	ctx, cancel := context.WithTimeout(ctx, d.timeout)
+	defer cancel()
+	return anneal.SampleWithContext(ctx, d.base, c)
 }
 
 // repl reads commands line by line, buffering until parentheses balance

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -419,14 +420,15 @@ func TestParallelFor(t *testing.T) {
 }
 
 func TestEnergyConservationDuringAnneal(t *testing.T) {
-	// Property: the incrementally tracked energy returned by annealOnce
-	// always matches a from-scratch evaluation of the final state.
+	// Property: annealOnce returns a complete assignment whose energy the
+	// sampler relabels from scratch (it no longer accumulates per-flip
+	// deltas, which drifted from Compiled.Energy over long runs).
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		c := frustratedModel(rng, 10).Compile()
 		betas := []float64{0.1, 0.5, 1, 2, 5}
-		x, e := annealOnce(c, betas, rng)
-		return math.Abs(c.Energy(x)-e) < 1e-9
+		x := annealOnce(context.Background(), c, betas, rng)
+		return x != nil && len(x) == c.N
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)

@@ -1,0 +1,47 @@
+package anneal
+
+import (
+	"context"
+	"fmt"
+
+	"qsmt/internal/qubo"
+)
+
+// ContextSampler is the cancellation-aware sampler contract. Every
+// sampler in this package implements it: the sampling loops check ctx
+// between sweeps (or enumeration blocks) and abort promptly, returning
+// an error that wraps ctx.Err(), so a caller-imposed deadline bounds
+// even million-sweep jobs.
+type ContextSampler interface {
+	SampleContext(ctx context.Context, c *qubo.Compiled) (*SampleSet, error)
+}
+
+// SampleWithContext runs any sampler under ctx. Samplers implementing
+// ContextSampler are cancelled mid-run; plain samplers run to completion
+// but the context is still consulted before the call and before the
+// result is returned, so an expired deadline never yields a stale
+// success.
+func SampleWithContext(ctx context.Context, s interface {
+	Sample(*qubo.Compiled) (*SampleSet, error)
+}, c *qubo.Compiled) (*SampleSet, error) {
+	if cs, ok := s.(ContextSampler); ok {
+		return cs.SampleContext(ctx, c)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
+	}
+	ss, err := s.Sample(c)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, abortErr(cerr)
+	}
+	return ss, nil
+}
+
+// abortErr wraps a context error so errors.Is(err, context.Canceled /
+// context.DeadlineExceeded) holds on sampler aborts.
+func abortErr(err error) error {
+	return fmt.Errorf("anneal: sampling aborted: %w", err)
+}

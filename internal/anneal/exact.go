@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -32,8 +33,17 @@ type ExactSolver struct {
 // Sample implements the sampler contract. Occurrences is 1 for every
 // returned state.
 func (ex *ExactSolver) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	return ex.SampleContext(context.Background(), c)
+}
+
+// SampleContext enumerates under ctx, checking for cancellation every
+// few thousand states inside each enumeration block.
+func (ex *ExactSolver) SampleContext(ctx context.Context, c *qubo.Compiled) (*SampleSet, error) {
 	if c == nil {
 		return nil, errors.New("anneal: nil model")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
 	}
 	if c.N > MaxExactVars {
 		return nil, fmt.Errorf("anneal: exact solve of %d variables exceeds limit %d", c.N, MaxExactVars)
@@ -59,9 +69,12 @@ func (ex *ExactSolver) Sample(c *qubo.Compiled) (*SampleSet, error) {
 	low := c.N - split // number of Gray-enumerated bits
 
 	results := make([]blockResult, blocks)
-	parallelFor(blocks, ex.Workers, func(b int) {
-		results[b] = enumerateBlock(c, b, split, low, ex.Tol, maxStates)
+	parallelForCtx(ctx, blocks, ex.Workers, func(b int) {
+		results[b] = enumerateBlock(ctx, c, b, split, low, ex.Tol, maxStates)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
+	}
 
 	// Merge: global minimum first, then states within Tol.
 	best := math.Inf(1)
@@ -93,7 +106,7 @@ type blockResult struct {
 // enumerateBlock fixes the top `split` bits to the binary expansion of
 // block and walks all 2^low assignments of the remaining bits in Gray-code
 // order.
-func enumerateBlock(c *qubo.Compiled, block, split, low int, tol float64, maxStates int) blockResult {
+func enumerateBlock(ctx context.Context, c *qubo.Compiled, block, split, low int, tol float64, maxStates int) blockResult {
 	x := make([]Bit, c.N)
 	for b := 0; b < split; b++ {
 		x[low+b] = Bit((block >> b) & 1)
@@ -118,6 +131,9 @@ func enumerateBlock(c *qubo.Compiled, block, split, low int, tol float64, maxSta
 	record()
 	total := uint64(1) << low
 	for k := uint64(1); k < total; k++ {
+		if k&0x1fff == 0 && ctx.Err() != nil {
+			break // partial block; the caller's ctx check discards it
+		}
 		i := bits.TrailingZeros64(k) // Gray code: flip the lowest set-bit position
 		e += c.FlipDelta(x, i)
 		x[i] ^= 1

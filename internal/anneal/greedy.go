@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -40,8 +41,17 @@ type GreedySampler struct {
 
 // Sample implements the sampler contract.
 func (g *GreedySampler) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	return g.SampleContext(context.Background(), c)
+}
+
+// SampleContext runs greedy descent under ctx; cancellation is checked
+// between reads (each descent is short).
+func (g *GreedySampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*SampleSet, error) {
 	if c == nil {
 		return nil, errors.New("anneal: nil model")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
 	}
 	if c.N == 0 {
 		return &SampleSet{Samples: []Sample{{X: []Bit{}, Energy: c.Offset, Occurrences: 1}}}, nil
@@ -55,13 +65,16 @@ func (g *GreedySampler) Sample(c *qubo.Compiled) (*SampleSet, error) {
 		seed = 1
 	}
 	raw := make([]Sample, reads)
-	parallelFor(reads, g.Workers, func(r int) {
+	parallelForCtx(ctx, reads, g.Workers, func(r int) {
 		rng := newRNG(seed, r)
 		x := randomBits(rng, c.N)
-		e := c.Energy(x)
-		e += greedyDescend(c, x, rng)
-		raw[r] = Sample{X: x, Energy: e, Occurrences: 1}
+		greedyDescend(c, x, rng)
+		// Recompute rather than accumulate: see SimulatedAnnealer.
+		raw[r] = Sample{X: x, Energy: c.Energy(x), Occurrences: 1}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
+	}
 	return aggregate(raw), nil
 }
 
@@ -75,8 +88,16 @@ type RandomSampler struct {
 
 // Sample implements the sampler contract.
 func (rs *RandomSampler) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	return rs.SampleContext(context.Background(), c)
+}
+
+// SampleContext draws random assignments under ctx.
+func (rs *RandomSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*SampleSet, error) {
 	if c == nil {
 		return nil, errors.New("anneal: nil model")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
 	}
 	if c.N == 0 {
 		return &SampleSet{Samples: []Sample{{X: []Bit{}, Energy: c.Offset, Occurrences: 1}}}, nil
@@ -90,10 +111,13 @@ func (rs *RandomSampler) Sample(c *qubo.Compiled) (*SampleSet, error) {
 		seed = 1
 	}
 	raw := make([]Sample, reads)
-	parallelFor(reads, rs.Workers, func(r int) {
+	parallelForCtx(ctx, reads, rs.Workers, func(r int) {
 		rng := newRNG(seed, r)
 		x := randomBits(rng, c.N)
 		raw[r] = Sample{X: x, Energy: c.Energy(x), Occurrences: 1}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
+	}
 	return aggregate(raw), nil
 }

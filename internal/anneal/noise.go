@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"errors"
 
 	"qsmt/internal/qubo"
@@ -21,13 +22,19 @@ type NoisySampler struct {
 
 // Sample implements the sampler contract.
 func (ns *NoisySampler) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	return ns.SampleContext(context.Background(), c)
+}
+
+// SampleContext delegates cancellation to the base sampler when it is
+// context-aware.
+func (ns *NoisySampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*SampleSet, error) {
 	if ns.Base == nil {
 		return nil, errors.New("anneal: NoisySampler requires a base sampler")
 	}
 	if ns.FlipProb < 0 || ns.FlipProb >= 1 {
 		return nil, errors.New("anneal: NoisySampler flip probability must be in [0,1)")
 	}
-	ss, err := ns.Base.Sample(c)
+	ss, err := SampleWithContext(ctx, ns.Base, c)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -9,6 +10,15 @@ import (
 // workers ≤ 0 selects GOMAXPROCS. Each index runs exactly once; the call
 // returns after all complete.
 func parallelFor(n, workers int, body func(i int)) {
+	parallelForCtx(context.Background(), n, workers, body)
+}
+
+// parallelForCtx is parallelFor with cancellation: once ctx is done, no
+// further indices are dispatched (in-flight bodies finish — bodies that
+// hold the ctx themselves abort at their own check points). Callers must
+// inspect ctx.Err() afterwards; partially filled results are discarded
+// on cancellation.
+func parallelForCtx(ctx context.Context, n, workers int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -20,6 +30,9 @@ func parallelFor(n, workers int, body func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			body(i)
 		}
 		return
@@ -36,6 +49,9 @@ func parallelFor(n, workers int, body func(i int)) {
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		work <- i
 	}
 	close(work)

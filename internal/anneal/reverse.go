@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -31,8 +32,17 @@ type ReverseAnnealer struct {
 
 // Sample implements the sampler contract.
 func (ra *ReverseAnnealer) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	return ra.SampleContext(context.Background(), c)
+}
+
+// SampleContext runs reverse annealing under ctx, checking for
+// cancellation between sweeps of every read.
+func (ra *ReverseAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled) (*SampleSet, error) {
 	if c == nil {
 		return nil, errors.New("anneal: nil model")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
 	}
 	if len(ra.Initial) != c.N {
 		return nil, fmt.Errorf("anneal: reverse annealing initial state has %d bits, model has %d", len(ra.Initial), c.N)
@@ -75,7 +85,7 @@ func (ra *ReverseAnnealer) Sample(c *qubo.Compiled) (*SampleSet, error) {
 	}
 
 	raw := make([]Sample, reads)
-	parallelFor(reads, ra.Workers, func(r int) {
+	parallelForCtx(ctx, reads, ra.Workers, func(r int) {
 		rng := newRNG(seed, r)
 		x := make([]Bit, c.N)
 		copy(x, ra.Initial)
@@ -85,6 +95,9 @@ func (ra *ReverseAnnealer) Sample(c *qubo.Compiled) (*SampleSet, error) {
 		copy(bestX, x)
 		bestE := e
 		for _, beta := range betas {
+			if ctx.Err() != nil {
+				break // abandon; the outer ctx check discards the set
+			}
 			for i := c.N - 1; i > 0; i-- {
 				j := rng.Intn(i + 1)
 				order[i], order[j] = order[j], order[i]
@@ -101,7 +114,11 @@ func (ra *ReverseAnnealer) Sample(c *qubo.Compiled) (*SampleSet, error) {
 				copy(bestX, x)
 			}
 		}
-		raw[r] = Sample{X: bestX, Energy: bestE, Occurrences: 1}
+		// Relabel from the model: bestE accumulated per-flip deltas.
+		raw[r] = Sample{X: bestX, Energy: c.Energy(bestX), Occurrences: 1}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
+	}
 	return aggregate(raw), nil
 }

@@ -1,12 +1,12 @@
 package anneal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"qsmt/internal/qubo"
 )
@@ -55,8 +55,18 @@ func (sa *SimulatedAnnealer) params() (reads, sweeps, workers int, seed int64) {
 // Sample runs the annealer and returns the deduplicated, energy-sorted
 // sample set.
 func (sa *SimulatedAnnealer) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	return sa.SampleContext(context.Background(), c)
+}
+
+// SampleContext runs the annealer under ctx: each read checks for
+// cancellation between sweeps and the whole call aborts with an error
+// wrapping ctx.Err() as soon as the context expires.
+func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled) (*SampleSet, error) {
 	if c == nil {
 		return nil, errors.New("anneal: nil model")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
 	}
 	if c.N == 0 {
 		return &SampleSet{Samples: []Sample{{X: []Bit{}, Energy: c.Offset, Occurrences: 1}}}, nil
@@ -76,37 +86,37 @@ func (sa *SimulatedAnnealer) Sample(c *qubo.Compiled) (*SampleSet, error) {
 	}
 
 	raw := make([]Sample, reads)
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for r := range work {
-				rng := newRNG(seed, r)
-				x, e := annealOnce(c, betas, rng)
-				if sa.PostDescent {
-					e += greedyDescend(c, x, rng)
-				}
-				raw[r] = Sample{X: x, Energy: e, Occurrences: 1}
-			}
-		}()
+	parallelForCtx(ctx, reads, workers, func(r int) {
+		rng := newRNG(seed, r)
+		x := annealOnce(ctx, c, betas, rng)
+		if x == nil {
+			return // cancelled mid-read; the outer ctx check reports it
+		}
+		if sa.PostDescent {
+			greedyDescend(c, x, rng)
+		}
+		// Recompute the energy from scratch once per read: the Metropolis
+		// loop tracks ΔE only per-flip, and accumulating thousands of
+		// deltas drifts from Compiled.Energy by float rounding.
+		raw[r] = Sample{X: x, Energy: c.Energy(x), Occurrences: 1}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
 	}
-	for r := 0; r < reads; r++ {
-		work <- r
-	}
-	close(work)
-	wg.Wait()
 	return aggregate(raw), nil
 }
 
 // annealOnce performs one read: random init then Metropolis sweeps.
-// It returns the final assignment and its energy.
-func annealOnce(c *qubo.Compiled, betas []float64, rng *rand.Rand) ([]Bit, float64) {
+// It returns the final assignment, or nil when ctx expired mid-read.
+// The final energy is not tracked here — callers recompute it from the
+// model so reported energies are exact, not delta-accumulated.
+func annealOnce(ctx context.Context, c *qubo.Compiled, betas []float64, rng *rand.Rand) []Bit {
 	x := randomBits(rng, c.N)
-	e := c.Energy(x)
 	order := rng.Perm(c.N)
 	for _, beta := range betas {
+		if ctx.Err() != nil {
+			return nil
+		}
 		// Shuffle the visit order each sweep (Fisher–Yates on the
 		// existing permutation) to avoid systematic bias.
 		for i := c.N - 1; i > 0; i-- {
@@ -117,11 +127,10 @@ func annealOnce(c *qubo.Compiled, betas []float64, rng *rand.Rand) ([]Bit, float
 			d := c.FlipDelta(x, i)
 			if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
 				x[i] ^= 1
-				e += d
 			}
 		}
 	}
-	return x, e
+	return x
 }
 
 // String describes the configuration.

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -24,8 +25,17 @@ type TabuSampler struct {
 
 // Sample implements the sampler contract.
 func (ts *TabuSampler) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	return ts.SampleContext(context.Background(), c)
+}
+
+// SampleContext runs tabu search under ctx, checking for cancellation
+// every 64 steps of every read.
+func (ts *TabuSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*SampleSet, error) {
 	if c == nil {
 		return nil, errors.New("anneal: nil model")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
 	}
 	if c.N == 0 {
 		return &SampleSet{Samples: []Sample{{X: []Bit{}, Energy: c.Offset, Occurrences: 1}}}, nil
@@ -53,7 +63,7 @@ func (ts *TabuSampler) Sample(c *qubo.Compiled) (*SampleSet, error) {
 		seed = 1
 	}
 	raw := make([]Sample, reads)
-	parallelFor(reads, ts.Workers, func(r int) {
+	parallelForCtx(ctx, reads, ts.Workers, func(r int) {
 		rng := newRNG(seed, r)
 		x := randomBits(rng, c.N)
 		e := c.Energy(x)
@@ -62,6 +72,9 @@ func (ts *TabuSampler) Sample(c *qubo.Compiled) (*SampleSet, error) {
 		bestE := e
 		tabuUntil := make([]int, c.N)
 		for step := 1; step <= steps; step++ {
+			if step&63 == 0 && ctx.Err() != nil {
+				break
+			}
 			bestFlip := -1
 			bestDelta := math.Inf(1)
 			// Scan from a random offset so equal-delta ties rotate.
@@ -92,7 +105,11 @@ func (ts *TabuSampler) Sample(c *qubo.Compiled) (*SampleSet, error) {
 				copy(best, x)
 			}
 		}
-		raw[r] = Sample{X: best, Energy: bestE, Occurrences: 1}
+		// Relabel from the model: bestE accumulated per-flip deltas.
+		raw[r] = Sample{X: best, Energy: c.Energy(best), Occurrences: 1}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
+	}
 	return aggregate(raw), nil
 }

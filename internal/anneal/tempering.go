@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -27,8 +28,17 @@ type ParallelTempering struct {
 // Sample implements the sampler contract. Each read contributes its
 // best-ever state across all replicas.
 func (pt *ParallelTempering) Sample(c *qubo.Compiled) (*SampleSet, error) {
+	return pt.SampleContext(context.Background(), c)
+}
+
+// SampleContext runs parallel tempering under ctx, checking for
+// cancellation between sweeps of every read.
+func (pt *ParallelTempering) SampleContext(ctx context.Context, c *qubo.Compiled) (*SampleSet, error) {
 	if c == nil {
 		return nil, errors.New("anneal: nil model")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
 	}
 	if c.N == 0 {
 		return &SampleSet{Samples: []Sample{{X: []Bit{}, Energy: c.Offset, Occurrences: 1}}}, nil
@@ -69,10 +79,13 @@ func (pt *ParallelTempering) Sample(c *qubo.Compiled) (*SampleSet, error) {
 	}
 
 	raw := make([]Sample, reads)
-	parallelFor(reads, pt.Workers, func(r int) {
+	parallelForCtx(ctx, reads, pt.Workers, func(r int) {
 		rng := newRNG(seed, r)
-		raw[r] = pt.runOnce(c, betas, sweeps, swapEvery, rng)
+		raw[r] = pt.runOnce(ctx, c, betas, sweeps, swapEvery, rng)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
+	}
 	return aggregate(raw), nil
 }
 
@@ -81,7 +94,7 @@ type replica struct {
 	e float64
 }
 
-func (pt *ParallelTempering) runOnce(c *qubo.Compiled, betas []float64, sweeps, swapEvery int, rng *rand.Rand) Sample {
+func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, betas []float64, sweeps, swapEvery int, rng *rand.Rand) Sample {
 	reps := make([]replica, len(betas))
 	for k := range reps {
 		x := randomBits(rng, c.N)
@@ -102,6 +115,9 @@ func (pt *ParallelTempering) runOnce(c *qubo.Compiled, betas []float64, sweeps, 
 
 	order := rng.Perm(c.N)
 	for sweep := 0; sweep < sweeps; sweep++ {
+		if ctx.Err() != nil {
+			break // abandon the walk; the caller discards the result set
+		}
 		for k := range reps {
 			rep := &reps[k]
 			beta := betas[k]
@@ -130,5 +146,6 @@ func (pt *ParallelTempering) runOnce(c *qubo.Compiled, betas []float64, sweeps, 
 			}
 		}
 	}
-	return Sample{X: bestX, Energy: bestE, Occurrences: 1}
+	// Relabel from the model: bestE accumulated per-flip deltas.
+	return Sample{X: bestX, Energy: c.Energy(bestX), Occurrences: 1}
 }

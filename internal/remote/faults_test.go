@@ -1,0 +1,419 @@
+package remote
+
+// Fault-injection tests: flaky, hanging, slow, saturated, and lying
+// backends, exercised through the resilient client and the pool.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+)
+
+// twoVarModel returns a 2-variable model whose unique ground state is 11.
+func twoVarModel() *qubo.Compiled {
+	m := qubo.New(2)
+	m.AddLinear(0, -1)
+	m.AddLinear(1, -1)
+	return m.Compile()
+}
+
+// okSampleHandler replies with a fixed valid 2-variable sample.
+func okSampleHandler(w http.ResponseWriter, _ *http.Request) {
+	_ = json.NewEncoder(w).Encode(SampleResponse{Samples: []WireSample{
+		{X: "11", Energy: -2, Occurrences: 1},
+	}})
+}
+
+// flakyServer fails the first n sample requests with 500, then succeeds.
+func flakyServer(t *testing.T, n int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			http.Error(w, `{"error":"injected fault"}`, http.StatusInternalServerError)
+			return
+		}
+		okSampleHandler(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// hangingServer blocks every request until the client goes away (or
+// the test ends). The body must be drained before blocking: the net/http
+// server only notices a dropped client via its background read, which
+// starts after the request body is consumed.
+func hangingServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	stop := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	}))
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { close(stop) }) // runs before srv.Close (LIFO)
+	return srv
+}
+
+func TestClientRetriesTransient500(t *testing.T) {
+	srv, calls := flakyServer(t, 2)
+	client := &Client{BaseURL: srv.URL, RetryBackoff: time.Millisecond}
+	ss, err := client.Sample(twoVarModel())
+	if err != nil {
+		t.Fatalf("flaky backend not survived: %v", err)
+	}
+	if ss.Best().Energy != -2 {
+		t.Errorf("best energy = %g", ss.Best().Energy)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("backend saw %d requests, want 3 (2 failures + success)", got)
+	}
+	if client.Retries() != 2 {
+		t.Errorf("client recorded %d retries, want 2", client.Retries())
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	srv, calls := flakyServer(t, 1_000)
+	client := &Client{BaseURL: srv.URL, MaxRetries: 2, RetryBackoff: time.Millisecond}
+	_, err := client.Sample(twoVarModel())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want StatusError 500", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("backend saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestClientDoesNotRetryPermanent4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL, RetryBackoff: time.Millisecond}
+	_, err := client.Sample(twoVarModel())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("4xx retried: backend saw %d requests", calls.Load())
+	}
+}
+
+func TestClientContextDeadlineOnHangingBackend(t *testing.T) {
+	srv := hangingServer(t)
+	client := &Client{BaseURL: srv.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.SampleContext(ctx, twoVarModel())
+	if err == nil {
+		t.Fatal("hanging backend produced a result")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("return took %v, want prompt abort at the 100ms deadline", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if client.Retries() != 0 {
+		t.Errorf("deadline expiry was retried %d times", client.Retries())
+	}
+}
+
+func TestClientContextCancelDuringBackoff(t *testing.T) {
+	srv, _ := flakyServer(t, 1_000)
+	client := &Client{BaseURL: srv.URL, RetryBackoff: 10 * time.Second, RetryMaxBackoff: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := client.SampleContext(ctx, twoVarModel())
+	if err == nil {
+		t.Fatal("cancelled solve succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancel during backoff took %v to return", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestClientSlowBackendWithinDeadline(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(50 * time.Millisecond)
+		okSampleHandler(w, r)
+	}))
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := client.SampleContext(ctx, twoVarModel()); err != nil {
+		t.Fatalf("slow-but-healthy backend failed: %v", err)
+	}
+}
+
+func TestClientResponseTooLarge(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"samples":[{"x":"` + strings.Repeat("0", 4096) + `"}]}`))
+	}))
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL, MaxResponseBytes: 1024}
+	_, err := client.Sample(twoVarModel())
+	if !errors.Is(err, ErrResponseTooLarge) {
+		t.Fatalf("err = %v, want ErrResponseTooLarge (not a malformed-JSON error)", err)
+	}
+}
+
+func TestPoolFailsOverFrom500Backend(t *testing.T) {
+	// One backend always 500s, the other is a healthy default server.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"always down"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer((&Server{}).Handler())
+	defer good.Close()
+
+	pool := NewPool(bad.URL, good.URL)
+	// Several jobs: wherever round-robin starts, every job must land on
+	// the healthy backend, with at least one recorded failover.
+	for i := 0; i < 4; i++ {
+		ss, err := pool.Sample(twoVarModel())
+		if err != nil {
+			t.Fatalf("job %d failed despite healthy backend: %v", i, err)
+		}
+		if best := ss.Best(); best.X[0] != 1 || best.X[1] != 1 {
+			t.Errorf("job %d best = %v, want ground state 11", i, best.X)
+		}
+	}
+	if pool.Failovers() < 1 {
+		t.Errorf("failovers = %d, want ≥ 1", pool.Failovers())
+	}
+}
+
+func TestPoolCircuitBreakerSidelinesBadBackend(t *testing.T) {
+	var badCalls atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badCalls.Add(1)
+		http.Error(w, `{"error":"always down"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(okSampleHandler))
+	defer good.Close()
+
+	pool := NewPool(bad.URL, good.URL)
+	pool.FailureThreshold = 2
+	pool.Cooldown = time.Hour
+	for i := 0; i < 10; i++ {
+		if _, err := pool.Sample(twoVarModel()); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	// Round-robin would route 5 of 10 jobs at the bad backend; the
+	// breaker must cut it off after FailureThreshold failures.
+	if got := badCalls.Load(); got != 2 {
+		t.Errorf("bad backend saw %d jobs, want exactly threshold (2)", got)
+	}
+	st := pool.Stats()
+	var open int
+	for _, b := range st.Backends {
+		if b.Open {
+			open++
+		}
+	}
+	if open != 1 {
+		t.Errorf("open circuits = %d, want 1; stats = %+v", open, st)
+	}
+}
+
+func TestPoolBreakerRecoversAfterCooldown(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	flappy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+			return
+		}
+		okSampleHandler(w, r)
+	}))
+	defer flappy.Close()
+
+	pool := NewPool(flappy.URL)
+	pool.FailureThreshold = 1
+	pool.Cooldown = time.Hour
+	now := time.Now()
+	pool.now = func() time.Time { return now }
+
+	if _, err := pool.Sample(twoVarModel()); err == nil {
+		t.Fatal("failing backend succeeded")
+	}
+	// Circuit open, clock frozen: jobs are shed without touching the net.
+	if _, err := pool.Sample(twoVarModel()); err == nil || !strings.Contains(err.Error(), "unavailable") {
+		t.Fatalf("open circuit err = %v, want unavailable", err)
+	}
+	// Backend recovers and the cooldown elapses: the trial job closes
+	// the circuit.
+	fail.Store(false)
+	now = now.Add(2 * time.Hour)
+	if _, err := pool.Sample(twoVarModel()); err != nil {
+		t.Fatalf("recovered backend still rejected: %v", err)
+	}
+	if st := pool.Stats(); st.Backends[0].Open || st.Backends[0].ConsecutiveFailures != 0 {
+		t.Errorf("breaker not reset after success: %+v", st.Backends[0])
+	}
+}
+
+func TestPoolCheckHealthGatesBackends(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	up := httptest.NewServer((&Server{Description: "healthy"}).Handler())
+	defer up.Close()
+
+	pool := NewPool(down.URL, up.URL)
+	pool.FailureThreshold = 1
+	pool.Cooldown = time.Hour
+	res := pool.CheckHealth(context.Background())
+	if res[down.URL] == nil {
+		t.Error("down backend reported healthy")
+	}
+	if res[up.URL] != nil {
+		t.Errorf("up backend reported unhealthy: %v", res[up.URL])
+	}
+	st := pool.Stats()
+	if !st.Backends[0].Open || st.Backends[1].Open {
+		t.Errorf("health gating not reflected in circuits: %+v", st.Backends)
+	}
+}
+
+func TestPoolNoBackends(t *testing.T) {
+	if _, err := (&Pool{}).Sample(twoVarModel()); err == nil {
+		t.Error("empty pool accepted a job")
+	}
+}
+
+func TestServerConcurrencyLimit429(t *testing.T) {
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	srv := httptest.NewServer((&Server{
+		MaxConcurrent: 1,
+		NewSampler: func(req SampleRequest) interface {
+			Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+		} {
+			return blockingSampler{enter: enter, release: release}
+		},
+	}).Handler())
+	defer srv.Close()
+
+	client := &Client{BaseURL: srv.URL, MaxRetries: -1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Sample(twoVarModel())
+		done <- err
+	}()
+	<-enter // first job is inside the sampler, holding the slot
+
+	second := &Client{BaseURL: srv.URL, MaxRetries: -1}
+	_, err := second.Sample(twoVarModel())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated server err = %v, want 429", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("first job failed after release: %v", err)
+	}
+}
+
+// blockingSampler signals entry and waits for release.
+type blockingSampler struct{ enter, release chan struct{} }
+
+func (b blockingSampler) Sample(c *qubo.Compiled) (*anneal.SampleSet, error) {
+	b.enter <- struct{}{}
+	<-b.release
+	x := make([]anneal.Bit, c.N)
+	return &anneal.SampleSet{Samples: []anneal.Sample{{X: x, Energy: c.Energy(x), Occurrences: 1}}}, nil
+}
+
+func TestServerRejectsNegativeKnobs(t *testing.T) {
+	srv := httptest.NewServer((&Server{}).Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/sample", "application/json",
+		strings.NewReader(`{"qubo":"","reads":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative reads status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerClampsDefaultPath(t *testing.T) {
+	// A request for an absurd number of reads/sweeps must not pin the
+	// server: the default path clamps to the server's caps. Observable
+	// via total occurrences == clamped read count.
+	srv := httptest.NewServer((&Server{MaxReads: 4, MaxSweeps: 50}).Handler())
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL, Reads: 1_000_000_000, Sweeps: 1_000_000_000}
+	done := make(chan struct{})
+	var ss *anneal.SampleSet
+	var err error
+	go func() {
+		ss, err = client.Sample(twoVarModel())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("clamped request still running after 30s — caps not applied")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.TotalReads(); got != 4 {
+		t.Errorf("total reads = %d, want clamped 4", got)
+	}
+}
+
+func TestServerSampleTimeout503(t *testing.T) {
+	srv := httptest.NewServer((&Server{
+		SampleTimeout: 50 * time.Millisecond,
+		NewSampler: func(req SampleRequest) interface {
+			Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+		} {
+			// A genuine long job: the context-aware annealer with an
+			// enormous sweep budget, cancelled by the server's deadline.
+			return &anneal.SimulatedAnnealer{Reads: 8, Sweeps: 5_000_000}
+		},
+	}).Handler())
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL, MaxRetries: -1}
+	_, err := client.Sample(twoVarModel())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out job err = %v, want 503", err)
+	}
+}

@@ -1,0 +1,232 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+)
+
+// Pool defaults.
+const (
+	DefaultFailureThreshold = 3
+	DefaultCooldown         = 10 * time.Second
+)
+
+// Pool spreads sampling jobs across multiple annealerd backends with
+// health-gated failover: jobs rotate round-robin over the backends, a
+// failed job fails over to the next backend, and a backend that fails
+// FailureThreshold consecutive jobs has its circuit opened — it is
+// sidelined for Cooldown before a trial job may close the circuit
+// again. Pool satisfies the solver's Sampler and SamplerContext
+// contracts, so a qsmt.Solver can be pointed at a whole fleet.
+//
+// A Pool is safe for concurrent use.
+type Pool struct {
+	// Backends are the per-service clients; each carries its own retry
+	// policy. Use NewPool for URL-only construction. Must not be
+	// mutated after first use.
+	Backends []*Client
+	// FailureThreshold is the consecutive-failure count that opens a
+	// backend's circuit. 0 selects DefaultFailureThreshold.
+	FailureThreshold int
+	// Cooldown is how long an open circuit sidelines a backend.
+	// 0 selects DefaultCooldown.
+	Cooldown time.Duration
+
+	now func() time.Time // test hook; nil = time.Now
+
+	mu     sync.Mutex
+	next   int            // round-robin cursor
+	states []breakerState // parallel to Backends
+
+	failovers atomic.Int64
+}
+
+// breakerState is one backend's circuit.
+type breakerState struct {
+	consecutiveFailures int
+	openUntil           time.Time
+}
+
+// NewPool builds a pool over backend base URLs with default clients
+// (retries disabled per backend — the pool's failover replaces them;
+// set up Backends directly for per-backend retry policies).
+func NewPool(urls ...string) *Pool {
+	p := &Pool{}
+	for _, u := range urls {
+		p.Backends = append(p.Backends, &Client{BaseURL: u, MaxRetries: -1})
+	}
+	return p
+}
+
+func (p *Pool) clock() time.Time {
+	if p.now != nil {
+		return p.now()
+	}
+	return time.Now()
+}
+
+func (p *Pool) threshold() int {
+	if p.FailureThreshold > 0 {
+		return p.FailureThreshold
+	}
+	return DefaultFailureThreshold
+}
+
+func (p *Pool) cooldown() time.Duration {
+	if p.Cooldown > 0 {
+		return p.Cooldown
+	}
+	return DefaultCooldown
+}
+
+// ensureStates sizes the breaker table; callers hold p.mu.
+func (p *Pool) ensureStates() {
+	if len(p.states) < len(p.Backends) {
+		p.states = append(p.states, make([]breakerState, len(p.Backends)-len(p.states))...)
+	}
+}
+
+// available reports whether idx's circuit admits a job now; callers
+// hold p.mu.
+func (p *Pool) available(idx int) bool {
+	return !p.clock().Before(p.states[idx].openUntil)
+}
+
+func (p *Pool) recordSuccess(idx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureStates()
+	p.states[idx] = breakerState{}
+}
+
+func (p *Pool) recordFailure(idx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureStates()
+	st := &p.states[idx]
+	st.consecutiveFailures++
+	if st.consecutiveFailures >= p.threshold() {
+		st.openUntil = p.clock().Add(p.cooldown())
+	}
+}
+
+// Failovers reports how many times a job moved to another backend after
+// a failure, across the pool's lifetime.
+func (p *Pool) Failovers() int64 { return p.failovers.Load() }
+
+// BackendStatus is one backend's circuit snapshot.
+type BackendStatus struct {
+	URL                 string
+	ConsecutiveFailures int
+	Open                bool // circuit currently rejecting jobs
+}
+
+// Stats snapshots the pool's failover count and per-backend circuits.
+type PoolStats struct {
+	Failovers int64
+	Backends  []BackendStatus
+}
+
+// Stats returns a snapshot of pool health.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureStates()
+	st := PoolStats{Failovers: p.failovers.Load()}
+	for i, b := range p.Backends {
+		st.Backends = append(st.Backends, BackendStatus{
+			URL:                 b.BaseURL,
+			ConsecutiveFailures: p.states[i].consecutiveFailures,
+			Open:                p.clock().Before(p.states[i].openUntil),
+		})
+	}
+	return st
+}
+
+// Sample implements the sampler contract.
+func (p *Pool) Sample(compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	return p.SampleContext(context.Background(), compiled)
+}
+
+// SampleContext submits the job to the next healthy backend, failing
+// over on transient errors until every backend has been tried or the
+// context expires. Permanent errors (4xx other than 429) return
+// immediately: they would repeat identically on every backend.
+func (p *Pool) SampleContext(ctx context.Context, compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	if len(p.Backends) == 0 {
+		return nil, errors.New("remote: pool has no backends")
+	}
+	p.mu.Lock()
+	p.ensureStates()
+	start := p.next
+	p.next = (p.next + 1) % len(p.Backends)
+	p.mu.Unlock()
+
+	var lastErr error
+	attempted := false
+	for off := 0; off < len(p.Backends); off++ {
+		idx := (start + off) % len(p.Backends)
+		p.mu.Lock()
+		ok := p.available(idx)
+		p.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if attempted {
+			p.failovers.Add(1)
+		}
+		attempted = true
+		ss, err := p.Backends[idx].SampleContext(ctx, compiled)
+		if err == nil {
+			p.recordSuccess(idx)
+			return ss, nil
+		}
+		p.recordFailure(idx)
+		lastErr = err
+		if ctx.Err() != nil || !failoverable(err) {
+			return nil, lastErr
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("remote: all pool backends failed: %w", lastErr)
+	}
+	return nil, errors.New("remote: all pool backends unavailable (circuits open)")
+}
+
+// CheckHealth probes every backend's /v1/health under ctx and feeds the
+// outcomes into the circuit breakers, so unhealthy backends are
+// sidelined before they ever receive a job. It returns one entry per
+// backend URL (nil = healthy).
+func (p *Pool) CheckHealth(ctx context.Context) map[string]error {
+	out := make(map[string]error, len(p.Backends))
+	for i, b := range p.Backends {
+		_, err := b.HealthContext(ctx)
+		out[b.BaseURL] = err
+		if err == nil {
+			p.recordSuccess(i)
+		} else {
+			p.recordFailure(i)
+		}
+	}
+	return out
+}
+
+// failoverable reports whether another backend could plausibly serve
+// the job after this error.
+func failoverable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Transient()
+	}
+	return true
+}

@@ -16,16 +16,28 @@
 //	GET  /v1/health   reply: {"status": "ok", "sampler": "…"}
 //
 // The QUBO travels in the deterministic text format of qubo.WriteTo.
+//
+// The package is built for production traffic: the Client retries
+// transient failures (network errors, 5xx, 429) with exponential
+// backoff + jitter and honors per-request contexts; the Pool client
+// spreads jobs across several backends with circuit-breaker failover;
+// and the Server clamps per-job work, sheds load with 429 when
+// saturated, and bounds each job's sampling phase with a deadline.
 package remote
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"qsmt/internal/anneal"
@@ -67,16 +79,55 @@ type errorResponse struct {
 // far larger than any string constraint here produces).
 const MaxRequestBytes = 16 << 20
 
+// MaxResponseBytes bounds client-accepted response bodies.
+const MaxResponseBytes = 16 << 20
+
+// Server-side caps applied to the default sampler path so a client
+// cannot pin the server with an absurd reads/sweeps request.
+const (
+	DefaultMaxReads  = 1024
+	DefaultMaxSweeps = 100_000
+)
+
 // Server serves the annealer API over any sampler factory. The factory
 // receives the per-request knobs so each job can carry its own seed.
+// The zero value is production-safe: the default sampler path clamps
+// reads/sweeps to DefaultMaxReads/DefaultMaxSweeps and rejects negative
+// knobs with 400.
 type Server struct {
 	// NewSampler builds the sampler for one request; nil defaults to a
-	// SimulatedAnnealer honoring the request's reads/sweeps/seed.
+	// SimulatedAnnealer honoring the request's reads/sweeps/seed,
+	// clamped to the server's caps. Samplers that also implement
+	// anneal.ContextSampler are cancelled when the request dies or the
+	// sampling deadline expires.
 	NewSampler func(req SampleRequest) interface {
 		Sample(*qubo.Compiled) (*anneal.SampleSet, error)
 	}
 	// Description appears in health responses.
 	Description string
+	// MaxReads / MaxSweeps cap the default sampler path. 0 selects
+	// DefaultMaxReads / DefaultMaxSweeps.
+	MaxReads  int
+	MaxSweeps int
+	// SampleTimeout bounds each job's sampling phase; expired jobs get
+	// 503 so resilient clients retry elsewhere. 0 = no deadline.
+	SampleTimeout time.Duration
+	// MaxConcurrent bounds in-flight sampling jobs; excess requests get
+	// 429 with Retry-After instead of queueing. 0 = unlimited.
+	MaxConcurrent int
+
+	semOnce sync.Once
+	sem     chan struct{}
+}
+
+// semaphore lazily builds the concurrency limiter (nil = unlimited).
+func (s *Server) semaphore() chan struct{} {
+	s.semOnce.Do(func() {
+		if s.MaxConcurrent > 0 {
+			s.sem = make(chan struct{}, s.MaxConcurrent)
+		}
+	})
+	return s.sem
 }
 
 // Handler returns the HTTP handler for the service.
@@ -104,6 +155,16 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if sem := s.semaphore(); sem != nil {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server saturated")
+			return
+		}
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
@@ -118,15 +179,31 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
 		return
 	}
+	if req.Reads < 0 || req.Sweeps < 0 {
+		writeError(w, http.StatusBadRequest, "reads and sweeps must be non-negative")
+		return
+	}
 	model, err := qubo.Read(strings.NewReader(req.QUBO))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "malformed QUBO: "+err.Error())
 		return
 	}
-	sampler := s.sampler(req)
-	ss, err := sampler.Sample(model.Compile())
+	ctx := r.Context()
+	if s.SampleTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.SampleTimeout)
+		defer cancel()
+	}
+	ss, err := anneal.SampleWithContext(ctx, s.sampler(req), model.Compile())
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "sampling: "+err.Error())
+		switch {
+		case r.Context().Err() != nil:
+			return // client gone; nobody is reading the reply
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusServiceUnavailable, "sampling deadline exceeded")
+		default:
+			writeError(w, http.StatusInternalServerError, "sampling: "+err.Error())
+		}
 		return
 	}
 	resp := SampleResponse{Samples: make([]WireSample, 0, len(ss.Samples))}
@@ -146,7 +223,21 @@ func (s *Server) sampler(req SampleRequest) interface {
 	if s.NewSampler != nil {
 		return s.NewSampler(req)
 	}
-	return &anneal.SimulatedAnnealer{Reads: req.Reads, Sweeps: req.Sweeps, Seed: req.Seed}
+	maxReads, maxSweeps := s.MaxReads, s.MaxSweeps
+	if maxReads <= 0 {
+		maxReads = DefaultMaxReads
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = DefaultMaxSweeps
+	}
+	reads, sweeps := req.Reads, req.Sweeps
+	if reads > maxReads {
+		reads = maxReads
+	}
+	if sweeps > maxSweeps {
+		sweeps = maxSweeps
+	}
+	return &anneal.SimulatedAnnealer{Reads: reads, Sweeps: sweeps, Seed: req.Seed}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -181,17 +272,85 @@ func stringToBits(s string) ([]qubo.Bit, error) {
 	return x, nil
 }
 
+// Client retry defaults. Retries apply only to transient failures:
+// network errors, 5xx responses, and 429 saturation signals.
+const (
+	DefaultMaxRetries      = 2
+	DefaultRetryBackoff    = 100 * time.Millisecond
+	DefaultRetryMaxBackoff = 2 * time.Second
+)
+
+// ErrResponseTooLarge reports that a service reply exceeded the
+// client's response-size cap. Distinct from a malformed-JSON error: the
+// body was truncated by the read limit, not corrupted by the service.
+var ErrResponseTooLarge = errors.New("remote: response exceeds size limit")
+
+// StatusError is a non-200 service reply, preserving the HTTP status so
+// retry and failover logic can distinguish transient (5xx, 429) from
+// permanent (4xx) failures.
+type StatusError struct {
+	Code    int
+	Message string // server's error envelope, when present
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("remote: service error (%d): %s", e.Code, e.Message)
+	}
+	return fmt.Sprintf("remote: service returned status %d", e.Code)
+}
+
+// Transient reports whether the failure is worth retrying.
+func (e *StatusError) Transient() bool {
+	return e.Code >= 500 || e.Code == http.StatusTooManyRequests
+}
+
+// transientErr classifies an error from one request attempt: context
+// expiry is never transient (the caller's budget is gone), 4xx replies
+// are permanent, and network-level failures plus 5xx/429 are transient.
+func transientErr(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Transient()
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
 // Client submits sampling jobs to a remote annealer service. It
-// satisfies the solver's Sampler contract, so it can be plugged straight
-// into qsmt.Options.
+// satisfies the solver's Sampler and SamplerContext contracts, so it can
+// be plugged straight into qsmt.Options. Transient failures are retried
+// with exponential backoff and jitter; a context passed to SampleContext
+// bounds the whole call including backoff sleeps.
 type Client struct {
 	BaseURL    string        // e.g. "http://annealer:8080"
 	HTTPClient *http.Client  // nil = http.DefaultClient with Timeout
-	Timeout    time.Duration // default 60s (only when HTTPClient is nil)
+	Timeout    time.Duration // per-attempt timeout; default 60s (only when HTTPClient is nil)
 	Reads      int           // per-job reads (0 = server default)
 	Sweeps     int           // per-job sweeps
 	Seed       int64         // per-job seed
+
+	// MaxRetries bounds extra attempts after the first on transient
+	// failures. 0 selects DefaultMaxRetries; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry delay, doubled per retry up to
+	// RetryMaxBackoff, with ±50% jitter. Zero selects the defaults.
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
+	// MaxResponseBytes caps accepted reply bodies (0 = MaxResponseBytes
+	// package default).
+	MaxResponseBytes int64
+
+	retries atomic.Int64
 }
+
+// Retries reports how many retry attempts this client has performed
+// across its lifetime (not counting first attempts).
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
@@ -204,16 +363,67 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{Timeout: timeout}
 }
 
+func (c *Client) maxResponseBytes() int64 {
+	if c.MaxResponseBytes > 0 {
+		return c.MaxResponseBytes
+	}
+	return MaxResponseBytes
+}
+
 // Sample implements the sampler contract by round-tripping through the
 // service.
 func (c *Client) Sample(compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	return c.SampleContext(context.Background(), compiled)
+}
+
+// SampleContext submits the job under ctx, retrying transient failures
+// with exponential backoff + jitter until the retry budget or the
+// context runs out.
+func (c *Client) SampleContext(ctx context.Context, compiled *qubo.Compiled) (*anneal.SampleSet, error) {
 	if compiled == nil {
 		return nil, errors.New("remote: nil model")
 	}
 	if c.BaseURL == "" {
 		return nil, errors.New("remote: client has no BaseURL")
 	}
-	// Reconstruct the serializable model from the compiled view.
+	reqBody, err := c.encodeRequest(compiled)
+	if err != nil {
+		return nil, err
+	}
+	maxRetries := c.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	maxBackoff := c.RetryMaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultRetryMaxBackoff
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		ss, err := c.doSample(ctx, reqBody, compiled)
+		if err == nil {
+			return ss, nil
+		}
+		lastErr = err
+		if attempt >= maxRetries || !transientErr(err) || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		c.retries.Add(1)
+		if err := sleepBackoff(ctx, backoff, maxBackoff, attempt); err != nil {
+			return nil, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+		}
+	}
+}
+
+// encodeRequest reconstructs the serializable model from the compiled
+// view and marshals the wire request.
+func (c *Client) encodeRequest(compiled *qubo.Compiled) ([]byte, error) {
 	model := qubo.New(compiled.N)
 	model.AddOffset(compiled.Offset)
 	for i, h := range compiled.Linear {
@@ -232,28 +442,39 @@ func (c *Client) Sample(compiled *qubo.Compiled) (*anneal.SampleSet, error) {
 	if _, err := model.WriteTo(&quboText); err != nil {
 		return nil, fmt.Errorf("remote: serializing QUBO: %w", err)
 	}
-	reqBody, err := json.Marshal(SampleRequest{
+	return json.Marshal(SampleRequest{
 		QUBO: quboText.String(), Reads: c.Reads, Sweeps: c.Sweeps, Seed: c.Seed,
 	})
+}
+
+// doSample performs one request attempt.
+func (c *Client) doSample(ctx context.Context, reqBody []byte, compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(c.BaseURL, "/")+"/v1/sample", bytes.NewReader(reqBody))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("remote: building request: %w", err)
 	}
-	resp, err := c.httpClient().Post(
-		strings.TrimRight(c.BaseURL, "/")+"/v1/sample", "application/json", bytes.NewReader(reqBody))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("remote: submitting job: %w", err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
+	limit := c.maxResponseBytes()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		return nil, fmt.Errorf("remote: reading response: %w", err)
 	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrResponseTooLarge, limit)
+	}
 	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Code: resp.StatusCode}
 		var er errorResponse
-		if json.Unmarshal(body, &er) == nil && er.Error != "" {
-			return nil, fmt.Errorf("remote: service error (%d): %s", resp.StatusCode, er.Error)
+		if json.Unmarshal(body, &er) == nil {
+			se.Message = er.Error
 		}
-		return nil, fmt.Errorf("remote: service returned status %d", resp.StatusCode)
+		return nil, se
 	}
 	var sr SampleResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
@@ -281,18 +502,47 @@ func (c *Client) Sample(compiled *qubo.Compiled) (*anneal.SampleSet, error) {
 	return anneal.Aggregate(raw), nil
 }
 
+// sleepBackoff sleeps for the attempt's jittered exponential delay, or
+// returns early with the context's error.
+func sleepBackoff(ctx context.Context, base, max time.Duration, attempt int) error {
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// ±50% jitter decorrelates retry storms across clients.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // Health checks the service.
 func (c *Client) Health() (*HealthResponse, error) {
-	resp, err := c.httpClient().Get(strings.TrimRight(c.BaseURL, "/") + "/v1/health")
+	return c.HealthContext(context.Background())
+}
+
+// HealthContext checks the service under ctx.
+func (c *Client) HealthContext(ctx context.Context) (*HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(c.BaseURL, "/")+"/v1/health", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("remote: health status %d", resp.StatusCode)
+		return nil, &StatusError{Code: resp.StatusCode, Message: "health check failed"}
 	}
 	var hr HealthResponse
-	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hr); err != nil {
 		return nil, err
 	}
 	return &hr, nil

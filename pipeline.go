@@ -1,6 +1,7 @@
 package qsmt
 
 import (
+	"context"
 	"fmt"
 
 	"qsmt/internal/core"
@@ -115,10 +116,16 @@ type PipelineResult struct {
 
 // Run solves a pipeline stage by stage.
 func (s *Solver) Run(p *Pipeline) (*PipelineResult, error) {
+	return s.RunContext(context.Background(), p)
+}
+
+// RunContext solves a pipeline stage by stage under ctx; a deadline
+// bounds the whole chain, aborting mid-stage where the sampler allows.
+func (s *Solver) RunContext(ctx context.Context, p *Pipeline) (*PipelineResult, error) {
 	if p == nil || p.generator == nil {
 		return nil, fmt.Errorf("qsmt: pipeline has no generator stage")
 	}
-	res, err := s.Solve(p.generator)
+	res, err := s.SolveContext(ctx, p.generator)
 	if err != nil {
 		return nil, fmt.Errorf("qsmt: pipeline stage 0 (%s): %w", p.generator.Name(), err)
 	}
@@ -131,7 +138,7 @@ func (s *Solver) Run(p *Pipeline) (*PipelineResult, error) {
 	current := res.Witness.Str
 	for i, st := range p.stages {
 		c := st.make(current)
-		res, err := s.Solve(c)
+		res, err := s.SolveContext(ctx, c)
 		if err != nil {
 			return nil, fmt.Errorf("qsmt: pipeline stage %d (%s): %w", i+1, st.name, err)
 		}

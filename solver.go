@@ -1,6 +1,7 @@
 package qsmt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -15,6 +16,14 @@ import (
 // satisfy it.
 type Sampler interface {
 	Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+}
+
+// SamplerContext is the cancellation-aware sampler contract. All
+// samplers in this module implement it in addition to Sampler; custom
+// samplers may implement only Sampler — the solver adapts them (the
+// context is then checked around, not inside, each sampling call).
+type SamplerContext interface {
+	SampleContext(ctx context.Context, c *qubo.Compiled) (*anneal.SampleSet, error)
 }
 
 // Options configures a Solver. The zero value selects the defaults noted
@@ -87,6 +96,14 @@ var ErrNoModel = errors.New("qsmt: no verified model found")
 
 // Solve runs the SMT loop on one constraint.
 func (s *Solver) Solve(c Constraint) (*Result, error) {
+	return s.SolveContext(context.Background(), c)
+}
+
+// SolveContext runs the SMT loop on one constraint under ctx. The
+// context is threaded into every sampling call: context-aware samplers
+// (all module samplers and the remote client) abort mid-run, so a
+// deadline bounds the whole solve including retries.
+func (s *Solver) SolveContext(ctx context.Context, c Constraint) (*Result, error) {
 	start := time.Now()
 	model, err := c.BuildModel()
 	if err != nil {
@@ -97,6 +114,9 @@ func (s *Solver) Solve(c Constraint) (*Result, error) {
 	var lastCheck error
 	var lastBest []qubo.Bit
 	for attempt := 0; attempt < s.opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("qsmt: solving %s: %w", c.Name(), err)
+		}
 		sampler := s.samplerFor(attempt)
 		if s.opts.RefineRetries && s.opts.Sampler == nil && attempt > 0 && lastBest != nil {
 			sampler = &anneal.ReverseAnnealer{
@@ -106,7 +126,7 @@ func (s *Solver) Solve(c Constraint) (*Result, error) {
 				Seed:    s.opts.Seed + int64(attempt)*1_000_003,
 			}
 		}
-		ss, err := sampler.Sample(compiled)
+		ss, err := s.sample(ctx, sampler, compiled)
 		if err != nil {
 			return nil, fmt.Errorf("qsmt: sampling %s: %w", c.Name(), err)
 		}
@@ -183,6 +203,12 @@ func (s *Solver) SolveIndex(c Constraint) (int, error) {
 // (or the attempt budget) is smaller; at least one witness or an error
 // is guaranteed.
 func (s *Solver) Enumerate(c Constraint, k int) ([]Witness, error) {
+	return s.EnumerateContext(context.Background(), c, k)
+}
+
+// EnumerateContext is Enumerate under a context; see SolveContext for
+// the cancellation contract.
+func (s *Solver) EnumerateContext(ctx context.Context, c Constraint, k int) ([]Witness, error) {
 	if k <= 0 {
 		k = 1
 	}
@@ -192,6 +218,7 @@ func (s *Solver) Enumerate(c Constraint, k int) ([]Witness, error) {
 	}
 	compiled := model.Compile()
 	seen := map[string]bool{}
+	seenAssign := map[string]bool{}
 	var out []Witness
 	var lastCheck error
 	// Scale attempts with the request: every attempt contributes an
@@ -201,12 +228,20 @@ func (s *Solver) Enumerate(c Constraint, k int) ([]Witness, error) {
 		attempts = k
 	}
 	for attempt := 0; attempt < attempts && len(out) < k; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("qsmt: enumerating %s: %w", c.Name(), err)
+		}
 		sampler := s.samplerFor(attempt)
-		ss, err := sampler.Sample(compiled)
+		ss, err := s.sample(ctx, sampler, compiled)
 		if err != nil {
 			return nil, fmt.Errorf("qsmt: sampling %s: %w", c.Name(), err)
 		}
+		fresh := 0
 		for _, sample := range ss.Samples {
+			if ak := bitKey(sample.X); !seenAssign[ak] {
+				seenAssign[ak] = true
+				fresh++
+			}
 			if len(out) >= k {
 				break
 			}
@@ -232,6 +267,12 @@ func (s *Solver) Enumerate(c Constraint, k int) ([]Witness, error) {
 			seen[key] = true
 			out = append(out, w)
 		}
+		// A deterministic sampler (fixed seed, exact solver) re-delivers
+		// the identical sample set every attempt; once an attempt yields
+		// nothing previously unseen, further attempts cannot either.
+		if fresh == 0 {
+			break
+		}
 	}
 	if len(out) == 0 {
 		if lastCheck != nil {
@@ -240,6 +281,34 @@ func (s *Solver) Enumerate(c Constraint, k int) ([]Witness, error) {
 		return nil, ErrNoModel
 	}
 	return out, nil
+}
+
+// sample runs one sampling call under ctx, using the sampler's native
+// context support when present and the check-around adapter otherwise.
+func (s *Solver) sample(ctx context.Context, sampler Sampler, compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	if cs, ok := sampler.(SamplerContext); ok {
+		return cs.SampleContext(ctx, compiled)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ss, err := sampler.Sample(compiled)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	return ss, nil
+}
+
+// bitKey renders an assignment as a dedup map key.
+func bitKey(x []qubo.Bit) string {
+	b := make([]byte, len(x))
+	for i, v := range x {
+		b[i] = '0' + byte(v&1)
+	}
+	return string(b)
 }
 
 // samplerFor returns the sampler for a given retry attempt. User-supplied

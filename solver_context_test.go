@@ -1,0 +1,154 @@
+package qsmt
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+	"qsmt/internal/remote"
+)
+
+func TestSolveContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewSolver(nil)
+	if _, err := s.SolveContext(ctx, Equality("hi")); !errors.Is(err, context.Canceled) {
+		t.Errorf("SolveContext err = %v, want context.Canceled", err)
+	}
+	if _, err := s.EnumerateContext(ctx, Palindrome(4), 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("EnumerateContext err = %v, want context.Canceled", err)
+	}
+	if _, err := s.RunContext(ctx, NewPipeline(Equality("hi")).Reverse()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveContextDeadlineBoundsLocalAnnealing(t *testing.T) {
+	// A sweep budget that would run for minutes: the context-aware
+	// annealer must abort at the deadline, bounding the whole solve.
+	s := NewSolver(&Options{
+		Sampler: &anneal.SimulatedAnnealer{Reads: 64, Sweeps: 2_000_000, Workers: 2},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.SolveContext(ctx, Palindrome(8))
+	if err == nil {
+		t.Fatal("deadline expiry produced a result")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("solve returned after %v, want prompt abort at the 100ms deadline", elapsed)
+	}
+}
+
+func TestSolveContextHangingRemoteBackend(t *testing.T) {
+	// Acceptance: a SolveContext call against a hanging (fault-injected)
+	// remote backend returns within the context deadline.
+	stop := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body) // unblock the server's client-gone detection
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	}))
+	defer hang.Close()
+	defer close(stop)
+
+	client := &remote.Client{BaseURL: hang.URL}
+	s := NewSolver(&Options{Sampler: client})
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.SolveContext(ctx, Equality("net"))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("hanging backend produced a result")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("solve returned after %v, want prompt return at the 200ms deadline", elapsed)
+	}
+}
+
+func TestSolveFailsOverToHealthyBackend(t *testing.T) {
+	// Acceptance: one always-500 backend plus one healthy backend —
+	// the pooled solve completes with at least one failover recorded.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"injected outage"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer((&remote.Server{}).Handler())
+	defer good.Close()
+
+	pool := remote.NewPool(bad.URL, good.URL)
+	s := NewSolver(&Options{Sampler: pool})
+	got, err := s.SolveString(Equality("cloud"))
+	if err != nil {
+		t.Fatalf("pooled solve failed despite healthy backend: %v", err)
+	}
+	if got != "cloud" {
+		t.Errorf("pooled solve = %q", got)
+	}
+	if pool.Failovers() < 1 {
+		t.Errorf("failovers = %d, want ≥ 1", pool.Failovers())
+	}
+}
+
+// countingSampler counts invocations of a deterministic base sampler.
+type countingSampler struct {
+	base  Sampler
+	calls atomic.Int64
+}
+
+func (cs *countingSampler) Sample(c *qubo.Compiled) (*anneal.SampleSet, error) {
+	cs.calls.Add(1)
+	return cs.base.Sample(c)
+}
+
+func TestEnumerateShortCircuitsDeterministicSampler(t *testing.T) {
+	// A deterministic sampler re-delivers the identical sample set every
+	// attempt. Enumerate must notice that an attempt produced nothing
+	// previously unseen and stop, instead of burning the full budget.
+	cs := &countingSampler{base: &anneal.ExactSolver{}}
+	s := NewSolver(&Options{Sampler: cs, MaxAttempts: 4})
+	ws, err := s.Enumerate(Equality("ab"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0].Str != "ab" {
+		t.Errorf("witnesses = %+v, want exactly [ab]", ws)
+	}
+	// Attempt 1 finds the (single) fresh assignment; attempt 2 re-sees
+	// it and short-circuits. Without the short-circuit this burns
+	// max(MaxAttempts, k) = 10 attempts.
+	if got := cs.calls.Load(); got != 2 {
+		t.Errorf("sampler invoked %d times, want 2", got)
+	}
+}
+
+func TestEnumerateStillExploresFreshSamples(t *testing.T) {
+	// The short-circuit must not fire while fresh assignments keep
+	// arriving: the default (seed-varied) sampler still enumerates a
+	// degenerate manifold.
+	s := NewSolver(&Options{Seed: 7})
+	ws, err := s.Enumerate(Palindrome(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) < 2 {
+		t.Errorf("enumerated %d palindromes, want ≥ 2", len(ws))
+	}
+}
