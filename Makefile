@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench benchsmoke
 
-## check: the CI gate — build, vet, and race-checked tests
-## (includes the remote fault-injection suite in internal/remote
-## and the root-package context/failover acceptance tests).
-check: build vet race
+## check: the CI gate — build, vet, race-checked tests, and a
+## 1-iteration benchmark smoke pass (includes the remote
+## fault-injection suite in internal/remote and the root-package
+## context/failover acceptance tests).
+check: build vet race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -19,5 +20,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+## bench: run the Table 1 and substrate benchmarks and record them as
+## BENCH_kernel.json (benchmark name -> ns/op, allocs/op, custom
+## metrics) via cmd/benchjson, so before/after numbers are diffable.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench 'Table1|Substrate' -benchtime=1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
+	@cat BENCH_kernel.json
+
+## benchsmoke: one iteration of every benchmark — catches bit-rotted
+## benchmark code without paying for stable timings.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./... > /dev/null
+

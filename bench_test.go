@@ -16,6 +16,7 @@ package qsmt
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"qsmt/internal/anneal"
@@ -292,5 +293,118 @@ func BenchmarkSubstrate_FlipDelta(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = compiled.FlipDelta(x, i%compiled.N)
+	}
+}
+
+// ---- sweep-throughput benchmarks: FlipDelta path vs incremental kernel ----
+//
+// One benchmark op is one full Metropolis sweep (N proposals) at a cold
+// β, the regime where almost every proposal is rejected and the two
+// layouts differ most: the FlipDelta path pays O(degree) per proposal,
+// the kernel pays O(1) per proposal and O(degree) only on acceptance.
+// The "proposals/s" metric is directly comparable across the two.
+
+// sweepModel builds a deterministic random QUBO for throughput
+// benchmarking. dense couples every pair; sparse couples each variable to
+// ~8 pseudo-random partners.
+func sweepModel(n int, dense bool) *qubo.Compiled {
+	m := qubo.New(n)
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(int64(state>>11))/float64(1<<52) - 1 // ≈ uniform [-1,1)
+	}
+	for i := 0; i < n; i++ {
+		m.AddLinear(i, next())
+	}
+	if dense {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.AddQuadratic(i, j, next())
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			for k := 0; k < 8; k++ {
+				j := int((uint64(i)*2654435761 + uint64(k)*40503) % uint64(n))
+				if j != i {
+					m.AddQuadratic(i, j, next())
+				}
+			}
+		}
+	}
+	return m.Compile()
+}
+
+func sweepCases() []struct {
+	name string
+	c    *qubo.Compiled
+} {
+	return []struct {
+		name string
+		c    *qubo.Compiled
+	}{
+		{"dense_n256", sweepModel(256, true)},
+		{"sparse_n2048", sweepModel(2048, false)},
+	}
+}
+
+const sweepBeta = 4.0 // cold enough that most uphill proposals are rejected
+
+func BenchmarkSubstrate_KernelSweep(b *testing.B) {
+	for _, tc := range sweepCases() {
+		b.Run(tc.name, func(b *testing.B) {
+			k := anneal.NewKernel(tc.c)
+			x := make([]qubo.Bit, tc.c.N)
+			for i := range x {
+				x[i] = qubo.Bit(i % 2)
+			}
+			k.Reset(x)
+			state := uint64(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				for v := 0; v < tc.c.N; v++ {
+					d := k.Delta(v)
+					state ^= state << 13
+					state ^= state >> 7
+					state ^= state << 17
+					if d <= 0 || float64(state>>11)*0x1p-53 < math.Exp(-sweepBeta*d) {
+						k.Flip(v)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*float64(tc.c.N)/b.Elapsed().Seconds(), "proposals/s")
+		})
+	}
+}
+
+func BenchmarkSubstrate_FlipDeltaSweep(b *testing.B) {
+	for _, tc := range sweepCases() {
+		b.Run(tc.name, func(b *testing.B) {
+			x := make([]qubo.Bit, tc.c.N)
+			for i := range x {
+				x[i] = qubo.Bit(i % 2)
+			}
+			state := uint64(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				for v := 0; v < tc.c.N; v++ {
+					d := tc.c.FlipDelta(x, v)
+					state ^= state << 13
+					state ^= state >> 7
+					state ^= state << 17
+					if d <= 0 || float64(state>>11)*0x1p-53 < math.Exp(-sweepBeta*d) {
+						x[v] ^= 1
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*float64(tc.c.N)/b.Elapsed().Seconds(), "proposals/s")
+		})
 	}
 }

@@ -1,0 +1,167 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// map keyed by benchmark name, so benchmark numbers can be committed,
+// diffed, and quoted (BENCH_kernel.json) instead of living in scrollback.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Table1|Substrate' -benchmem . | benchjson -o BENCH_kernel.json
+//
+// Each entry records ns/op plus, when -benchmem is on, B/op and
+// allocs/op, and any custom metrics the benchmark reported (e.g. the
+// kernel sweep's proposals/s). Repeated runs of the same benchmark
+// (-count > 1) keep the fastest ns/op, the usual convention for
+// noise-prone shared machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Result holds one benchmark's parsed measurements.
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans go-test output for benchmark result lines. The format is
+//
+//	BenchmarkName[-P] <iters> <v> ns/op [<v> B/op] [<v> allocs/op] [<v> unit]...
+//
+// interleaved with goos/pkg banners and PASS/ok trailers, which are
+// skipped.
+func parse(r io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		res, name, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, dup := results[name]; dup && prev.NsPerOp <= res.NsPerOp {
+			continue // keep the fastest run
+		}
+		results[name] = res
+	}
+	return results, sc.Err()
+}
+
+func parseLine(line string) (Result, string, bool) {
+	fields := splitFields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, "", false
+	}
+	name := fields[0]
+	if len(name) < len("Benchmark") || name[:len("Benchmark")] != "Benchmark" {
+		return Result{}, "", false
+	}
+	// Strip the GOMAXPROCS suffix ("-8") so names are stable across hosts.
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c == '-' {
+			name = name[:i]
+			break
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+	}
+	var iters int64
+	if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil || iters <= 0 {
+		return Result{}, "", false
+	}
+	res := Result{Iterations: iters, NsPerOp: -1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return Result{}, "", false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			b := v
+			res.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			res.AllocsPerOp = &a
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	if res.NsPerOp < 0 {
+		return Result{}, "", false
+	}
+	return res, name, true
+}
+
+func splitFields(line string) []string {
+	var fields []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if i > start {
+			fields = append(fields, line[start:i])
+		}
+	}
+	return fields
+}
+
+// sortedNames is used by tests to get deterministic ordering.
+func sortedNames(m map[string]Result) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: qsmt
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1_Row2_Palindrome6 	      20	  24358587 ns/op	  107854 B/op	     953 allocs/op
+BenchmarkSubstrate_KernelSweep/dense_n256         	     100	      3791 ns/op	  67526397 proposals/s	       0 B/op	       0 allocs/op
+BenchmarkSubstrate_FlipDelta-8            	     100	         5.110 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	qsmt	4.033s
+`
+
+func TestParseSampleOutput(t *testing.T) {
+	got, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results (%v), want 3", len(got), sortedNames(got))
+	}
+
+	row2, ok := got["BenchmarkTable1_Row2_Palindrome6"]
+	if !ok {
+		t.Fatal("Row2 missing")
+	}
+	if row2.NsPerOp != 24358587 || row2.Iterations != 20 {
+		t.Errorf("Row2 = %+v", row2)
+	}
+	if row2.AllocsPerOp == nil || *row2.AllocsPerOp != 953 {
+		t.Errorf("Row2 allocs = %v, want 953", row2.AllocsPerOp)
+	}
+	if row2.BytesPerOp == nil || *row2.BytesPerOp != 107854 {
+		t.Errorf("Row2 bytes = %v, want 107854", row2.BytesPerOp)
+	}
+
+	sweep, ok := got["BenchmarkSubstrate_KernelSweep/dense_n256"]
+	if !ok {
+		t.Fatal("KernelSweep/dense_n256 missing")
+	}
+	if v := sweep.Metrics["proposals/s"]; v != 67526397 {
+		t.Errorf("proposals/s = %g, want 67526397", v)
+	}
+
+	// The -8 GOMAXPROCS suffix must be stripped; fractional ns/op parsed.
+	fd, ok := got["BenchmarkSubstrate_FlipDelta"]
+	if !ok {
+		t.Fatalf("FlipDelta missing (names: %v)", sortedNames(got))
+	}
+	if fd.NsPerOp != 5.110 {
+		t.Errorf("FlipDelta ns/op = %g, want 5.110", fd.NsPerOp)
+	}
+}
+
+func TestParseKeepsFastestOfRepeatedRuns(t *testing.T) {
+	in := `BenchmarkX 	 10	 200 ns/op
+BenchmarkX 	 10	 150 ns/op
+BenchmarkX 	 10	 180 ns/op
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"].NsPerOp != 150 {
+		t.Errorf("kept %g ns/op, want the fastest (150)", got["BenchmarkX"].NsPerOp)
+	}
+}
+
+func TestParseIgnoresNonBenchmarkLines(t *testing.T) {
+	in := "PASS\nok qsmt 1.2s\n--- FAIL: TestY\nBenchmark\nBenchmarkZ 0 bad\n"
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %v from garbage input", sortedNames(got))
+	}
+}
+
+func TestParseNameEndingInDigitsIsNotTruncated(t *testing.T) {
+	// Palindrome6 ends in a digit without a dash: must stay intact.
+	in := "BenchmarkPalindrome6 	 5	 100 ns/op\n"
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["BenchmarkPalindrome6"]; !ok {
+		t.Errorf("name mangled: %v", sortedNames(got))
+	}
+}

@@ -420,15 +420,21 @@ func TestParallelFor(t *testing.T) {
 }
 
 func TestEnergyConservationDuringAnneal(t *testing.T) {
-	// Property: annealOnce returns a complete assignment whose energy the
-	// sampler relabels from scratch (it no longer accumulates per-flip
-	// deltas, which drifted from Compiled.Energy over long runs).
+	// Property: annealOnce returns a kernel with a complete assignment
+	// whose incremental energy agrees with Compiled.Energy to within the
+	// drift tolerance, and whose ExactEnergy relabel is exact.
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		c := frustratedModel(rng, 10).Compile()
+		mrng := rand.New(rand.NewSource(seed))
+		c := frustratedModel(mrng, 10).Compile()
 		betas := []float64{0.1, 0.5, 1, 2, 5}
-		x := annealOnce(context.Background(), c, betas, rng)
-		return x != nil && len(x) == c.N
+		k := annealOnce(context.Background(), c, betas, newRNG(seed, 0))
+		if k == nil || len(k.X()) != c.N {
+			return false
+		}
+		if math.Abs(k.Energy()-c.Energy(k.X())) > 1e-9 {
+			return false
+		}
+		return k.ExactEnergy() == c.Energy(k.X())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)

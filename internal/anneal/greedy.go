@@ -3,24 +3,22 @@ package anneal
 import (
 	"context"
 	"errors"
-	"math/rand"
 
 	"qsmt/internal/qubo"
 )
 
 // greedyDescend repeatedly flips bits that strictly lower the energy until
-// no single flip improves, mutating x in place. It returns the total
-// energy change (≤ 0). Variables are visited in random order per pass so
-// ties between descent paths are broken differently across reads.
-func greedyDescend(c *qubo.Compiled, x []Bit, rng *rand.Rand) float64 {
+// no single flip improves, mutating the kernel state in place. It returns
+// the total energy change (≤ 0). Variables are visited in random order per
+// pass so ties between descent paths are broken differently across reads.
+func greedyDescend(k *Kernel, rng *rng) float64 {
 	total := 0.0
-	order := rng.Perm(c.N)
+	order := rng.Perm(k.N())
 	for {
 		improved := false
 		for _, i := range order {
-			if d := c.FlipDelta(x, i); d < 0 {
-				x[i] ^= 1
-				total += d
+			if k.Delta(i) < 0 {
+				total += k.Flip(i)
 				improved = true
 			}
 		}
@@ -67,10 +65,11 @@ func (g *GreedySampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*S
 	raw := make([]Sample, reads)
 	parallelForCtx(ctx, reads, g.Workers, func(r int) {
 		rng := newRNG(seed, r)
-		x := randomBits(rng, c.N)
-		greedyDescend(c, x, rng)
+		k := NewKernel(c)
+		k.Reset(randomBits(rng, c.N))
+		greedyDescend(k, rng)
 		// Recompute rather than accumulate: see SimulatedAnnealer.
-		raw[r] = Sample{X: x, Energy: c.Energy(x), Occurrences: 1}
+		raw[r] = Sample{X: k.X(), Energy: k.ExactEnergy(), Occurrences: 1}
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, abortErr(err)

@@ -1,0 +1,246 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+
+	"qsmt/internal/qubo"
+)
+
+// Kernel owns the per-read search state shared by every local-search
+// sampler in this package: the current assignment, the vector of local
+// fields, and a running incremental energy.
+//
+// The invariant maintained after every mutation is
+//
+//	field[i] = h_i + Σ_j W_ij·x_j   for all i,
+//
+// so the energy change of flipping bit i is an O(1) read:
+//
+//	ΔE_i = field[i]·(1 − 2·x_i).
+//
+// A proposal therefore costs O(1) regardless of outcome, and only an
+// *accepted* flip pays O(degree(i)) to push the change into the neighbors'
+// fields — the neal-style inversion of FlipDelta, which charges O(degree)
+// per proposal. At the high-β end of a schedule, where nearly every
+// proposal is rejected, this is the difference between the sampler
+// touching the model per proposal and touching one float.
+//
+// Both the field vector and the incremental energy accumulate float
+// rounding as flips are applied, so the kernel transparently resyncs
+// against the exact model (Compiled.Energy plus a field rebuild) every
+// resyncEvery accepted flips; reported energies are additionally relabeled
+// exactly by the samplers at the end of each read via ExactEnergy.
+//
+// A Kernel is not safe for concurrent use; every read owns its own.
+type Kernel struct {
+	c     *qubo.Compiled
+	x     []qubo.Bit
+	field []float64
+	// sign[i] = 1 − 2·x[i] (+1 when the bit is clear, −1 when set), kept in
+	// lockstep with x so the sweep's ΔE read is a branch-free multiply:
+	// ΔE_i = field[i]·sign[i]. The data branch it replaces is taken on
+	// effectively random bits, i.e. unpredictable, and was a measurable
+	// slice of sweep time.
+	sign   []float64
+	energy float64
+
+	accepted    int // accepted flips since the last exact resync
+	resyncEvery int
+}
+
+// defaultResyncEvery bounds incremental drift. The rebuild is O(N+M), so
+// amortized over 2^16 accepted flips its cost vanishes, while float error
+// — which grows with accumulated flips, not elapsed sweeps — stays orders
+// of magnitude below the 1e-9 equivalence tolerance.
+const defaultResyncEvery = 1 << 16
+
+// NewKernel returns a kernel for the model with an all-zeros assignment.
+// Call Reset to install a starting state.
+func NewKernel(c *qubo.Compiled) *Kernel {
+	k := &Kernel{
+		c:           c,
+		x:           make([]qubo.Bit, c.N),
+		field:       make([]float64, c.N),
+		sign:        make([]float64, c.N),
+		resyncEvery: defaultResyncEvery,
+	}
+	k.rebuild()
+	return k
+}
+
+// Reset copies x in as the current assignment and rebuilds fields and
+// energy exactly, in O(N+M).
+func (k *Kernel) Reset(x []qubo.Bit) {
+	if len(x) != k.c.N {
+		panic(fmt.Sprintf("anneal: kernel reset with %d bits, model has %d", len(x), k.c.N))
+	}
+	copy(k.x, x)
+	k.rebuild()
+}
+
+// rebuild recomputes the field vector and energy from scratch.
+func (k *Kernel) rebuild() {
+	c := k.c
+	copy(k.field, c.Linear)
+	for i, xi := range k.x {
+		if xi == 0 {
+			k.sign[i] = 1
+			continue
+		}
+		k.sign[i] = -1
+		for p := c.RowStart[i]; p < c.RowStart[i+1]; p++ {
+			k.field[c.NeighJ[p]] += c.NeighW[p]
+		}
+	}
+	k.energy = c.Energy(k.x)
+	k.accepted = 0
+}
+
+// N returns the model's variable count.
+func (k *Kernel) N() int { return k.c.N }
+
+// X returns the current assignment. The slice is the kernel's own state:
+// callers must copy it before the next Flip/Reset if they need a snapshot.
+func (k *Kernel) X() []qubo.Bit { return k.x }
+
+// Energy returns the running incremental energy of the current assignment.
+func (k *Kernel) Energy() float64 { return k.energy }
+
+// Delta returns E(x with bit i flipped) − E(x) in O(1).
+func (k *Kernel) Delta(i int) float64 {
+	if k.x[i] == 0 {
+		return k.field[i]
+	}
+	return -k.field[i]
+}
+
+// Flip applies the flip of bit i, updating the assignment, the energy,
+// and every neighbor's field in O(degree(i)). It returns the energy change
+// that was applied.
+func (k *Kernel) Flip(i int) float64 {
+	d := k.Delta(i)
+	k.flip(i, d)
+	return d
+}
+
+// flip is Flip for callers that already hold d = Delta(i) — the sweep's
+// hot path, which reads the delta to decide acceptance and must not pay
+// for deriving it twice.
+func (k *Kernel) flip(i int, d float64) {
+	c := k.c
+	s := k.sign[i] // +1: the bit turns on; −1: it turns off
+	k.x[i] ^= 1
+	k.sign[i] = -s
+	lo, hi := c.RowStart[i], c.RowStart[i+1]
+	nj, nw := c.NeighJ[lo:hi], c.NeighW[lo:hi]
+	field := k.field
+	for t, j := range nj {
+		field[j] += s * nw[t]
+	}
+	k.energy += d
+	k.accepted++
+	if k.accepted >= k.resyncEvery {
+		k.rebuild()
+	}
+}
+
+// ExactEnergy recomputes the energy from the model, installs it as the
+// running energy, and returns it. Samplers call it once per read so the
+// energies they report are exact rather than delta-accumulated.
+func (k *Kernel) ExactEnergy() float64 {
+	k.energy = k.c.Energy(k.x)
+	return k.energy
+}
+
+// expCutoff: exp(−44) ≈ 7.8e-20, far below any Float64 variate's 2^-53
+// resolution, so a proposal that uphill is rejected without spending an
+// exp and a variate on it.
+const expCutoff = 44.0
+
+const (
+	invLn2 = 1.4426950408889634074 // 1/ln2
+	ln2Hi  = 6.93147180369123816490e-01
+	ln2Lo  = 1.90821492927058770002e-10
+)
+
+// expNeg returns exp(−a) for 0 ≤ a < expCutoff with ≈1e-9 relative
+// accuracy — far tighter than any statistically observable effect on
+// Metropolis acceptance, at a fraction of math.Exp's cost (which was ~50%
+// of end-to-end solve time in profiles). Standard range reduction:
+// a = k·ln2 + s with |s| ≤ ln2/2, exp(−a) = 2^−k · exp(−s), the residual
+// via a degree-8 Taylor polynomial in Estrin form (three independent
+// sub-chains, roughly halving the dependency-chain latency of Horner) and
+// the 2^−k scale applied directly to the exponent bits (k < 65, so the
+// result stays normal).
+func expNeg(a float64) float64 {
+	kf := math.Round(a * invLn2)
+	s := kf*ln2Hi - a + kf*ln2Lo // −(a − k·ln2), |s| ≤ 0.3466
+	s2 := s * s
+	s4 := s2 * s2
+	lowT := 1 + s + s2*(1.0/2+s*(1.0/6))
+	high := 1.0/24 + s*(1.0/120) + s2*(1.0/720+s*(1.0/5040))
+	p := lowT + s4*(high+s4*(1.0/40320))
+	return math.Float64frombits(math.Float64bits(p) - uint64(kf)*(1<<52))
+}
+
+// metropolisSweep runs one Metropolis pass at inverse temperature beta:
+// every variable is proposed exactly once, a flip is accepted when ΔE ≤ 0
+// or with probability exp(−β·ΔE). The visit order is a random rotation of
+// the sequential scan — neal itself sweeps in one fixed order; the random
+// per-sweep offset is strictly more varied, costs a single bounded draw,
+// and keeps the scan's memory access sequential. The earlier per-sweep
+// Fisher–Yates permutation bought a broader order family at ~11% of solve
+// time and O(N) scratch; at the sampler level the two were statistically
+// indistinguishable on every workload in this repo.
+func metropolisSweep(k *Kernel, beta float64, r *rng) {
+	n := len(k.field)
+	if n == 0 {
+		return
+	}
+	start := r.Intn(n)
+	sweepSegment(k, beta, r, start, n)
+	sweepSegment(k, beta, r, 0, start)
+}
+
+// sweepSegment proposes indices [lo, hi) in order. Hot loop: the delta is
+// a branch-free multiply off the field and sign vectors, and a
+// strictly-uphill proposal pays one variate plus cheap two-sided bounds
+// on exp(−a), a = β·ΔE; the expNeg polynomial runs only on variates
+// landing inside the bracket. The odd/even Taylor partial sums bracket
+// strictly for every a > 0 (Lagrange remainders of alternating sign):
+//
+//	S₅ = 1 − a + a²/2 − a³/6 + a⁴/24 − a⁵/120 < exp(−a) < S₅ + a⁵/120
+//
+// so u < S₅ accepts and u ≥ S₅ + a⁵/120 rejects, leaving a band of width
+// a⁵/120 — vanishing exactly where most variates land (hot sweeps, a
+// near 0). The bracket is applied for a < 2, where the band stays ≤ 0.27;
+// beyond that rejection dominates and the exponent-bit bound
+// u ≥ 2^−⌊a/ln2⌋ ≥ exp(−a) rejects without the polynomial.
+func sweepSegment(k *Kernel, beta float64, r *rng, lo, hi int) {
+	field, sign := k.field, k.sign
+	if hi > len(field) || hi > len(sign) { // hoist the bounds checks
+		return
+	}
+	for i := lo; i < hi; i++ {
+		d := field[i] * sign[i]
+		if d <= 0 {
+			k.flip(i, d)
+		} else if a := beta * d; a < expCutoff {
+			u := r.Float64()
+			if a < 2 {
+				a2 := a * a
+				band := a2 * a2 * a * (1.0 / 120)
+				s5 := 1 + a*(-1+a*(0.5+a*(-1.0/6+a*(1.0/24)))) - band
+				if u < s5 || (u < s5+band && u < expNeg(a)) {
+					k.flip(i, d)
+				}
+				continue
+			}
+			bound := math.Float64frombits(uint64(1023-int64(a*invLn2)) << 52)
+			if u < bound && u < expNeg(a) {
+				k.flip(i, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qsmt/internal/qubo"
+)
+
+// randomKernelModel builds a random QUBO with the given size, coupler
+// density, and a mix of positive/negative coefficients at varied scales —
+// the model distribution the kernel equivalence property is checked over.
+func randomKernelModel(mrng *rand.Rand, n int, density float64) *qubo.Compiled {
+	m := qubo.New(n)
+	scale := math.Pow(10, float64(mrng.Intn(5)-2)) // 1e-2 .. 1e2
+	for i := 0; i < n; i++ {
+		if mrng.Float64() < 0.8 {
+			m.AddLinear(i, mrng.NormFloat64()*scale)
+		}
+		for j := i + 1; j < n; j++ {
+			if mrng.Float64() < density {
+				m.AddQuadratic(i, j, mrng.NormFloat64()*scale)
+			}
+		}
+	}
+	return m.Compile()
+}
+
+// assertKernelMatchesReference checks the kernel invariants against the
+// reference API: every per-variable delta must match FlipDelta and the
+// incremental energy must match Compiled.Energy, both to 1e-9 relative to
+// the model's coefficient scale.
+func assertKernelMatchesReference(t *testing.T, c *qubo.Compiled, k *Kernel) {
+	t.Helper()
+	x := k.X()
+	for i := 0; i < c.N; i++ {
+		want := c.FlipDelta(x, i)
+		if got := k.Delta(i); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("field mismatch at %d: kernel Δ=%g, FlipDelta=%g", i, got, want)
+		}
+	}
+	if got, want := k.Energy(), c.Energy(x); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy mismatch: kernel %g, model %g", got, want)
+	}
+}
+
+func TestKernelMatchesReferenceAcrossRandomModels(t *testing.T) {
+	// ≥100 random QUBOs across sizes, densities, and sign/scale mixes;
+	// fields and energy are checked after *every* accepted flip.
+	mrng := rand.New(rand.NewSource(17))
+	trials := 120
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + mrng.Intn(36)
+		density := mrng.Float64()
+		c := randomKernelModel(mrng, n, density)
+		k := NewKernel(c)
+		r := newRNG(17, trial)
+		k.Reset(randomBits(r, n))
+		assertKernelMatchesReference(t, c, k)
+		for step := 0; step < 120; step++ {
+			i := r.Intn(n)
+			// Mix of downhill and forced uphill flips so both field
+			// directions are exercised.
+			if k.Delta(i) <= 0 || r.Float64() < 0.5 {
+				k.Flip(i)
+				assertKernelMatchesReference(t, c, k)
+			}
+		}
+	}
+}
+
+func TestKernelResetRestoresExactState(t *testing.T) {
+	mrng := rand.New(rand.NewSource(23))
+	c := randomKernelModel(mrng, 20, 0.5)
+	k := NewKernel(c)
+	r := newRNG(23, 0)
+	for trial := 0; trial < 5; trial++ {
+		x := randomBits(r, 20)
+		k.Reset(x)
+		if k.Energy() != c.Energy(x) {
+			t.Fatalf("Reset energy %g != exact %g", k.Energy(), c.Energy(x))
+		}
+		assertKernelMatchesReference(t, c, k)
+		// Reset must copy, not alias.
+		x[0] ^= 1
+		if k.X()[0] == x[0] {
+			t.Fatal("Reset aliased the caller's slice")
+		}
+	}
+}
+
+func TestKernelPeriodicResyncKillsDrift(t *testing.T) {
+	// With an aggressive resync interval, a long walk over an
+	// ill-conditioned model (coefficients spanning 4 decades) must stay
+	// glued to the exact energy the whole way.
+	mrng := rand.New(rand.NewSource(29))
+	m := qubo.New(24)
+	for i := 0; i < 24; i++ {
+		m.AddLinear(i, mrng.NormFloat64()*math.Pow(10, float64(i%5-2)))
+		for j := i + 1; j < 24; j++ {
+			if mrng.Float64() < 0.4 {
+				m.AddQuadratic(i, j, mrng.NormFloat64())
+			}
+		}
+	}
+	c := m.Compile()
+	k := NewKernel(c)
+	k.resyncEvery = 64
+	r := newRNG(29, 0)
+	k.Reset(randomBits(r, 24))
+	for step := 0; step < 5000; step++ {
+		k.Flip(r.Intn(24))
+		if math.Abs(k.Energy()-c.Energy(k.X())) > 1e-9 {
+			t.Fatalf("drift at step %d: kernel %g, exact %g", step, k.Energy(), c.Energy(k.X()))
+		}
+	}
+	assertKernelMatchesReference(t, c, k)
+}
+
+func TestKernelFlipReturnsAppliedDelta(t *testing.T) {
+	mrng := rand.New(rand.NewSource(31))
+	c := randomKernelModel(mrng, 16, 0.6)
+	k := NewKernel(c)
+	r := newRNG(31, 0)
+	k.Reset(randomBits(r, 16))
+	for step := 0; step < 200; step++ {
+		i := r.Intn(16)
+		before := c.Energy(k.X())
+		d := k.Flip(i)
+		after := c.Energy(k.X())
+		if math.Abs((after-before)-d) > 1e-9 {
+			t.Fatalf("Flip(%d) returned %g, true ΔE %g", i, d, after-before)
+		}
+	}
+}
+
+func TestKernelResetSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched Reset did not panic")
+		}
+	}()
+	NewKernel(qubo.New(3).Compile()).Reset([]Bit{1})
+}
+
+func TestKernelSAReachesExactGroundStates(t *testing.T) {
+	// Kernel-backed SA must still hit the true ground state on every model
+	// small enough for exact enumeration.
+	mrng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + mrng.Intn(9)
+		c := randomKernelModel(mrng, n, 0.3+0.5*mrng.Float64())
+		ex, err := (&ExactSolver{}).Sample(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa := &SimulatedAnnealer{Reads: 32, Sweeps: 600, Seed: int64(trial + 1)}
+		ss, err := sa.Sample(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ss.Best().Energy, ex.Best().Energy; math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d (n=%d): kernel-SA best %g, exact %g", trial, n, got, want)
+		}
+	}
+}
+
+func TestMetropolisSweepAtInfiniteBetaOnlyDescends(t *testing.T) {
+	// At very large β every uphill proposal must be rejected (including
+	// through the exp-cutoff fast path), so sweeps are monotone in energy.
+	mrng := rand.New(rand.NewSource(41))
+	c := randomKernelModel(mrng, 18, 0.5)
+	k := NewKernel(c)
+	r := newRNG(41, 0)
+	k.Reset(randomBits(r, 18))
+	prev := k.Energy()
+	for sweep := 0; sweep < 50; sweep++ {
+		metropolisSweep(k, 1e12, r)
+		if k.Energy() > prev+1e-9 {
+			t.Fatalf("energy rose from %g to %g at β=1e12", prev, k.Energy())
+		}
+		prev = k.Energy()
+	}
+}
+
+func TestExpNegMatchesMathExp(t *testing.T) {
+	// expNeg replaces math.Exp on the Metropolis accept path; it must agree
+	// to well under any tolerance that could shift acceptance statistics.
+	// Dense scan over the whole admitted domain [0, expCutoff).
+	for a := 0.0; a < expCutoff; a += 1e-3 {
+		got, want := expNeg(a), math.Exp(-a)
+		if rel := math.Abs(got-want) / want; rel > 1e-9 {
+			t.Fatalf("expNeg(%g) = %g, math.Exp = %g (rel err %g)", a, got, want, rel)
+		}
+	}
+	if got := expNeg(0); got != 1 {
+		t.Fatalf("expNeg(0) = %g, want 1", got)
+	}
+}
+
+func TestSweepProposesEveryVariableOncePerSweep(t *testing.T) {
+	// A sweep over a zero-coupling model with all-positive linear terms at
+	// β=0 accepts every downhill/zero proposal exactly as offered, so the
+	// number of accepted flips per sweep counts proposals: each variable
+	// must be proposed exactly once regardless of the rotation offset.
+	const n = 37
+	m := qubo.New(n)
+	for i := 0; i < n; i++ {
+		m.AddLinear(i, 1) // all bits start 1 below: every proposal is downhill
+	}
+	c := m.Compile()
+	k := NewKernel(c)
+	ones := make([]qubo.Bit, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	r := newRNG(11, 0)
+	for trial := 0; trial < 25; trial++ {
+		k.Reset(ones)
+		metropolisSweep(k, 1e12, r)
+		for i := 0; i < n; i++ {
+			if k.X()[i] != 0 {
+				t.Fatalf("trial %d: variable %d not proposed (still set after a full downhill sweep)", trial, i)
+			}
+		}
+	}
+}

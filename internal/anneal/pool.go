@@ -48,11 +48,21 @@ func parallelForCtx(ctx context.Context, n, workers int, body func(i int)) {
 			}
 		}()
 	}
+	// Dispatch under a select so a cancellation that lands while every
+	// worker is busy (the send would block forever otherwise) still stops
+	// dispatch promptly; in-flight bodies finish on their own. The
+	// up-front Err check makes an already-cancelled context dispatch
+	// nothing, rather than racing the select.
+dispatch:
 	for i := 0; i < n; i++ {
 		if ctx.Err() != nil {
 			break
 		}
-		work <- i
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case work <- i:
+		}
 	}
 	close(work)
 	wg.Wait()

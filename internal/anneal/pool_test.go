@@ -1,0 +1,58 @@
+package anneal
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Regression: with every worker busy, the dispatch loop used to block on
+// an unbuffered send and only notice cancellation after a worker freed up
+// — dispatching one more body post-cancel. The select on ctx.Done() must
+// stop dispatch promptly instead.
+func TestParallelForCtxStopsDispatchWhenSaturatedAndCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const workers = 2
+	gate := make(chan struct{})
+	var started atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		parallelForCtx(ctx, 100, workers, func(i int) {
+			started.Add(1)
+			<-gate
+		})
+		close(done)
+	}()
+	// Saturate the pool: both workers inside bodies, dispatcher blocked.
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() < workers {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	// Give the dispatcher time to observe cancellation while the pool is
+	// still saturated, then release the in-flight bodies.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parallelForCtx did not return after cancellation")
+	}
+	if n := started.Load(); n > workers {
+		t.Errorf("%d bodies ran; cancellation while saturated must not dispatch beyond the %d in flight", n, workers)
+	}
+}
+
+func TestParallelForCtxCancelledBeforeStartRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	parallelForCtx(ctx, 50, 4, func(i int) { ran.Add(1) })
+	if ran.Load() != 0 {
+		t.Errorf("%d bodies ran under a pre-cancelled context", ran.Load())
+	}
+}

@@ -87,34 +87,22 @@ func (ra *ReverseAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled) 
 	raw := make([]Sample, reads)
 	parallelForCtx(ctx, reads, ra.Workers, func(r int) {
 		rng := newRNG(seed, r)
-		x := make([]Bit, c.N)
-		copy(x, ra.Initial)
-		e := c.Energy(x)
-		order := rng.Perm(c.N)
+		k := NewKernel(c)
+		k.Reset(ra.Initial)
 		bestX := make([]Bit, c.N)
-		copy(bestX, x)
-		bestE := e
+		copy(bestX, k.X())
+		bestE := k.Energy()
 		for _, beta := range betas {
 			if ctx.Err() != nil {
 				break // abandon; the outer ctx check discards the set
 			}
-			for i := c.N - 1; i > 0; i-- {
-				j := rng.Intn(i + 1)
-				order[i], order[j] = order[j], order[i]
-			}
-			for _, i := range order {
-				d := c.FlipDelta(x, i)
-				if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
-					x[i] ^= 1
-					e += d
-				}
-			}
-			if e < bestE {
-				bestE = e
-				copy(bestX, x)
+			metropolisSweep(k, beta, rng)
+			if k.Energy() < bestE {
+				bestE = k.Energy()
+				copy(bestX, k.X())
 			}
 		}
-		// Relabel from the model: bestE accumulated per-flip deltas.
+		// Relabel from the model: bestE tracked the incremental energy.
 		raw[r] = Sample{X: bestX, Energy: c.Energy(bestX), Occurrences: 1}
 	})
 	if err := ctx.Err(); err != nil {

@@ -33,7 +33,7 @@ func TestReverseAnnealerNeverWorseThanInitial(t *testing.T) {
 	rng := rand.New(rand.NewSource(91))
 	for trial := 0; trial < 5; trial++ {
 		c := frustratedModel(rng, 12).Compile()
-		initial := randomBits(rng, 12)
+		initial := randomBits(newRNG(91, trial), 12)
 		e0 := c.Energy(initial)
 		ra := &ReverseAnnealer{Initial: initial, Reads: 8, Sweeps: 300, Seed: int64(trial + 1)}
 		ss, err := ra.Sample(c)
@@ -87,7 +87,7 @@ func TestReverseAnnealerValidation(t *testing.T) {
 func TestReverseAnnealerDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(92))
 	c := frustratedModel(rng, 10).Compile()
-	initial := randomBits(rng, 10)
+	initial := randomBits(newRNG(92, 0), 10)
 	run := func() *SampleSet {
 		ss, err := (&ReverseAnnealer{Initial: initial, Reads: 6, Sweeps: 100, Seed: 7}).Sample(c)
 		if err != nil {

@@ -1,6 +1,19 @@
 package anneal
 
-import "math/rand"
+import "math/bits"
+
+// This file is the package's randomness substrate. The samplers' inner
+// loops consume one uniform variate per proposal, so the generator must be
+// cheap and inlinable; math/rand.Rand (mutex-free but interface-dispatched
+// through rand.Source64, with rejection-sampling Int63n) was measurably hot
+// in profiles. rng below is xoshiro256++ — the same generator family Go's
+// runtime uses internally — with Lemire's multiply-shift bounded sampling.
+//
+// Reproducibility contract: runs are deterministic per (root seed, read
+// index) via the splitmix64 stream derivation, exactly as before. The
+// concrete variate sequence differs from the old math/rand-backed
+// generator, so trajectories are reproducible per seed *stream*, not
+// bit-compatible with pre-kernel releases.
 
 // splitmix64 advances a seed state and returns a well-mixed 64-bit value.
 // It derives independent per-read RNG streams from one root seed so that
@@ -26,16 +39,90 @@ func subSeed(root int64, idx int) int64 {
 	return int64(splitmix64(&s))
 }
 
-// newRNG builds a deterministic per-read RNG.
-func newRNG(root int64, idx int) *rand.Rand {
-	return rand.New(rand.NewSource(subSeed(root, idx)))
+// rng is a xoshiro256++ pseudo-random generator. Not safe for concurrent
+// use; every read owns its own instance.
+type rng struct {
+	s0, s1, s2, s3 uint64
 }
 
-// randomBits fills a fresh uniformly random assignment.
-func randomBits(rng *rand.Rand, n int) []Bit {
+// newRNG builds a deterministic per-read RNG. The xoshiro state is
+// expanded from the derived sub-seed with splitmix64, per the generator
+// authors' seeding recommendation (and it can never be all zero).
+func newRNG(root int64, idx int) *rng {
+	s := uint64(subSeed(root, idx))
+	return &rng{
+		s0: splitmix64(&s),
+		s1: splitmix64(&s),
+		s2: splitmix64(&s),
+		s3: splitmix64(&s),
+	}
+}
+
+// Uint64 returns the next 64 uniform random bits.
+func (r *rng) Uint64() uint64 {
+	out := bits.RotateLeft64(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return out
+}
+
+// Float64 returns a uniform variate in [0,1) with 53 random bits.
+func (r *rng) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Intn returns a uniform int in [0,n). It panics when n ≤ 0, matching
+// math/rand. Bounded sampling is Lemire's multiply-shift with rejection,
+// so the result is exactly uniform and the common path costs one multiply.
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		panic("anneal: Intn called with non-positive bound")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Perm returns a uniform random permutation of [0,n).
+func (r *rng) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	shuffle(p, r)
+	return p
+}
+
+// shuffle applies an in-place Fisher–Yates pass.
+func shuffle(p []int, r *rng) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// randomBits fills a fresh uniformly random assignment, drawing 64
+// variables per generator call rather than one.
+func randomBits(r *rng, n int) []Bit {
 	x := make([]Bit, n)
+	var w uint64
 	for i := range x {
-		x[i] = Bit(rng.Intn(2))
+		if i&63 == 0 {
+			w = r.Uint64()
+		}
+		x[i] = Bit(w & 1)
+		w >>= 1
 	}
 	return x
 }

@@ -1,0 +1,131 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministicPerSeedStream(t *testing.T) {
+	a, b := newRNG(7, 3), newRNG(7, 3)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed, idx) diverged at draw %d", i)
+		}
+	}
+	c, d := newRNG(7, 3), newRNG(7, 4)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent read streams collided on %d/1000 draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := newRNG(11, 0)
+	sum := 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean %g, want ≈0.5", mean)
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := newRNG(13, 0)
+	const buckets, draws = 10, 200000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(buckets)
+		if v < 0 || v >= buckets {
+			t.Fatalf("Intn(%d) = %d", buckets, v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / buckets
+	for b, n := range counts {
+		if math.Abs(float64(n)-want) > 0.05*want {
+			t.Errorf("bucket %d: %d draws, want %g ±5%%", b, n, want)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	newRNG(1, 0).Intn(0)
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := newRNG(17, 0)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandomBitsDistribution(t *testing.T) {
+	// randomBits packs 64 variables per generator draw; every bit lane of
+	// the word must be unbiased and lanes must not be copies of lane 0.
+	const n, draws = 128, 4000
+	ones := make([]int, n)
+	agree := make([]int, n) // positions agreeing with position 0
+	r := newRNG(19, 0)
+	for d := 0; d < draws; d++ {
+		x := randomBits(r, n)
+		if len(x) != n {
+			t.Fatalf("randomBits length %d", len(x))
+		}
+		for i, b := range x {
+			if b > 1 {
+				t.Fatalf("bit %d = %d", i, b)
+			}
+			ones[i] += int(b)
+			if b == x[0] {
+				agree[i]++
+			}
+		}
+	}
+	for i, c := range ones {
+		frac := float64(c) / draws
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("position %d ones fraction %g, want ≈0.5", i, frac)
+		}
+	}
+	for i := 1; i < n; i++ {
+		frac := float64(agree[i]) / draws
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("position %d agrees with position 0 at rate %g (correlated lanes)", i, frac)
+		}
+	}
+}
+
+func TestRandomBitsTailShorterThanWord(t *testing.T) {
+	r := newRNG(21, 0)
+	for _, n := range []int{0, 1, 63, 64, 65} {
+		if got := len(randomBits(r, n)); got != n {
+			t.Fatalf("randomBits(%d) has length %d", n, got)
+		}
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
-	"math/rand"
 	"runtime"
 
 	"qsmt/internal/qubo"
@@ -88,17 +86,17 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 	raw := make([]Sample, reads)
 	parallelForCtx(ctx, reads, workers, func(r int) {
 		rng := newRNG(seed, r)
-		x := annealOnce(ctx, c, betas, rng)
-		if x == nil {
+		k := annealOnce(ctx, c, betas, rng)
+		if k == nil {
 			return // cancelled mid-read; the outer ctx check reports it
 		}
 		if sa.PostDescent {
-			greedyDescend(c, x, rng)
+			greedyDescend(k, rng)
 		}
-		// Recompute the energy from scratch once per read: the Metropolis
-		// loop tracks ΔE only per-flip, and accumulating thousands of
-		// deltas drifts from Compiled.Energy by float rounding.
-		raw[r] = Sample{X: x, Energy: c.Energy(x), Occurrences: 1}
+		// Relabel the energy exactly once per read: the kernel tracks ΔE
+		// incrementally, and reported energies must match Compiled.Energy
+		// bit-for-bit, not up to accumulated rounding.
+		raw[r] = Sample{X: k.X(), Energy: k.ExactEnergy(), Occurrences: 1}
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, abortErr(err)
@@ -106,31 +104,19 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 	return aggregate(raw), nil
 }
 
-// annealOnce performs one read: random init then Metropolis sweeps.
-// It returns the final assignment, or nil when ctx expired mid-read.
-// The final energy is not tracked here — callers recompute it from the
-// model so reported energies are exact, not delta-accumulated.
-func annealOnce(ctx context.Context, c *qubo.Compiled, betas []float64, rng *rand.Rand) []Bit {
-	x := randomBits(rng, c.N)
-	order := rng.Perm(c.N)
+// annealOnce performs one read: random init then Metropolis sweeps on the
+// incremental kernel. It returns the kernel holding the final state, or
+// nil when ctx expired mid-read.
+func annealOnce(ctx context.Context, c *qubo.Compiled, betas []float64, rng *rng) *Kernel {
+	k := NewKernel(c)
+	k.Reset(randomBits(rng, c.N))
 	for _, beta := range betas {
 		if ctx.Err() != nil {
 			return nil
 		}
-		// Shuffle the visit order each sweep (Fisher–Yates on the
-		// existing permutation) to avoid systematic bias.
-		for i := c.N - 1; i > 0; i-- {
-			j := rng.Intn(i + 1)
-			order[i], order[j] = order[j], order[i]
-		}
-		for _, i := range order {
-			d := c.FlipDelta(x, i)
-			if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
-				x[i] ^= 1
-			}
-		}
+		metropolisSweep(k, beta, rng)
 	}
-	return x
+	return k
 }
 
 // String describes the configuration.

@@ -65,11 +65,11 @@ func (ts *TabuSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*Sa
 	raw := make([]Sample, reads)
 	parallelForCtx(ctx, reads, ts.Workers, func(r int) {
 		rng := newRNG(seed, r)
-		x := randomBits(rng, c.N)
-		e := c.Energy(x)
+		k := NewKernel(c)
+		k.Reset(randomBits(rng, c.N))
 		best := make([]Bit, c.N)
-		copy(best, x)
-		bestE := e
+		copy(best, k.X())
+		bestE := k.Energy()
 		tabuUntil := make([]int, c.N)
 		for step := 1; step <= steps; step++ {
 			if step&63 == 0 && ctx.Err() != nil {
@@ -77,11 +77,14 @@ func (ts *TabuSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*Sa
 			}
 			bestFlip := -1
 			bestDelta := math.Inf(1)
-			// Scan from a random offset so equal-delta ties rotate.
+			e := k.Energy()
+			// Scan from a random offset so equal-delta ties rotate. With
+			// the kernel each candidate is an O(1) field read, so the scan
+			// is O(N) instead of O(N·degree).
 			start := rng.Intn(c.N)
-			for k := 0; k < c.N; k++ {
-				i := (start + k) % c.N
-				d := c.FlipDelta(x, i)
+			for s := 0; s < c.N; s++ {
+				i := (start + s) % c.N
+				d := k.Delta(i)
 				if tabuUntil[i] > step {
 					// Aspiration: a tabu move that reaches a new global
 					// best is always allowed.
@@ -97,15 +100,14 @@ func (ts *TabuSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*Sa
 			if bestFlip < 0 {
 				break // every move tabu and none aspirational
 			}
-			x[bestFlip] ^= 1
-			e += bestDelta
+			k.Flip(bestFlip)
 			tabuUntil[bestFlip] = step + tenure
-			if e < bestE {
-				bestE = e
-				copy(best, x)
+			if k.Energy() < bestE {
+				bestE = k.Energy()
+				copy(best, k.X())
 			}
 		}
-		// Relabel from the model: bestE accumulated per-flip deltas.
+		// Relabel from the model: bestE tracked the incremental energy.
 		raw[r] = Sample{X: best, Energy: c.Energy(best), Occurrences: 1}
 	})
 	if err := ctx.Err(); err != nil {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"math"
-	"math/rand"
 
 	"qsmt/internal/qubo"
 )
@@ -89,49 +88,33 @@ func (pt *ParallelTempering) SampleContext(ctx context.Context, c *qubo.Compiled
 	return aggregate(raw), nil
 }
 
-type replica struct {
-	x []Bit
-	e float64
-}
-
-func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, betas []float64, sweeps, swapEvery int, rng *rand.Rand) Sample {
-	reps := make([]replica, len(betas))
+func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, betas []float64, sweeps, swapEvery int, rng *rng) Sample {
+	// One incremental kernel per replica; a swap exchanges whole kernels
+	// (assignment + fields + energy), so no state is rebuilt on swap.
+	reps := make([]*Kernel, len(betas))
 	for k := range reps {
-		x := randomBits(rng, c.N)
-		reps[k] = replica{x: x, e: c.Energy(x)}
+		reps[k] = NewKernel(c)
+		reps[k].Reset(randomBits(rng, c.N))
 	}
 	bestX := make([]Bit, c.N)
-	copy(bestX, reps[0].x)
-	bestE := reps[0].e
-	noteBest := func(rep *replica) {
-		if rep.e < bestE {
-			bestE = rep.e
-			copy(bestX, rep.x)
+	copy(bestX, reps[0].X())
+	bestE := reps[0].Energy()
+	noteBest := func(rep *Kernel) {
+		if rep.Energy() < bestE {
+			bestE = rep.Energy()
+			copy(bestX, rep.X())
 		}
 	}
-	for k := range reps {
-		noteBest(&reps[k])
+	for _, rep := range reps {
+		noteBest(rep)
 	}
 
-	order := rng.Perm(c.N)
 	for sweep := 0; sweep < sweeps; sweep++ {
 		if ctx.Err() != nil {
 			break // abandon the walk; the caller discards the result set
 		}
-		for k := range reps {
-			rep := &reps[k]
-			beta := betas[k]
-			for i := c.N - 1; i > 0; i-- {
-				j := rng.Intn(i + 1)
-				order[i], order[j] = order[j], order[i]
-			}
-			for _, i := range order {
-				d := c.FlipDelta(rep.x, i)
-				if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
-					rep.x[i] ^= 1
-					rep.e += d
-				}
-			}
+		for k, rep := range reps {
+			metropolisSweep(rep, betas[k], rng)
 			noteBest(rep)
 		}
 		if sweep%swapEvery == 0 {
@@ -139,13 +122,13 @@ func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, beta
 			start := sweep / swapEvery % 2
 			for k := start; k+1 < len(reps); k += 2 {
 				// Accept with probability min(1, exp((β_k−β_{k+1})(E_k−E_{k+1}))).
-				arg := (betas[k] - betas[k+1]) * (reps[k].e - reps[k+1].e)
+				arg := (betas[k] - betas[k+1]) * (reps[k].Energy() - reps[k+1].Energy())
 				if arg >= 0 || rng.Float64() < math.Exp(arg) {
 					reps[k], reps[k+1] = reps[k+1], reps[k]
 				}
 			}
 		}
 	}
-	// Relabel from the model: bestE accumulated per-flip deltas.
+	// Relabel from the model: bestE tracked incremental kernel energies.
 	return Sample{X: bestX, Energy: c.Energy(bestX), Occurrences: 1}
 }

@@ -2,7 +2,6 @@ package anneal
 
 import (
 	"errors"
-	"math"
 
 	"qsmt/internal/qubo"
 )
@@ -17,7 +16,10 @@ type TracePoint struct {
 
 // Trace runs a single annealing read and records the trajectory after
 // every sweep — the data behind energy-vs-sweep convergence figures. The
-// final state is returned alongside the trace.
+// walk runs on the shared incremental kernel, so per-sweep energies are
+// read directly from kernel state (drift-bounded by its periodic exact
+// resync) rather than re-accumulated here. The final state is returned
+// alongside the trace.
 func Trace(c *qubo.Compiled, sweeps int, schedule Schedule, seed int64) ([]TracePoint, []Bit, error) {
 	if c == nil {
 		return nil, nil, errors.New("anneal: nil model")
@@ -34,38 +36,17 @@ func Trace(c *qubo.Compiled, sweeps int, schedule Schedule, seed int64) ([]Trace
 		seed = 1
 	}
 	rng := newRNG(seed, 0)
-	x := randomBits(rng, c.N)
-	e := c.Energy(x)
-	best := e
+	k := NewKernel(c)
+	k.Reset(randomBits(rng, c.N))
+	best := k.Energy()
 	trace := make([]TracePoint, 0, sweeps)
-	order := rng.Perm(max(c.N, 1))
 	for sweep := 0; sweep < sweeps; sweep++ {
 		beta := schedule.Beta(sweep, sweeps)
-		for i := c.N - 1; i > 0; i-- {
-			j := rng.Intn(i + 1)
-			order[i], order[j] = order[j], order[i]
+		metropolisSweep(k, beta, rng)
+		if k.Energy() < best {
+			best = k.Energy()
 		}
-		for _, i := range order {
-			if i >= c.N {
-				continue
-			}
-			d := c.FlipDelta(x, i)
-			if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
-				x[i] ^= 1
-				e += d
-			}
-		}
-		if e < best {
-			best = e
-		}
-		trace = append(trace, TracePoint{Sweep: sweep, Beta: beta, Energy: e, Best: best})
+		trace = append(trace, TracePoint{Sweep: sweep, Beta: beta, Energy: k.Energy(), Best: best})
 	}
-	return trace, x, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return trace, k.X(), nil
 }

@@ -89,6 +89,44 @@ func TestExactGroundStatesVerifyAcrossFamilies(t *testing.T) {
 	}
 }
 
+func TestKernelSAReachesExactGroundEnergyAcrossFamilies(t *testing.T) {
+	// The incremental-kernel SA must land on the *exact* minimum energy —
+	// not merely a verifying witness — for every generated family whose
+	// compiled model fits the exact solver's variable budget. This pins
+	// the kernel's field/energy bookkeeping against ground truth at the
+	// constraint level, complementing the randomized-QUBO property tests
+	// in internal/anneal.
+	w := NewWorkload(301)
+	checked := 0
+	for _, kind := range AllKinds() {
+		c := w.Generate(kind, 3)
+		m, err := c.BuildModel()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		compiled := m.Compile()
+		if compiled.N > anneal.MaxExactVars {
+			continue
+		}
+		ex, err := (&anneal.ExactSolver{}).Sample(compiled)
+		if err != nil {
+			t.Fatalf("%s: exact: %v", kind, err)
+		}
+		sa := &anneal.SimulatedAnnealer{Reads: 48, Sweeps: 1000, Seed: 301}
+		ss, err := sa.Sample(compiled)
+		if err != nil {
+			t.Fatalf("%s: sa: %v", kind, err)
+		}
+		if got, want := ss.Best().Energy, ex.Best().Energy; got-want > 1e-9 || want-got > 1e-9 {
+			t.Errorf("%s (n=%d vars): kernel-SA best %g, exact ground %g", kind, compiled.N, got, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no family fit the exact solver's budget; the test checked nothing")
+	}
+}
+
 func TestAnnealerAndCPFindSameUniqueWitness(t *testing.T) {
 	// Deterministic families have a unique model; both solver paths must
 	// agree exactly.

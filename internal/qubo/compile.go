@@ -8,18 +8,32 @@ type Neighbor struct {
 	W float64 // coupler weight Q_ij
 }
 
-// Compiled is an immutable adjacency-list view of a Model, laid out for
-// the annealer's inner loop: computing the energy change of a single bit
-// flip touches only the bit's neighbor list. Compiled values are safe for
-// concurrent use.
+// Compiled is an immutable adjacency view of a Model, laid out for the
+// annealer's inner loop. It carries the adjacency in two equivalent forms:
+//
+//   - Neigh, a slice-of-slices of Neighbor structs — the readable reference
+//     API used by FlipDelta, serialization, and the embedding layer;
+//   - a flat CSR triple (RowStart, NeighJ, NeighW) — one contiguous arena
+//     per field, so the annealing kernel's per-flip neighbor walk is a
+//     single sequential scan with no pointer chasing.
+//
+// Row i of the CSR view is NeighJ[RowStart[i]:RowStart[i+1]] (and the
+// matching NeighW range); entries appear in the same order as Neigh[i].
+// Compiled values are safe for concurrent use.
 type Compiled struct {
 	N      int
 	Linear []float64
 	Neigh  [][]Neighbor
 	Offset float64
+
+	// Flat CSR adjacency. Indices are int32: a model with ≥2^31 variables
+	// or couplers would not fit in memory long before overflowing these.
+	RowStart []int32
+	NeighJ   []int32
+	NeighW   []float64
 }
 
-// Compile freezes the model into adjacency-list form.
+// Compile freezes the model into adjacency-list + CSR form.
 func (m *Model) Compile() *Compiled {
 	c := &Compiled{
 		N:      m.n,
@@ -41,6 +55,21 @@ func (m *Model) Compile() *Compiled {
 	for _, t := range m.Terms() {
 		c.Neigh[t.I] = append(c.Neigh[t.I], Neighbor{J: t.J, W: t.W})
 		c.Neigh[t.J] = append(c.Neigh[t.J], Neighbor{J: t.I, W: t.W})
+	}
+	c.RowStart = make([]int32, m.n+1)
+	for i, ns := range c.Neigh {
+		c.RowStart[i+1] = c.RowStart[i] + int32(len(ns))
+	}
+	nnz := c.RowStart[m.n]
+	c.NeighJ = make([]int32, nnz)
+	c.NeighW = make([]float64, nnz)
+	p := 0
+	for _, ns := range c.Neigh {
+		for _, nb := range ns {
+			c.NeighJ[p] = int32(nb.J)
+			c.NeighW[p] = nb.W
+			p++
+		}
 	}
 	return c
 }

@@ -434,3 +434,42 @@ func TestNormalize(t *testing.T) {
 		t.Error("zero model factor != 1")
 	}
 }
+
+func TestCompileCSRMatchesNeigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(24)
+		c := randModel(rng, n).Compile()
+		if len(c.RowStart) != n+1 || c.RowStart[0] != 0 {
+			t.Fatalf("trial %d: RowStart shape %v", trial, c.RowStart)
+		}
+		if int(c.RowStart[n]) != len(c.NeighJ) || len(c.NeighJ) != len(c.NeighW) {
+			t.Fatalf("trial %d: CSR arena sizes %d/%d/%d", trial, c.RowStart[n], len(c.NeighJ), len(c.NeighW))
+		}
+		for i := 0; i < n; i++ {
+			lo, hi := c.RowStart[i], c.RowStart[i+1]
+			if int(hi-lo) != len(c.Neigh[i]) {
+				t.Fatalf("trial %d: row %d has %d CSR entries, %d Neigh entries", trial, i, hi-lo, len(c.Neigh[i]))
+			}
+			for p := lo; p < hi; p++ {
+				nb := c.Neigh[i][p-lo]
+				if int(c.NeighJ[p]) != nb.J || c.NeighW[p] != nb.W {
+					t.Fatalf("trial %d: row %d entry %d: CSR (%d,%g) vs Neigh (%d,%g)",
+						trial, i, p-lo, c.NeighJ[p], c.NeighW[p], nb.J, nb.W)
+				}
+			}
+		}
+		// The CSR view must describe a symmetric adjacency with the same
+		// total coupler mass as the model.
+		if int(c.RowStart[n])%2 != 0 {
+			t.Fatalf("trial %d: odd CSR entry count %d", trial, c.RowStart[n])
+		}
+	}
+}
+
+func TestCompileCSREmptyModel(t *testing.T) {
+	c := New(0).Compile()
+	if len(c.RowStart) != 1 || c.RowStart[0] != 0 || len(c.NeighJ) != 0 {
+		t.Errorf("empty model CSR: RowStart=%v NeighJ=%v", c.RowStart, c.NeighJ)
+	}
+}
