@@ -8,12 +8,24 @@
 //	annealerd [-addr :8080] [-max-reads 1024] [-max-sweeps 100000]
 //	          [-max-concurrent N] [-sample-timeout 60s]
 //	          [-read-timeout 30s] [-write-timeout 120s]
+//	          [-backends http://a:8080,http://b:8080] [-pprof]
 //
 // The daemon is hardened for production traffic: per-job reads/sweeps
 // are clamped server-side, in-flight jobs are bounded (excess requests
 // get 429), each job's sampling phase has a deadline (exceeded jobs get
 // 503), the HTTP server enforces read/write timeouts, and SIGINT or
 // SIGTERM drains in-flight jobs before exiting.
+//
+// Observability: GET /metrics serves Prometheus text covering HTTP
+// traffic, the annealing substrate (sweeps, flips, resyncs), the solver
+// metric families, and — in proxy mode — pool failovers and per-backend
+// circuit state. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ (off by default: profiling endpoints leak heap contents
+// and should not face untrusted networks).
+//
+// With -backends, annealerd samples nothing itself: it fronts a fleet
+// of other annealerd instances, forwarding each job's reads/sweeps/seed
+// (clamped to this daemon's caps) with circuit-breaker failover.
 //
 // Point a solver at it with cmd/qsmt's -remote flag:
 //
@@ -31,14 +43,93 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"qsmt"
+	"qsmt/internal/anneal"
+	"qsmt/internal/obs"
+	"qsmt/internal/qubo"
 	"qsmt/internal/remote"
 )
+
+// config is everything buildHandler needs, split from flag parsing so
+// tests can assemble the daemon's exact handler in-process.
+type config struct {
+	maxReads      int
+	maxSweeps     int
+	maxConcurrent int
+	sampleTimeout time.Duration
+	backends      []string // non-empty switches to proxy mode
+	pprof         bool
+}
+
+// buildHandler assembles the daemon's HTTP surface: the annealer API at
+// /v1/*, Prometheus text at /metrics, and optionally pprof. It returns
+// the handler together with the registry and (in proxy mode) the pool,
+// for tests and for shutdown-time reporting.
+func buildHandler(cfg config) (http.Handler, *obs.Registry, *remote.Pool) {
+	reg := obs.NewRegistry()
+
+	// Register every metric family the daemon can emit up front, so one
+	// scrape of a fresh instance already shows the full schema at zero.
+	qsmt.NewSolverMetrics(reg)
+	collector := obs.NewCollector(reg)
+	poolMetrics := remote.NewPoolMetrics(reg)
+
+	srv := &remote.Server{
+		Description:   "qsmt simulated annealer",
+		MaxReads:      cfg.maxReads,
+		MaxSweeps:     cfg.maxSweeps,
+		MaxConcurrent: cfg.maxConcurrent,
+		SampleTimeout: cfg.sampleTimeout,
+		Metrics:       remote.NewServerMetrics(reg),
+		Collector:     collector,
+	}
+
+	var pool *remote.Pool
+	if len(cfg.backends) > 0 {
+		pool = remote.NewPool(cfg.backends...)
+		pool.SetMetrics(poolMetrics)
+		srv.Description = "qsmt annealer pool proxy"
+		maxReads, maxSweeps := cfg.maxReads, cfg.maxSweeps
+		if maxReads <= 0 {
+			maxReads = remote.DefaultMaxReads
+		}
+		if maxSweeps <= 0 {
+			maxSweeps = remote.DefaultMaxSweeps
+		}
+		srv.NewSampler = func(req remote.SampleRequest) interface {
+			Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+		} {
+			job := remote.Job{Reads: req.Reads, Sweeps: req.Sweeps, Seed: req.Seed}
+			if job.Reads > maxReads {
+				job.Reads = maxReads
+			}
+			if job.Sweeps > maxSweeps {
+				job.Sweeps = maxSweeps
+			}
+			return pool.JobSampler(job)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux, reg, pool
+}
 
 func main() {
 	var (
@@ -50,6 +141,8 @@ func main() {
 		readTimeout     = flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
 		writeTimeout    = flag.Duration("write-timeout", 2*time.Minute, "HTTP server write timeout (must exceed -sample-timeout)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining jobs on SIGINT/SIGTERM")
+		backends        = flag.String("backends", "", "comma-separated backend URLs; proxy jobs to them instead of sampling locally")
+		pprofFlag       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -57,13 +150,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	handler := (&remote.Server{
-		Description:   "qsmt simulated annealer",
-		MaxReads:      *maxReads,
-		MaxSweeps:     *maxSweeps,
-		MaxConcurrent: *maxConcurrent,
-		SampleTimeout: *sampleTimeout,
-	}).Handler()
+	cfg := config{
+		maxReads:      *maxReads,
+		maxSweeps:     *maxSweeps,
+		maxConcurrent: *maxConcurrent,
+		sampleTimeout: *sampleTimeout,
+		pprof:         *pprofFlag,
+	}
+	if *backends != "" {
+		for _, u := range strings.Split(*backends, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.backends = append(cfg.backends, u)
+			}
+		}
+	}
+	handler, _, pool := buildHandler(cfg)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -79,8 +180,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("annealerd listening on %s (max reads %d, max sweeps %d, max concurrent %d, sample timeout %v)",
-			*addr, *maxReads, *maxSweeps, *maxConcurrent, *sampleTimeout)
+		mode := "local sampling"
+		if pool != nil {
+			mode = fmt.Sprintf("proxying %d backends", len(cfg.backends))
+		}
+		log.Printf("annealerd listening on %s (%s, max reads %d, max sweeps %d, max concurrent %d, sample timeout %v)",
+			*addr, mode, *maxReads, *maxSweeps, *maxConcurrent, *sampleTimeout)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qsmt/internal/qubo"
+	"qsmt/internal/remote"
+)
+
+// sampleBody builds a minimal one-variable job request.
+func sampleBody(t *testing.T) []byte {
+	t.Helper()
+	m := qubo.New(1)
+	m.AddLinear(0, -1) // ground state x0 = 1
+	var text bytes.Buffer
+	if _, err := m.WriteTo(&text); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(remote.SampleRequest{QUBO: text.String(), Reads: 4, Sweeps: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	b, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(b)
+}
+
+func TestMetricsEndpointLocalMode(t *testing.T) {
+	h, _, pool := buildHandler(config{sampleTimeout: 30 * time.Second})
+	if pool != nil {
+		t.Fatal("local mode should not build a pool")
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sample", bytes.NewReader(sampleBody(t)))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /v1/sample = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	code, text := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if ct := "text/plain; version=0.0.4"; !strings.Contains(text, "# TYPE") {
+		t.Fatalf("not Prometheus text (want %s style): %.200s", ct, text)
+	}
+	// One scrape must cover the whole solve path: solver families
+	// (registered at zero), substrate activity from the job just run,
+	// HTTP traffic, and the pool families (idle in local mode).
+	for _, want := range []string{
+		"qsmt_solve_attempts_total 0",
+		"anneal_sweeps_total 64", // 4 reads × 16 sweeps
+		"anneal_reads_total 4",
+		`annealerd_http_requests_total{path="/v1/sample",code="200"} 1`,
+		"annealerd_inflight_jobs 0",
+		"pool_failovers_total 0",
+		"# TYPE pool_backend_circuit_open gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestMetricsEndpointProxyMode(t *testing.T) {
+	// A real in-process backend: a zero-value annealer service.
+	backend := httptest.NewServer((&remote.Server{}).Handler())
+	defer backend.Close()
+
+	h, _, pool := buildHandler(config{backends: []string{backend.URL}})
+	if pool == nil {
+		t.Fatal("proxy mode should build a pool")
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sample", bytes.NewReader(sampleBody(t)))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("proxied POST /v1/sample = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	_, text := get(t, h, "/metrics")
+	for _, want := range []string{
+		"pool_failovers_total 0",
+		`pool_backend_circuit_open{backend="` + backend.URL + `"} 0`,
+		`pool_request_errors_total{backend="` + backend.URL + `"} 0`,
+		`pool_request_seconds_count{backend="` + backend.URL + `"} 1`,
+		"qsmt_solves_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	withPprof, _, _ := buildHandler(config{pprof: true})
+	if code, _ := get(t, withPprof, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("with -pprof: /debug/pprof/cmdline = %d, want 200", code)
+	}
+
+	without, _, _ := buildHandler(config{})
+	if code, _ := get(t, without, "/debug/pprof/"); code == http.StatusOK {
+		t.Error("without -pprof: /debug/pprof/ should not be served")
+	}
+}

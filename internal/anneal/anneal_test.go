@@ -427,8 +427,8 @@ func TestEnergyConservationDuringAnneal(t *testing.T) {
 		mrng := rand.New(rand.NewSource(seed))
 		c := frustratedModel(mrng, 10).Compile()
 		betas := []float64{0.1, 0.5, 1, 2, 5}
-		k := annealOnce(context.Background(), c, betas, newRNG(seed, 0))
-		if k == nil || len(k.X()) != c.N {
+		k, done := annealOnce(context.Background(), c, betas, newRNG(seed, 0))
+		if done != len(betas) || len(k.X()) != c.N {
 			return false
 		}
 		if math.Abs(k.Energy()-c.Energy(k.X())) > 1e-9 {

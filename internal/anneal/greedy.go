@@ -4,18 +4,20 @@ import (
 	"context"
 	"errors"
 
+	"qsmt/internal/obs"
 	"qsmt/internal/qubo"
 )
 
 // greedyDescend repeatedly flips bits that strictly lower the energy until
 // no single flip improves, mutating the kernel state in place. It returns
-// the total energy change (≤ 0). Variables are visited in random order per
-// pass so ties between descent paths are broken differently across reads.
-func greedyDescend(k *Kernel, rng *rng) float64 {
-	total := 0.0
+// the total energy change (≤ 0) and the number of full passes made.
+// Variables are visited in random order per pass so ties between descent
+// paths are broken differently across reads.
+func greedyDescend(k *Kernel, rng *rng) (total float64, passes int) {
 	order := rng.Perm(k.N())
 	for {
 		improved := false
+		passes++
 		for _, i := range order {
 			if k.Delta(i) < 0 {
 				total += k.Flip(i)
@@ -23,7 +25,7 @@ func greedyDescend(k *Kernel, rng *rng) float64 {
 			}
 		}
 		if !improved {
-			return total
+			return total, passes
 		}
 	}
 }
@@ -35,6 +37,10 @@ type GreedySampler struct {
 	Reads   int   // default 64
 	Seed    int64 // default 1
 	Workers int   // default GOMAXPROCS
+
+	// Collector receives per-read substrate statistics; a descent pass
+	// over all variables counts as one sweep. nil disables collection.
+	Collector *obs.Collector
 }
 
 // Sample implements the sampler contract.
@@ -63,14 +69,16 @@ func (g *GreedySampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*S
 		seed = 1
 	}
 	raw := make([]Sample, reads)
-	parallelForCtx(ctx, reads, g.Workers, func(r int) {
+	dispatched := parallelForCtx(ctx, reads, g.Workers, func(r int) {
 		rng := newRNG(seed, r)
 		k := NewKernel(c)
 		k.Reset(randomBits(rng, c.N))
-		greedyDescend(k, rng)
+		_, passes := greedyDescend(k, rng)
+		g.Collector.RecordRead(int64(passes), k.Flips(), k.Resyncs(), true)
 		// Recompute rather than accumulate: see SimulatedAnnealer.
 		raw[r] = Sample{X: k.X(), Energy: k.ExactEnergy(), Occurrences: 1}
 	})
+	g.Collector.RecordRun(reads, dispatched)
 	if err := ctx.Err(); err != nil {
 		return nil, abortErr(err)
 	}

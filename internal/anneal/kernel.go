@@ -47,6 +47,14 @@ type Kernel struct {
 
 	accepted    int // accepted flips since the last exact resync
 	resyncEvery int
+
+	// Lifetime statistics, never reset: total accepted flips and total
+	// drift-triggered exact resyncs. They cost one integer add on paths
+	// that already pay O(degree) (flip) or O(N+M) (rebuild), so they are
+	// maintained unconditionally rather than behind an opt-in — the
+	// samplers aggregate them into an obs.Collector once per read.
+	flips   int64
+	resyncs int64
 }
 
 // defaultResyncEvery bounds incremental drift. The rebuild is O(N+M), so
@@ -140,10 +148,22 @@ func (k *Kernel) flip(i int, d float64) {
 	}
 	k.energy += d
 	k.accepted++
+	k.flips++
 	if k.accepted >= k.resyncEvery {
+		k.resyncs++
 		k.rebuild()
 	}
 }
+
+// Flips returns the lifetime count of accepted flips applied to this
+// kernel (across Resets; Reset reinstalls state but work already done
+// stays counted).
+func (k *Kernel) Flips() int64 { return k.flips }
+
+// Resyncs returns how many exact rebuilds the incremental-drift bound
+// has triggered over the kernel's lifetime (Reset's own rebuilds are
+// not drift resyncs and are not counted).
+func (k *Kernel) Resyncs() int64 { return k.resyncs }
 
 // ExactEnergy recomputes the energy from the model, installs it as the
 // running energy, and returns it. Samplers call it once per read so the

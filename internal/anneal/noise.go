@@ -43,9 +43,17 @@ func (ns *NoisySampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*S
 		seed = 1
 	}
 	raw := make([]Sample, 0, len(ss.Samples))
-	for si, s := range ss.Samples {
-		rng := newRNG(seed, si)
+	// Derive one RNG stream per *read* (occurrence), indexed by a running
+	// read counter — not by the deduplicated sample index: the dedup
+	// grouping depends on how upstream aggregation merged equal reads, so
+	// sample-indexed streams silently change the injected noise whenever
+	// that grouping shifts. Read-indexed streams make the noise a function
+	// of the read sequence alone.
+	read := 0
+	for _, s := range ss.Samples {
 		for occ := 0; occ < s.Occurrences; occ++ {
+			rng := newRNG(seed, read)
+			read++
 			x := make([]Bit, len(s.X))
 			copy(x, s.X)
 			for i := range x {

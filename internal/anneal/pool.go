@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelFor runs body(i) for i in [0,n) across a bounded worker pool.
@@ -18,9 +19,13 @@ func parallelFor(n, workers int, body func(i int)) {
 // hold the ctx themselves abort at their own check points). Callers must
 // inspect ctx.Err() afterwards; partially filled results are discarded
 // on cancellation.
-func parallelForCtx(ctx context.Context, n, workers int, body func(i int)) {
+//
+// It returns how many indices were dispatched. On an uncancelled run
+// that is n; the shortfall (n − dispatched) is the pool's restart
+// under-utilisation, which samplers report to their obs.Collector.
+func parallelForCtx(ctx context.Context, n, workers int, body func(i int)) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -31,19 +36,21 @@ func parallelForCtx(ctx context.Context, n, workers int, body func(i int)) {
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
-				return
+				return i
 			}
 			body(i)
 		}
-		return
+		return n
 	}
 	var wg sync.WaitGroup
+	var dispatched atomic.Int64
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				dispatched.Add(1)
 				body(i)
 			}
 		}()
@@ -66,4 +73,5 @@ dispatch:
 	}
 	close(work)
 	wg.Wait()
+	return int(dispatched.Load())
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"qsmt/internal/obs"
 	"qsmt/internal/qubo"
 )
 
@@ -28,6 +29,10 @@ type ReverseAnnealer struct {
 	Sweeps         int   // total sweeps across reheat + re-anneal; default 1000
 	Seed           int64 // default 1
 	Workers        int   // default GOMAXPROCS
+
+	// Collector receives per-read substrate statistics. nil disables
+	// collection.
+	Collector *obs.Collector
 }
 
 // Sample implements the sampler contract.
@@ -85,26 +90,30 @@ func (ra *ReverseAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled) 
 	}
 
 	raw := make([]Sample, reads)
-	parallelForCtx(ctx, reads, ra.Workers, func(r int) {
+	dispatched := parallelForCtx(ctx, reads, ra.Workers, func(r int) {
 		rng := newRNG(seed, r)
 		k := NewKernel(c)
 		k.Reset(ra.Initial)
 		bestX := make([]Bit, c.N)
 		copy(bestX, k.X())
 		bestE := k.Energy()
+		sweepsDone := 0
 		for _, beta := range betas {
 			if ctx.Err() != nil {
 				break // abandon; the outer ctx check discards the set
 			}
+			sweepsDone++
 			metropolisSweep(k, beta, rng)
 			if k.Energy() < bestE {
 				bestE = k.Energy()
 				copy(bestX, k.X())
 			}
 		}
+		ra.Collector.RecordRead(int64(sweepsDone), k.Flips(), k.Resyncs(), sweepsDone == len(betas))
 		// Relabel from the model: bestE tracked the incremental energy.
 		raw[r] = Sample{X: bestX, Energy: c.Energy(bestX), Occurrences: 1}
 	})
+	ra.Collector.RecordRun(reads, dispatched)
 	if err := ctx.Err(); err != nil {
 		return nil, abortErr(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"qsmt/internal/obs"
 	"qsmt/internal/qubo"
 )
 
@@ -28,6 +29,12 @@ type SimulatedAnnealer struct {
 	// annealing phase of each read, mirroring common practice of
 	// post-processing annealer outputs.
 	PostDescent bool
+
+	// Collector receives per-read substrate statistics (sweeps executed,
+	// accepted flips, resyncs, restart utilisation). nil disables
+	// collection; the cost is one pointer check per read, nothing per
+	// proposal.
+	Collector *obs.Collector
 }
 
 func (sa *SimulatedAnnealer) params() (reads, sweeps, workers int, seed int64) {
@@ -84,20 +91,23 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 	}
 
 	raw := make([]Sample, reads)
-	parallelForCtx(ctx, reads, workers, func(r int) {
+	dispatched := parallelForCtx(ctx, reads, workers, func(r int) {
 		rng := newRNG(seed, r)
-		k := annealOnce(ctx, c, betas, rng)
-		if k == nil {
-			return // cancelled mid-read; the outer ctx check reports it
-		}
-		if sa.PostDescent {
+		k, done := annealOnce(ctx, c, betas, rng)
+		completed := done == len(betas)
+		if completed && sa.PostDescent {
 			greedyDescend(k, rng)
+		}
+		sa.Collector.RecordRead(int64(done), k.Flips(), k.Resyncs(), completed)
+		if !completed {
+			return // cancelled mid-read; the outer ctx check reports it
 		}
 		// Relabel the energy exactly once per read: the kernel tracks ΔE
 		// incrementally, and reported energies must match Compiled.Energy
 		// bit-for-bit, not up to accumulated rounding.
 		raw[r] = Sample{X: k.X(), Energy: k.ExactEnergy(), Occurrences: 1}
 	})
+	sa.Collector.RecordRun(reads, dispatched)
 	if err := ctx.Err(); err != nil {
 		return nil, abortErr(err)
 	}
@@ -105,18 +115,19 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 }
 
 // annealOnce performs one read: random init then Metropolis sweeps on the
-// incremental kernel. It returns the kernel holding the final state, or
-// nil when ctx expired mid-read.
-func annealOnce(ctx context.Context, c *qubo.Compiled, betas []float64, rng *rng) *Kernel {
+// incremental kernel. It returns the kernel holding the final state and
+// how many sweeps ran; fewer than len(betas) means ctx expired mid-read
+// and the state is a partial walk.
+func annealOnce(ctx context.Context, c *qubo.Compiled, betas []float64, rng *rng) (*Kernel, int) {
 	k := NewKernel(c)
 	k.Reset(randomBits(rng, c.N))
-	for _, beta := range betas {
+	for i, beta := range betas {
 		if ctx.Err() != nil {
-			return nil
+			return k, i
 		}
 		metropolisSweep(k, beta, rng)
 	}
-	return k
+	return k, len(betas)
 }
 
 // String describes the configuration.

@@ -74,6 +74,12 @@ func (ss *SampleSet) GroundFraction(tol float64) float64 {
 			hit += s.Occurrences
 		}
 	}
+	if total == 0 {
+		// Zero-occurrence sets (hand-built, or filtered upstream) have no
+		// reads to take a fraction of; 0 matches MeanEnergy/StdDevEnergy's
+		// empty-set convention and keeps NaN out of metrics.
+		return 0
+	}
 	return float64(hit) / float64(total)
 }
 

@@ -98,6 +98,12 @@ func validateSchedule(s Schedule, sweeps int) error {
 	if s == nil {
 		return nil // caller substitutes DefaultSchedule
 	}
+	if sweeps <= 0 {
+		// Reject before probing: probing the last sweep below would call
+		// s.Beta(-1, sweeps), and custom Schedule implementations must
+		// never see a negative index.
+		return fmt.Errorf("anneal: schedule validation needs a positive sweep count, got %d", sweeps)
+	}
 	b0, b1 := s.Beta(0, sweeps), s.Beta(sweeps-1, sweeps)
 	if b0 <= 0 || b1 <= 0 || math.IsNaN(b0) || math.IsNaN(b1) {
 		return fmt.Errorf("anneal: schedule produced non-positive β (%g, %g)", b0, b1)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 
+	"qsmt/internal/obs"
 	"qsmt/internal/qubo"
 )
 
@@ -21,6 +22,11 @@ type TabuSampler struct {
 	Tenure  int   // tabu duration in steps; default max(4, n/10)
 	Seed    int64 // root seed; default 1
 	Workers int   // concurrent reads; default GOMAXPROCS
+
+	// Collector receives per-read substrate statistics; a tabu step is a
+	// full O(N) candidate scan, so it is counted as one sweep. nil
+	// disables collection.
+	Collector *obs.Collector
 }
 
 // Sample implements the sampler contract.
@@ -63,7 +69,7 @@ func (ts *TabuSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*Sa
 		seed = 1
 	}
 	raw := make([]Sample, reads)
-	parallelForCtx(ctx, reads, ts.Workers, func(r int) {
+	dispatched := parallelForCtx(ctx, reads, ts.Workers, func(r int) {
 		rng := newRNG(seed, r)
 		k := NewKernel(c)
 		k.Reset(randomBits(rng, c.N))
@@ -71,10 +77,13 @@ func (ts *TabuSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*Sa
 		copy(best, k.X())
 		bestE := k.Energy()
 		tabuUntil := make([]int, c.N)
+		stepsDone, cancelled := 0, false
 		for step := 1; step <= steps; step++ {
 			if step&63 == 0 && ctx.Err() != nil {
+				cancelled = true
 				break
 			}
+			stepsDone++
 			bestFlip := -1
 			bestDelta := math.Inf(1)
 			e := k.Energy()
@@ -107,9 +116,11 @@ func (ts *TabuSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*Sa
 				copy(best, k.X())
 			}
 		}
+		ts.Collector.RecordRead(int64(stepsDone), k.Flips(), k.Resyncs(), !cancelled)
 		// Relabel from the model: bestE tracked the incremental energy.
 		raw[r] = Sample{X: best, Energy: c.Energy(best), Occurrences: 1}
 	})
+	ts.Collector.RecordRun(reads, dispatched)
 	if err := ctx.Err(); err != nil {
 		return nil, abortErr(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 
+	"qsmt/internal/obs"
 	"qsmt/internal/qubo"
 )
 
@@ -22,6 +23,10 @@ type ParallelTempering struct {
 	BetaMax   float64 // coldest β; default from model
 	Workers   int     // concurrent runs; default GOMAXPROCS
 	SwapEvery int     // sweeps between swap rounds; default 1
+
+	// Collector receives per-read substrate statistics; a PT read counts
+	// one sweep per replica pass. nil disables collection.
+	Collector *obs.Collector
 }
 
 // Sample implements the sampler contract. Each read contributes its
@@ -78,10 +83,11 @@ func (pt *ParallelTempering) SampleContext(ctx context.Context, c *qubo.Compiled
 	}
 
 	raw := make([]Sample, reads)
-	parallelForCtx(ctx, reads, pt.Workers, func(r int) {
+	dispatched := parallelForCtx(ctx, reads, pt.Workers, func(r int) {
 		rng := newRNG(seed, r)
 		raw[r] = pt.runOnce(ctx, c, betas, sweeps, swapEvery, rng)
 	})
+	pt.Collector.RecordRun(reads, dispatched)
 	if err := ctx.Err(); err != nil {
 		return nil, abortErr(err)
 	}
@@ -109,10 +115,12 @@ func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, beta
 		noteBest(rep)
 	}
 
+	sweepsDone := 0
 	for sweep := 0; sweep < sweeps; sweep++ {
 		if ctx.Err() != nil {
 			break // abandon the walk; the caller discards the result set
 		}
+		sweepsDone++
 		for k, rep := range reps {
 			metropolisSweep(rep, betas[k], rng)
 			noteBest(rep)
@@ -128,6 +136,14 @@ func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, beta
 				}
 			}
 		}
+	}
+	if pt.Collector != nil {
+		var flips, resyncs int64
+		for _, rep := range reps {
+			flips += rep.Flips()
+			resyncs += rep.Resyncs()
+		}
+		pt.Collector.RecordRead(int64(sweepsDone*len(reps)), flips, resyncs, sweepsDone == sweeps)
 	}
 	// Relabel from the model: bestE tracked incremental kernel energies.
 	return Sample{X: bestX, Energy: c.Energy(bestX), Occurrences: 1}

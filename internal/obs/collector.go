@@ -1,0 +1,69 @@
+package obs
+
+// Collector is the substrate-level hook the annealing layer reports
+// through: sweeps executed, accepted flips, exact-resync rebuilds, and
+// read (restart) utilisation. Samplers hold an optional *Collector and
+// record once per read — never inside the sweep hot loop — so the nil
+// path costs a single pointer check per read and nothing per proposal.
+//
+// All methods are nil-receiver no-ops, and the individual counters are
+// themselves nil-safe, so a partially wired collector is valid.
+type Collector struct {
+	// Reads counts annealing reads (independent restarts) started.
+	Reads *Counter
+	// ReadsCancelled counts reads abandoned mid-run by context expiry.
+	ReadsCancelled *Counter
+	// ReadsSkipped counts reads that were never dispatched because the
+	// run was cancelled first. Restart utilisation is
+	// (Reads − ReadsCancelled) / (Reads + ReadsSkipped).
+	ReadsSkipped *Counter
+	// Sweeps counts Metropolis sweeps (or sweep-equivalent full scans,
+	// for tabu search) executed.
+	Sweeps *Counter
+	// Flips counts accepted bit flips applied to kernel state.
+	Flips *Counter
+	// Resyncs counts exact field/energy rebuilds triggered by the
+	// kernel's incremental-drift bound.
+	Resyncs *Counter
+}
+
+// NewCollector registers the substrate metric families on r and returns
+// a collector feeding them.
+func NewCollector(r *Registry) *Collector {
+	return &Collector{
+		Reads:          r.Counter("anneal_reads_total", "annealing reads (restarts) started"),
+		ReadsCancelled: r.Counter("anneal_reads_cancelled_total", "reads abandoned mid-run by context cancellation"),
+		ReadsSkipped:   r.Counter("anneal_reads_skipped_total", "reads never dispatched because the run was cancelled"),
+		Sweeps:         r.Counter("anneal_sweeps_total", "Metropolis sweeps (or sweep-equivalent scans) executed"),
+		Flips:          r.Counter("anneal_flips_total", "accepted bit flips applied to kernel state"),
+		Resyncs:        r.Counter("anneal_resyncs_total", "exact kernel resyncs triggered by the incremental-drift bound"),
+	}
+}
+
+// RecordRead reports one read's work: sweeps executed, the kernel's
+// accepted-flip and resync counts, and whether the read ran to
+// completion (false = cancelled mid-run).
+func (c *Collector) RecordRead(sweeps, flips, resyncs int64, completed bool) {
+	if c == nil {
+		return
+	}
+	c.Reads.Inc()
+	if !completed {
+		c.ReadsCancelled.Inc()
+	}
+	c.Sweeps.Add(float64(sweeps))
+	c.Flips.Add(float64(flips))
+	c.Resyncs.Add(float64(resyncs))
+}
+
+// RecordRun reports one whole sampling run: how many reads were
+// requested and how many were actually dispatched before cancellation
+// stopped the worker pool.
+func (c *Collector) RecordRun(requested, dispatched int) {
+	if c == nil {
+		return
+	}
+	if skipped := requested - dispatched; skipped > 0 {
+		c.ReadsSkipped.Add(float64(skipped))
+	}
+}

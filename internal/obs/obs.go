@@ -1,0 +1,491 @@
+// Package obs is the observability substrate of the solve path: a
+// small, dependency-free metrics registry with atomic counters, gauges,
+// and fixed-log-bucket histograms, exposed in the Prometheus text
+// format.
+//
+// The registry exists because the ROADMAP's target is a networked
+// service under heavy traffic, and a fleet of annealers is only
+// operable when time-to-solution and hit-rate *distributions* — not a
+// single best energy — are visible per layer (solver, annealing
+// substrate, remote transport). Every metric is safe for concurrent
+// use; the write paths are lock-free (atomics) so instrumentation can
+// sit on sampler-adjacent paths. All methods on Counter, Gauge, and
+// Histogram are nil-receiver no-ops, so a component can hold optional
+// metric handles without guarding every call site.
+//
+// Typical wiring:
+//
+//	reg := obs.NewRegistry()
+//	solves := reg.Counter("qsmt_solves_total", "verified solves")
+//	lat := reg.Histogram("qsmt_sample_seconds", "sampling wall time",
+//	        obs.DefaultLatencyBuckets)
+//	http.Handle("/metrics", reg.Handler())
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 with atomic add/set, stored as IEEE bits.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable standalone; registry-created counters render on exposition.
+// All methods are nil-receiver no-ops.
+type Counter struct{ v atomicFloat }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative deltas are ignored — counters
+// only go up; use a Gauge for values that can fall.
+func (c *Counter) Add(d float64) {
+	if c == nil || d <= 0 || math.IsNaN(d) {
+		return
+	}
+	c.v.add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.load()
+}
+
+// Gauge is a metric that can rise and fall.
+// All methods are nil-receiver no-ops.
+type Gauge struct{ v atomicFloat }
+
+// Set installs the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.set(v)
+}
+
+// Add shifts the value by d (negative d lowers it).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(d)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are upper bounds in
+// increasing order (an implicit +Inf bucket catches the rest); use
+// LogBuckets for the log-scale layouts this package standardizes on.
+// All methods are nil-receiver no-ops.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // per-bucket (not cumulative), +Inf last
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	h := &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	sort.Float64s(h.upper)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper ≥ v
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// LogBuckets returns log-scale bucket upper bounds from min up to and
+// including the first bound ≥ max, with perDecade buckets per decade.
+// It panics on a non-positive range or perDecade — bucket layouts are
+// compile-time decisions, not runtime inputs.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade <= 0 {
+		panic("obs: LogBuckets needs 0 < min < max and perDecade > 0")
+	}
+	var out []float64
+	start := math.Log10(min)
+	for k := 0; ; k++ {
+		b := math.Pow(10, start+float64(k)/float64(perDecade))
+		out = append(out, b)
+		if b >= max {
+			return out
+		}
+	}
+}
+
+// DefaultLatencyBuckets spans 100µs to 100s, two buckets per decade —
+// wide enough for a sub-millisecond kernel solve and a minute-long
+// remote job in the same histogram.
+var DefaultLatencyBuckets = LogBuckets(1e-4, 100, 2)
+
+// FractionBuckets spans 0.1% to 100%, three buckets per decade, for
+// ratios like per-solve ground fraction.
+var FractionBuckets = LogBuckets(0.001, 1, 3)
+
+// kind is the metric family type.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// child is one labeled series of a family.
+type child struct {
+	labels string // rendered {k="v",…} suffix, "" for plain metrics
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one named metric with its children.
+type family struct {
+	name, help string
+	kind       kind
+	labelNames []string
+	buckets    []float64
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string
+}
+
+func (f *family) get(labelValues []string) *child {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := renderLabels(f.labelNames, labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.children[key]; ok {
+		return ch
+	}
+	ch := &child{labels: key}
+	switch f.kind {
+	case kindCounter:
+		ch.c = &Counter{}
+	case kindGauge:
+		ch.g = &Gauge{}
+	case kindHistogram:
+		ch.h = newHistogram(f.buckets)
+	}
+	f.children[key] = ch
+	f.order = append(f.order, key)
+	return ch
+}
+
+// renderLabels builds the exposition label suffix (sorted by insertion
+// order of the declared names, which is stable per family).
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Registry is a set of metric families. Create one per process (or per
+// test) with NewRegistry; registration is idempotent — asking for an
+// existing name with the same type returns the existing metric, and a
+// type mismatch panics, since that is always a programming error.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*family
+	order  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, k kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != k || len(f.labelNames) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s/%d labels (was %s/%d)",
+				name, k, len(labels), f.kind, len(f.labelNames)))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labelNames: append([]string(nil), labels...),
+		buckets:    append([]float64(nil), buckets...),
+		children:   map[string]*child{},
+	}
+	r.byName[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter registers (or finds) a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, nil, nil).get(nil).c
+}
+
+// Gauge registers (or finds) a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, nil, nil).get(nil).g
+}
+
+// Histogram registers (or finds) a plain histogram with the given
+// bucket upper bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.family(name, help, kindHistogram, nil, buckets).get(nil).h
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labelNames, nil)}
+}
+
+// With returns the child counter for the label values (created on
+// first use).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(labelValues).c
+}
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labelNames, nil)}
+}
+
+// With returns the child gauge for the label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(labelValues).g
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, labelNames, buckets)}
+}
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(labelValues).h
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Families appear in registration order and children
+// in first-use order, so scrapes are stable and diffs readable.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, n := range r.order {
+		fams = append(fams, r.byName[n])
+	}
+	r.mu.Unlock()
+
+	cw := &countingWriter{w: w}
+	for _, f := range fams {
+		if err := f.write(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+func (f *family) write(w io.Writer) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	children := make([]*child, 0, len(f.order))
+	for _, k := range f.order {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+	for _, ch := range children {
+		if err := f.writeChild(w, ch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeChild(w io.Writer, ch *child) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ch.labels, formatValue(ch.c.Value()))
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ch.labels, formatValue(ch.g.Value()))
+		return err
+	}
+	// Histogram: cumulative buckets, then sum and count.
+	h := ch.h
+	cum := uint64(0)
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, withLE(ch.labels, formatValue(ub)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.upper)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(ch.labels, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ch.labels, formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, ch.labels, h.Count())
+	return err
+}
+
+// withLE splices the le="…" bound into an existing label suffix.
+func withLE(labels, bound string) string {
+	le := `le="` + bound + `"`
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return labels[:len(labels)-1] + "," + le + "}"
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// scrape target (GET only).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_, _ = r.WriteTo(w)
+	})
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs processed")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotonic
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		"# HELP jobs_total jobs processed",
+		"# TYPE jobs_total counter",
+		"jobs_total 3.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight", "in-flight jobs")
+	g.Set(4)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+	if out := expose(t, r); !strings.Contains(out, "inflight 2\n") {
+		t.Errorf("exposition missing gauge line:\n%s", out)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different metric")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("re-registered counter does not share state")
+	}
+}
+
+func TestRegistrationTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 55.65; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary 0.1
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_sum 55.65",
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecLabelsAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "backend", "code")
+	v.With("http://a:1", "200").Add(3)
+	v.With(`we"ird\nl`+"\n", "500").Inc()
+	gv := r.GaugeVec("circuit_open", "breaker state", "backend")
+	gv.With("http://a:1").Set(1)
+	hv := r.HistogramVec("lat", "lat", []float64{1}, "backend")
+	hv.With("http://a:1").Observe(0.5)
+
+	out := expose(t, r)
+	for _, want := range []string{
+		`req_total{backend="http://a:1",code="200"} 3`,
+		`req_total{backend="we\"ird\\nl\n",code="500"} 1`,
+		`circuit_open{backend="http://a:1"} 1`,
+		`lat_bucket{backend="http://a:1",le="1"} 1`,
+		`lat_count{backend="http://a:1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecWrongLabelCountPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var col *Collector
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Dec()
+	h.Observe(1)
+	col.RecordRead(1, 2, 3, true)
+	col.RecordRun(4, 2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics should read as zero")
+	}
+	var cv *CounterVec
+	var gv *GaugeVec
+	var hv *HistogramVec
+	cv.With("x").Inc()
+	gv.With("x").Set(1)
+	hv.With("x").Observe(1)
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", LogBuckets(0.001, 10, 3))
+	v := r.CounterVec("v_total", "", "worker")
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%10) / 10)
+				v.With(lbl).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %g, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %g, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	for w := 0; w < workers; w++ {
+		if got := v.With(string(rune('a' + w))).Value(); got != per {
+			t.Errorf("vec[%d] = %g, want %d", w, got, per)
+		}
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(0.001, 1, 3)
+	if b[0] != 0.001 {
+		t.Errorf("first bucket = %g, want 0.001", b[0])
+	}
+	if last := b[len(b)-1]; last < 1 {
+		t.Errorf("last bucket = %g, want ≥ 1", last)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not increasing: %v", b)
+		}
+	}
+	// 3 per decade over 3 decades: 10 bounds.
+	if len(b) != 10 {
+		t.Errorf("bucket count = %d, want 10 (%v)", len(b), b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid LogBuckets range did not panic")
+		}
+	}()
+	LogBuckets(0, 1, 3)
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "x").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "up_total 1") {
+		t.Errorf("scrape body missing metric:\n%s", buf[:n])
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestCollectorRecords(t *testing.T) {
+	r := NewRegistry()
+	col := NewCollector(r)
+	col.RecordRead(100, 42, 1, true)
+	col.RecordRead(50, 10, 0, false)
+	col.RecordRun(8, 6)
+	checks := map[*Counter]float64{
+		col.Reads:          2,
+		col.ReadsCancelled: 1,
+		col.ReadsSkipped:   2,
+		col.Sweeps:         150,
+		col.Flips:          52,
+		col.Resyncs:        1,
+	}
+	for m, want := range checks {
+		if got := m.Value(); got != want {
+			t.Errorf("collector counter = %g, want %g", got, want)
+		}
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		"anneal_reads_total 2",
+		"anneal_sweeps_total 150",
+		"anneal_flips_total 52",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

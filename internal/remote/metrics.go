@@ -1,0 +1,150 @@
+package remote
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"qsmt/internal/obs"
+)
+
+// ServerMetrics is the registry-backed view of one annealer service:
+// request counts by endpoint and status, request latency, in-flight
+// sampling jobs, and the two load-shedding outcomes (saturation 429s and
+// sampling-deadline 503s). A nil *ServerMetrics disables recording, so
+// the zero Server stays dependency-free.
+type ServerMetrics struct {
+	Requests       *obs.CounterVec // annealerd_http_requests_total{path,code}
+	RequestSeconds *obs.Histogram  // annealerd_http_request_seconds
+	InFlight       *obs.Gauge      // annealerd_inflight_jobs
+	Saturated      *obs.Counter    // annealerd_saturated_total
+	Deadlines      *obs.Counter    // annealerd_sample_deadline_total
+}
+
+// NewServerMetrics registers the service metric families on r.
+func NewServerMetrics(r *obs.Registry) *ServerMetrics {
+	return &ServerMetrics{
+		Requests:       r.CounterVec("annealerd_http_requests_total", "HTTP requests served, by endpoint and status code.", "path", "code"),
+		RequestSeconds: r.Histogram("annealerd_http_request_seconds", "HTTP request latency.", obs.DefaultLatencyBuckets),
+		InFlight:       r.Gauge("annealerd_inflight_jobs", "Sampling jobs currently executing."),
+		Saturated:      r.Counter("annealerd_saturated_total", "Requests shed with 429 because the job limit was reached."),
+		Deadlines:      r.Counter("annealerd_sample_deadline_total", "Jobs rejected with 503 because sampling exceeded its deadline."),
+	}
+}
+
+// jobStarted / jobDone bracket one sampling job; safe on nil receivers.
+func (m *ServerMetrics) jobStarted() {
+	if m != nil {
+		m.InFlight.Inc()
+	}
+}
+
+func (m *ServerMetrics) jobDone() {
+	if m != nil {
+		m.InFlight.Dec()
+	}
+}
+
+func (m *ServerMetrics) shedSaturated() {
+	if m != nil {
+		m.Saturated.Inc()
+	}
+}
+
+func (m *ServerMetrics) shedDeadline() {
+	if m != nil {
+		m.Deadlines.Inc()
+	}
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps next with request counting and latency observation.
+// Unknown paths are collapsed into one label value so a scanner cannot
+// inflate series cardinality.
+func (m *ServerMetrics) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		switch path {
+		case "/v1/sample", "/v1/health":
+		default:
+			path = "other"
+		}
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		m.RequestSeconds.Observe(time.Since(start).Seconds())
+		m.Requests.With(path, strconv.Itoa(sr.code)).Inc()
+	})
+}
+
+// PoolMetrics is the registry-backed view of a failover Pool: total
+// failovers, per-backend request latency and error counts, and each
+// backend's live circuit state. A nil *PoolMetrics disables recording.
+type PoolMetrics struct {
+	Failovers           *obs.Counter      // pool_failovers_total
+	RequestSeconds      *obs.HistogramVec // pool_request_seconds{backend}
+	RequestErrors       *obs.CounterVec   // pool_request_errors_total{backend}
+	CircuitOpen         *obs.GaugeVec     // pool_backend_circuit_open{backend}
+	ConsecutiveFailures *obs.GaugeVec     // pool_backend_consecutive_failures{backend}
+}
+
+// NewPoolMetrics registers the pool metric families on r.
+func NewPoolMetrics(r *obs.Registry) *PoolMetrics {
+	return &PoolMetrics{
+		Failovers:           r.Counter("pool_failovers_total", "Jobs moved to another backend after a failure."),
+		RequestSeconds:      r.HistogramVec("pool_request_seconds", "Sampling request latency per backend.", obs.DefaultLatencyBuckets, "backend"),
+		RequestErrors:       r.CounterVec("pool_request_errors_total", "Failed sampling requests per backend.", "backend"),
+		CircuitOpen:         r.GaugeVec("pool_backend_circuit_open", "1 while the backend's circuit breaker is rejecting jobs.", "backend"),
+		ConsecutiveFailures: r.GaugeVec("pool_backend_consecutive_failures", "Consecutive failures currently counted against the backend.", "backend"),
+	}
+}
+
+// observeRequest records one backend attempt; safe on a nil receiver.
+func (m *PoolMetrics) observeRequest(backend string, d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.RequestSeconds.With(backend).Observe(d.Seconds())
+	if err != nil {
+		m.RequestErrors.With(backend).Inc()
+	}
+}
+
+// observeRequestSeed materialises a backend's latency and error series
+// so they render at zero before the first job; safe on nil.
+func (m *PoolMetrics) observeRequestSeed(backend string) {
+	if m == nil {
+		return
+	}
+	m.RequestSeconds.With(backend)
+	m.RequestErrors.With(backend)
+}
+
+func (m *PoolMetrics) recordFailover() {
+	if m != nil {
+		m.Failovers.Inc()
+	}
+}
+
+// setCircuit publishes one backend's breaker state; safe on nil.
+func (m *PoolMetrics) setCircuit(backend string, consecutive int, open bool) {
+	if m == nil {
+		return
+	}
+	v := 0.0
+	if open {
+		v = 1
+	}
+	m.CircuitOpen.With(backend).Set(v)
+	m.ConsecutiveFailures.With(backend).Set(float64(consecutive))
+}

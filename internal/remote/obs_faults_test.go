@@ -1,0 +1,179 @@
+package remote
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qsmt/internal/obs"
+)
+
+// TestPoolCheckHealthConcurrentWithStalledBackend pins the starvation
+// fix: with sequential probing, a hung backend listed first consumed the
+// whole context budget, so the healthy backends behind it were probed
+// with an already-expired context and reported unhealthy. Concurrent
+// probing reaches every backend immediately.
+func TestPoolCheckHealthConcurrentWithStalledBackend(t *testing.T) {
+	hung := hangingServer(t)
+	upA := httptest.NewServer((&Server{}).Handler())
+	defer upA.Close()
+	upB := httptest.NewServer((&Server{}).Handler())
+	defer upB.Close()
+
+	// Hung backend first, so sequential probing would stall before ever
+	// reaching the healthy ones.
+	pool := NewPool(hung.URL, upA.URL, upB.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	res := pool.CheckHealth(ctx)
+	elapsed := time.Since(start)
+
+	if res[hung.URL] == nil {
+		t.Error("stalled backend reported healthy")
+	}
+	if res[upA.URL] != nil {
+		t.Errorf("healthy backend A starved by stalled backend: %v", res[upA.URL])
+	}
+	if res[upB.URL] != nil {
+		t.Errorf("healthy backend B starved by stalled backend: %v", res[upB.URL])
+	}
+	// One shared deadline, not one per backend in sequence.
+	if elapsed > 3*time.Second {
+		t.Errorf("CheckHealth took %v; probes appear serialized", elapsed)
+	}
+}
+
+// TestPoolConcurrentStatsSampleHealth exercises Stats, SampleContext and
+// CheckHealth from concurrent goroutines; it exists to run under -race.
+func TestPoolConcurrentStatsSampleHealth(t *testing.T) {
+	good := httptest.NewServer(http.HandlerFunc(okSampleHandler))
+	defer good.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+
+	pool := NewPool(bad.URL, good.URL)
+	pool.FailureThreshold = 2
+	pool.Cooldown = 10 * time.Millisecond
+	pool.SetMetrics(NewPoolMetrics(obs.NewRegistry()))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, _ = pool.SampleContext(ctx, twoVarModel())
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				st := pool.Stats()
+				if len(st.Backends) != 2 {
+					t.Errorf("Stats saw %d backends, want 2", len(st.Backends))
+					return
+				}
+				_ = pool.Failovers()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				_ = pool.CheckHealth(ctx)
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		t.Fatal("test timed out")
+	}
+}
+
+// TestPoolMetricsFailoverAndCircuit checks the registry view of a
+// failover: the job lands after one hop, the bad backend's error count
+// and circuit state are published, and the series render per backend.
+func TestPoolMetricsFailoverAndCircuit(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(okSampleHandler))
+	defer good.Close()
+
+	reg := obs.NewRegistry()
+	pool := NewPool(bad.URL, good.URL)
+	pool.FailureThreshold = 1
+	pool.Cooldown = time.Hour
+	pool.SetMetrics(NewPoolMetrics(reg))
+
+	if _, err := pool.Sample(twoVarModel()); err != nil {
+		t.Fatalf("Sample with failover: %v", err)
+	}
+	m := pool.Metrics
+	if got := m.Failovers.Value(); got != 1 {
+		t.Errorf("pool_failovers_total = %g, want 1", got)
+	}
+	if got := m.RequestErrors.With(bad.URL).Value(); got != 1 {
+		t.Errorf("pool_request_errors_total{%s} = %g, want 1", bad.URL, got)
+	}
+	if got := m.CircuitOpen.With(bad.URL).Value(); got != 1 {
+		t.Errorf("pool_backend_circuit_open{%s} = %g, want 1 (threshold 1)", bad.URL, got)
+	}
+	if got := m.CircuitOpen.With(good.URL).Value(); got != 0 {
+		t.Errorf("pool_backend_circuit_open{%s} = %g, want 0", good.URL, got)
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pool_failovers_total 1",
+		`pool_backend_circuit_open{backend="` + bad.URL + `"} 1`,
+		`pool_request_seconds_count{backend="` + good.URL + `"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestServerMetricsRecordsRequests checks the HTTP-layer counters: per
+// path/code counts and the latency histogram.
+func TestServerMetricsRecordsRequests(t *testing.T) {
+	reg := obs.NewRegistry()
+	sm := NewServerMetrics(reg)
+	srv := httptest.NewServer((&Server{Metrics: sm}).Handler())
+	defer srv.Close()
+
+	if _, err := (&Client{BaseURL: srv.URL}).Health(); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/sample") // GET on a POST endpoint
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if got := sm.Requests.With("/v1/health", "200").Value(); got != 1 {
+		t.Errorf(`requests{/v1/health,200} = %g, want 1`, got)
+	}
+	if got := sm.Requests.With("/v1/sample", "405").Value(); got != 1 {
+		t.Errorf(`requests{/v1/sample,405} = %g, want 1`, got)
+	}
+	if got := sm.RequestSeconds.Count(); got != 2 {
+		t.Errorf("request_seconds count = %d, want 2", got)
+	}
+}

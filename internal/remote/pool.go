@@ -38,6 +38,10 @@ type Pool struct {
 	// Cooldown is how long an open circuit sidelines a backend.
 	// 0 selects DefaultCooldown.
 	Cooldown time.Duration
+	// Metrics receives failover counts, per-backend latencies and live
+	// circuit state. Set it with SetMetrics (which also seeds the
+	// per-backend series); nil disables recording.
+	Metrics *PoolMetrics
 
 	now func() time.Time // test hook; nil = time.Now
 
@@ -99,11 +103,23 @@ func (p *Pool) available(idx int) bool {
 	return !p.clock().Before(p.states[idx].openUntil)
 }
 
+// SetMetrics attaches a metrics sink and seeds the per-backend series,
+// so every backend appears in the exposition — circuit closed, zero
+// errors — before its first job. Call before first use.
+func (p *Pool) SetMetrics(m *PoolMetrics) {
+	p.Metrics = m
+	for _, b := range p.Backends {
+		m.setCircuit(b.BaseURL, 0, false)
+		m.observeRequestSeed(b.BaseURL)
+	}
+}
+
 func (p *Pool) recordSuccess(idx int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ensureStates()
 	p.states[idx] = breakerState{}
+	p.Metrics.setCircuit(p.Backends[idx].BaseURL, 0, false)
 }
 
 func (p *Pool) recordFailure(idx int) {
@@ -115,6 +131,8 @@ func (p *Pool) recordFailure(idx int) {
 	if st.consecutiveFailures >= p.threshold() {
 		st.openUntil = p.clock().Add(p.cooldown())
 	}
+	p.Metrics.setCircuit(p.Backends[idx].BaseURL,
+		st.consecutiveFailures, p.clock().Before(st.openUntil))
 }
 
 // Failovers reports how many times a job moved to another backend after
@@ -160,6 +178,13 @@ func (p *Pool) Sample(compiled *qubo.Compiled) (*anneal.SampleSet, error) {
 // context expires. Permanent errors (4xx other than 429) return
 // immediately: they would repeat identically on every backend.
 func (p *Pool) SampleContext(ctx context.Context, compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	return p.SampleJobContext(ctx, compiled, Job{})
+}
+
+// SampleJobContext is SampleContext with per-job knobs: job fields
+// override each backend client's own Reads/Sweeps/Seed, so a proxy can
+// forward the knobs of the request it is serving.
+func (p *Pool) SampleJobContext(ctx context.Context, compiled *qubo.Compiled, job Job) (*anneal.SampleSet, error) {
 	if len(p.Backends) == 0 {
 		return nil, errors.New("remote: pool has no backends")
 	}
@@ -181,9 +206,12 @@ func (p *Pool) SampleContext(ctx context.Context, compiled *qubo.Compiled) (*ann
 		}
 		if attempted {
 			p.failovers.Add(1)
+			p.Metrics.recordFailover()
 		}
 		attempted = true
-		ss, err := p.Backends[idx].SampleContext(ctx, compiled)
+		began := p.clock()
+		ss, err := p.Backends[idx].SampleJobContext(ctx, compiled, job)
+		p.Metrics.observeRequest(p.Backends[idx].BaseURL, p.clock().Sub(began), err)
 		if err == nil {
 			p.recordSuccess(idx)
 			return ss, nil
@@ -200,21 +228,56 @@ func (p *Pool) SampleContext(ctx context.Context, compiled *qubo.Compiled) (*ann
 	return nil, errors.New("remote: all pool backends unavailable (circuits open)")
 }
 
+// JobSampler is a sampler view of a Pool that submits every job with
+// fixed knobs; see Pool.JobSampler.
+type JobSampler struct {
+	pool *Pool
+	job  Job
+}
+
+// JobSampler adapts the pool into a per-job sampler: every Sample call
+// carries the given knobs. It is how a proxy annealerd forwards the
+// reads/sweeps/seed of each incoming request to its backends.
+func (p *Pool) JobSampler(job Job) *JobSampler {
+	return &JobSampler{pool: p, job: job}
+}
+
+// Sample implements the sampler contract.
+func (s *JobSampler) Sample(compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	return s.pool.SampleJobContext(context.Background(), compiled, s.job)
+}
+
+// SampleContext implements the context-aware sampler contract.
+func (s *JobSampler) SampleContext(ctx context.Context, compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	return s.pool.SampleJobContext(ctx, compiled, s.job)
+}
+
 // CheckHealth probes every backend's /v1/health under ctx and feeds the
 // outcomes into the circuit breakers, so unhealthy backends are
 // sidelined before they ever receive a job. It returns one entry per
-// backend URL (nil = healthy).
+// backend URL (nil = healthy). Backends are probed concurrently: a hung
+// backend costs one ctx deadline in total, not one per backend after it
+// in Backends order.
 func (p *Pool) CheckHealth(ctx context.Context) map[string]error {
 	out := make(map[string]error, len(p.Backends))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
 	for i, b := range p.Backends {
-		_, err := b.HealthContext(ctx)
-		out[b.BaseURL] = err
-		if err == nil {
-			p.recordSuccess(i)
-		} else {
-			p.recordFailure(i)
-		}
+		wg.Add(1)
+		go func(i int, b *Client) {
+			defer wg.Done()
+			_, err := b.HealthContext(ctx)
+			if err == nil {
+				p.recordSuccess(i)
+			} else {
+				p.recordFailure(i)
+			}
+			mu.Lock()
+			out[b.BaseURL] = err
+			mu.Unlock()
+		}(i, b)
 	}
+	wg.Wait()
 	return out
 }
 

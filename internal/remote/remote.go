@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"qsmt/internal/anneal"
+	"qsmt/internal/obs"
 	"qsmt/internal/qubo"
 )
 
@@ -115,6 +116,14 @@ type Server struct {
 	// MaxConcurrent bounds in-flight sampling jobs; excess requests get
 	// 429 with Retry-After instead of queueing. 0 = unlimited.
 	MaxConcurrent int
+	// Metrics, when non-nil, records request counts/latency, in-flight
+	// jobs and load-shedding outcomes (see NewServerMetrics).
+	Metrics *ServerMetrics
+	// Collector, when non-nil, is attached to samplers built by the
+	// default path, so the service's /metrics exposes substrate activity
+	// (sweeps, flips, resyncs) per job. Custom NewSampler factories wire
+	// their own collectors.
+	Collector *obs.Collector
 
 	semOnce sync.Once
 	sem     chan struct{}
@@ -130,12 +139,16 @@ func (s *Server) semaphore() chan struct{} {
 	return s.sem
 }
 
-// Handler returns the HTTP handler for the service.
+// Handler returns the HTTP handler for the service. With Metrics set,
+// every request is counted and timed.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/sample", s.handleSample)
 	mux.HandleFunc("/v1/health", s.handleHealth)
-	return mux
+	if s.Metrics == nil {
+		return mux
+	}
+	return s.Metrics.instrument(mux)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -160,11 +173,14 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		case sem <- struct{}{}:
 			defer func() { <-sem }()
 		default:
+			s.Metrics.shedSaturated()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "server saturated")
 			return
 		}
 	}
+	s.Metrics.jobStarted()
+	defer s.Metrics.jobDone()
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
@@ -200,6 +216,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		case r.Context().Err() != nil:
 			return // client gone; nobody is reading the reply
 		case errors.Is(err, context.DeadlineExceeded):
+			s.Metrics.shedDeadline()
 			writeError(w, http.StatusServiceUnavailable, "sampling deadline exceeded")
 		default:
 			writeError(w, http.StatusInternalServerError, "sampling: "+err.Error())
@@ -237,7 +254,10 @@ func (s *Server) sampler(req SampleRequest) interface {
 	if sweeps > maxSweeps {
 		sweeps = maxSweeps
 	}
-	return &anneal.SimulatedAnnealer{Reads: reads, Sweeps: sweeps, Seed: req.Seed}
+	return &anneal.SimulatedAnnealer{
+		Reads: reads, Sweeps: sweeps, Seed: req.Seed,
+		Collector: s.Collector,
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -370,6 +390,15 @@ func (c *Client) maxResponseBytes() int64 {
 	return MaxResponseBytes
 }
 
+// Job carries per-job sampling knobs. Zero fields fall back to the
+// submitting client's own Reads/Sweeps/Seed (and from there to the
+// server defaults), so the zero Job changes nothing.
+type Job struct {
+	Reads  int
+	Sweeps int
+	Seed   int64
+}
+
 // Sample implements the sampler contract by round-tripping through the
 // service.
 func (c *Client) Sample(compiled *qubo.Compiled) (*anneal.SampleSet, error) {
@@ -380,13 +409,21 @@ func (c *Client) Sample(compiled *qubo.Compiled) (*anneal.SampleSet, error) {
 // with exponential backoff + jitter until the retry budget or the
 // context runs out.
 func (c *Client) SampleContext(ctx context.Context, compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	return c.SampleJobContext(ctx, compiled, Job{})
+}
+
+// SampleJobContext is SampleContext with per-job knobs overriding the
+// client's configured Reads/Sweeps/Seed, so one client can serve jobs
+// with differing parameters (a proxy forwarding request knobs, a solver
+// re-seeding retries).
+func (c *Client) SampleJobContext(ctx context.Context, compiled *qubo.Compiled, job Job) (*anneal.SampleSet, error) {
 	if compiled == nil {
 		return nil, errors.New("remote: nil model")
 	}
 	if c.BaseURL == "" {
 		return nil, errors.New("remote: client has no BaseURL")
 	}
-	reqBody, err := c.encodeRequest(compiled)
+	reqBody, err := c.encodeRequest(compiled, job)
 	if err != nil {
 		return nil, err
 	}
@@ -422,8 +459,9 @@ func (c *Client) SampleContext(ctx context.Context, compiled *qubo.Compiled) (*a
 }
 
 // encodeRequest reconstructs the serializable model from the compiled
-// view and marshals the wire request.
-func (c *Client) encodeRequest(compiled *qubo.Compiled) ([]byte, error) {
+// view and marshals the wire request; zero job fields fall back to the
+// client's configured knobs.
+func (c *Client) encodeRequest(compiled *qubo.Compiled, job Job) ([]byte, error) {
 	model := qubo.New(compiled.N)
 	model.AddOffset(compiled.Offset)
 	for i, h := range compiled.Linear {
@@ -442,8 +480,18 @@ func (c *Client) encodeRequest(compiled *qubo.Compiled) ([]byte, error) {
 	if _, err := model.WriteTo(&quboText); err != nil {
 		return nil, fmt.Errorf("remote: serializing QUBO: %w", err)
 	}
+	reads, sweeps, seed := job.Reads, job.Sweeps, job.Seed
+	if reads == 0 {
+		reads = c.Reads
+	}
+	if sweeps == 0 {
+		sweeps = c.Sweeps
+	}
+	if seed == 0 {
+		seed = c.Seed
+	}
 	return json.Marshal(SampleRequest{
-		QUBO: quboText.String(), Reads: c.Reads, Sweeps: c.Sweeps, Seed: c.Seed,
+		QUBO: quboText.String(), Reads: reads, Sweeps: sweeps, Seed: seed,
 	})
 }
 

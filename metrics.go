@@ -1,0 +1,117 @@
+package qsmt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qsmt/internal/obs"
+)
+
+// SolveStats reports how a solve went: how much work each phase of the
+// encode → sample → decode → check loop did and what the sampler's output
+// looked like. Every successful Result carries one; the same numbers are
+// mirrored into Options.Metrics when set.
+type SolveStats struct {
+	Sampler string // sampler type used for the final attempt
+
+	Attempts          int // sampler invocations (1 = first try)
+	Reads             int // total annealer reads consumed across attempts
+	Candidates        int // decoded low-energy samples examined
+	VerifyFailures    int // candidates whose decoded witness failed Check
+	PenaltyViolations int // candidates whose bitstring failed Decode
+
+	BestEnergy     float64 // lowest sample energy seen across attempts
+	MeanEnergy     float64 // occurrence-weighted mean of the last sample set
+	GroundFraction float64 // ground-state hit rate of the last sample set
+
+	Compile      time.Duration // BuildModel + QUBO compilation
+	Sample       time.Duration // total time inside the sampler
+	DecodeVerify time.Duration // total time decoding and checking candidates
+}
+
+// SolverMetrics is the registry-backed view of SolveStats: a Solver with
+// Options.Metrics set records every solve (and enumeration) here. All
+// metrics are plain families, so registering them up front — as annealerd
+// does — makes the full solver section of /metrics visible at zero before
+// the first solve. A nil *SolverMetrics disables recording.
+type SolverMetrics struct {
+	Solves            *obs.Counter // qsmt_solves_total
+	SolveFailures     *obs.Counter // qsmt_solve_failures_total
+	Attempts          *obs.Counter // qsmt_solve_attempts_total
+	Reads             *obs.Counter // qsmt_solve_reads_total
+	Candidates        *obs.Counter // qsmt_candidates_total
+	VerifyFailures    *obs.Counter // qsmt_verify_failures_total
+	PenaltyViolations *obs.Counter // qsmt_penalty_violations_total
+
+	CompileSeconds *obs.Histogram // qsmt_compile_seconds
+	SampleSeconds  *obs.Histogram // qsmt_sample_seconds
+	DecodeSeconds  *obs.Histogram // qsmt_decode_verify_seconds
+
+	GroundFraction *obs.Histogram // qsmt_ground_fraction
+	BestEnergy     *obs.Gauge     // qsmt_best_energy
+	MeanEnergy     *obs.Gauge     // qsmt_mean_energy
+}
+
+// NewSolverMetrics registers the solver metric families on r and returns
+// the handle to put in Options.Metrics. Registration is idempotent, so
+// several solvers may share one registry.
+func NewSolverMetrics(r *obs.Registry) *SolverMetrics {
+	return &SolverMetrics{
+		Solves:            r.Counter("qsmt_solves_total", "Solve calls that returned a verified witness."),
+		SolveFailures:     r.Counter("qsmt_solve_failures_total", "Solve calls that returned an error (no model, unsat, cancelled)."),
+		Attempts:          r.Counter("qsmt_solve_attempts_total", "Sampler invocations across all solves."),
+		Reads:             r.Counter("qsmt_solve_reads_total", "Annealer reads consumed across all solves."),
+		Candidates:        r.Counter("qsmt_candidates_total", "Low-energy samples decoded and checked."),
+		VerifyFailures:    r.Counter("qsmt_verify_failures_total", "Candidates whose decoded witness failed the semantic check."),
+		PenaltyViolations: r.Counter("qsmt_penalty_violations_total", "Candidates whose bitstring violated an encoding penalty (Decode failed)."),
+		CompileSeconds:    r.Histogram("qsmt_compile_seconds", "Constraint build + QUBO compile time per solve.", obs.DefaultLatencyBuckets),
+		SampleSeconds:     r.Histogram("qsmt_sample_seconds", "Total sampler time per solve.", obs.DefaultLatencyBuckets),
+		DecodeSeconds:     r.Histogram("qsmt_decode_verify_seconds", "Total decode + check time per solve.", obs.DefaultLatencyBuckets),
+		GroundFraction:    r.Histogram("qsmt_ground_fraction", "Ground-state hit rate of the final sample set per solve.", obs.FractionBuckets),
+		BestEnergy:        r.Gauge("qsmt_best_energy", "Lowest sample energy of the most recent solve."),
+		MeanEnergy:        r.Gauge("qsmt_mean_energy", "Mean sample energy of the most recent solve."),
+	}
+}
+
+// record mirrors one finished solve (or enumeration) into the registry.
+// Safe on a nil receiver.
+func (m *SolverMetrics) record(st *SolveStats, err error) {
+	if m == nil {
+		return
+	}
+	if err == nil {
+		m.Solves.Inc()
+	} else {
+		m.SolveFailures.Inc()
+	}
+	m.Attempts.Add(float64(st.Attempts))
+	m.Reads.Add(float64(st.Reads))
+	m.Candidates.Add(float64(st.Candidates))
+	m.VerifyFailures.Add(float64(st.VerifyFailures))
+	m.PenaltyViolations.Add(float64(st.PenaltyViolations))
+	m.CompileSeconds.Observe(st.Compile.Seconds())
+	m.SampleSeconds.Observe(st.Sample.Seconds())
+	m.DecodeSeconds.Observe(st.DecodeVerify.Seconds())
+	if st.Reads > 0 {
+		// Energy statistics are meaningless before any sampling happened
+		// (e.g. a solve cancelled before its first attempt).
+		m.GroundFraction.Observe(st.GroundFraction)
+		m.BestEnergy.Set(st.BestEnergy)
+		m.MeanEnergy.Set(st.MeanEnergy)
+	}
+}
+
+// samplerName renders a sampler's identity for SolveStats: the concrete
+// type name without package clutter ("SimulatedAnnealer", "ExactSolver").
+func samplerName(s Sampler) string {
+	if s == nil {
+		return ""
+	}
+	name := fmt.Sprintf("%T", s)
+	name = strings.TrimPrefix(name, "*")
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}

@@ -3,6 +3,7 @@ package qsmt
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"qsmt/internal/core"
 )
@@ -110,8 +111,10 @@ type StageResult struct {
 
 // PipelineResult reports a full pipeline run.
 type PipelineResult struct {
-	Output string        // final string
-	Stages []StageResult // per-stage outputs, in order
+	Output   string        // final string
+	Stages   []StageResult // per-stage outputs, in order
+	Attempts int           // sampler invocations summed over stages
+	Elapsed  time.Duration // wall-clock time for the whole chain
 }
 
 // Run solves a pipeline stage by stage.
@@ -125,6 +128,7 @@ func (s *Solver) RunContext(ctx context.Context, p *Pipeline) (*PipelineResult, 
 	if p == nil || p.generator == nil {
 		return nil, fmt.Errorf("qsmt: pipeline has no generator stage")
 	}
+	start := time.Now()
 	res, err := s.SolveContext(ctx, p.generator)
 	if err != nil {
 		return nil, fmt.Errorf("qsmt: pipeline stage 0 (%s): %w", p.generator.Name(), err)
@@ -133,7 +137,8 @@ func (s *Solver) RunContext(ctx context.Context, p *Pipeline) (*PipelineResult, 
 		return nil, fmt.Errorf("qsmt: pipeline generator %s produced a non-string witness", p.generator.Name())
 	}
 	out := &PipelineResult{
-		Stages: []StageResult{{Name: p.generator.Name(), Output: res.Witness.Str, Result: res}},
+		Stages:   []StageResult{{Name: p.generator.Name(), Output: res.Witness.Str, Result: res}},
+		Attempts: res.Attempts,
 	}
 	current := res.Witness.Str
 	for i, st := range p.stages {
@@ -147,7 +152,9 @@ func (s *Solver) RunContext(ctx context.Context, p *Pipeline) (*PipelineResult, 
 		}
 		current = res.Witness.Str
 		out.Stages = append(out.Stages, StageResult{Name: st.name, Output: current, Result: res})
+		out.Attempts += res.Attempts
 	}
 	out.Output = current
+	out.Elapsed = time.Since(start)
 	return out, nil
 }

@@ -50,6 +50,11 @@ type Options struct {
 	// refinement mode of real annealing hardware. Only applies when no
 	// custom Sampler is set.
 	RefineRetries bool
+	// Metrics, when non-nil, receives per-solve counters, phase timings
+	// and sample-quality observations (see NewSolverMetrics). The same
+	// numbers are always available per call via Result.Stats; Metrics
+	// adds the registry-backed aggregate view.
+	Metrics *SolverMetrics
 }
 
 // Solver runs the full SMT loop over QUBO-encoded string constraints:
@@ -85,6 +90,7 @@ type Result struct {
 	Attempts int           // sampler invocations used (1 = first try)
 	Vars     int           // QUBO size (binary variables)
 	Elapsed  time.Duration // wall-clock time across all attempts
+	Stats    SolveStats    // phase timings and sample-quality detail
 }
 
 // ErrNoModel reports that the solver exhausted its verify-retry budget
@@ -104,12 +110,20 @@ func (s *Solver) Solve(c Constraint) (*Result, error) {
 // (all module samplers and the remote client) abort mid-run, so a
 // deadline bounds the whole solve including retries.
 func (s *Solver) SolveContext(ctx context.Context, c Constraint) (*Result, error) {
+	var st SolveStats
+	res, err := s.solveContext(ctx, c, &st)
+	s.opts.Metrics.record(&st, err)
+	return res, err
+}
+
+func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats) (*Result, error) {
 	start := time.Now()
 	model, err := c.BuildModel()
 	if err != nil {
 		return nil, err
 	}
 	compiled := model.Compile()
+	st.Compile = time.Since(start)
 
 	var lastCheck error
 	var lastBest []qubo.Bit
@@ -126,40 +140,66 @@ func (s *Solver) SolveContext(ctx context.Context, c Constraint) (*Result, error
 				Seed:    s.opts.Seed + int64(attempt)*1_000_003,
 			}
 		}
+		st.Attempts = attempt + 1
+		st.Sampler = samplerName(sampler)
+		phase := time.Now()
 		ss, err := s.sample(ctx, sampler, compiled)
+		st.Sample += time.Since(phase)
 		if err != nil {
 			return nil, fmt.Errorf("qsmt: sampling %s: %w", c.Name(), err)
 		}
+		st.Reads += ss.TotalReads()
 		if len(ss.Samples) > 0 {
 			lastBest = ss.Best().X
+			if best := ss.Best().Energy; attempt == 0 || best < st.BestEnergy {
+				st.BestEnergy = best
+			}
+			st.MeanEnergy = ss.MeanEnergy()
+			st.GroundFraction = ss.GroundFraction(0)
 		}
 		limit := s.opts.CandidatesPerAttempt
 		if limit > len(ss.Samples) {
 			limit = len(ss.Samples)
 		}
+		phase = time.Now()
+		var accepted *Result
+		var fatal error
 		for k := 0; k < limit; k++ {
 			sample := ss.Samples[k]
+			st.Candidates++
 			w, err := c.Decode(sample.X)
 			if err != nil {
+				st.PenaltyViolations++
 				lastCheck = err
 				continue
 			}
 			if err := c.Check(w); err != nil {
+				st.VerifyFailures++
 				lastCheck = err
 				// A provably unsatisfiable constraint cannot be fixed by
 				// re-annealing.
 				if errors.Is(err, ErrUnsatisfiable) {
-					return nil, err
+					fatal = err
+					break
 				}
 				continue
 			}
-			return &Result{
+			accepted = &Result{
 				Witness:  w,
 				Energy:   sample.Energy,
 				Attempts: attempt + 1,
 				Vars:     compiled.N,
-				Elapsed:  time.Since(start),
-			}, nil
+			}
+			break
+		}
+		st.DecodeVerify += time.Since(phase)
+		if fatal != nil {
+			return nil, fatal
+		}
+		if accepted != nil {
+			accepted.Elapsed = time.Since(start)
+			accepted.Stats = *st
+			return accepted, nil
 		}
 	}
 	if lastCheck != nil {
@@ -207,16 +247,26 @@ func (s *Solver) Enumerate(c Constraint, k int) ([]Witness, error) {
 }
 
 // EnumerateContext is Enumerate under a context; see SolveContext for
-// the cancellation contract.
+// the cancellation contract. Each enumeration records into
+// Options.Metrics as one solve (success when it yields any witness).
 func (s *Solver) EnumerateContext(ctx context.Context, c Constraint, k int) ([]Witness, error) {
+	var st SolveStats
+	out, err := s.enumerateContext(ctx, c, k, &st)
+	s.opts.Metrics.record(&st, err)
+	return out, err
+}
+
+func (s *Solver) enumerateContext(ctx context.Context, c Constraint, k int, st *SolveStats) ([]Witness, error) {
 	if k <= 0 {
 		k = 1
 	}
+	start := time.Now()
 	model, err := c.BuildModel()
 	if err != nil {
 		return nil, err
 	}
 	compiled := model.Compile()
+	st.Compile = time.Since(start)
 	seen := map[string]bool{}
 	seenAssign := map[string]bool{}
 	var out []Witness
@@ -232,10 +282,23 @@ func (s *Solver) EnumerateContext(ctx context.Context, c Constraint, k int) ([]W
 			return nil, fmt.Errorf("qsmt: enumerating %s: %w", c.Name(), err)
 		}
 		sampler := s.samplerFor(attempt)
+		st.Attempts = attempt + 1
+		st.Sampler = samplerName(sampler)
+		phase := time.Now()
 		ss, err := s.sample(ctx, sampler, compiled)
+		st.Sample += time.Since(phase)
 		if err != nil {
 			return nil, fmt.Errorf("qsmt: sampling %s: %w", c.Name(), err)
 		}
+		st.Reads += ss.TotalReads()
+		if len(ss.Samples) > 0 {
+			if best := ss.Best().Energy; attempt == 0 || best < st.BestEnergy {
+				st.BestEnergy = best
+			}
+			st.MeanEnergy = ss.MeanEnergy()
+			st.GroundFraction = ss.GroundFraction(0)
+		}
+		phase = time.Now()
 		fresh := 0
 		for _, sample := range ss.Samples {
 			if ak := bitKey(sample.X); !seenAssign[ak] {
@@ -245,14 +308,18 @@ func (s *Solver) EnumerateContext(ctx context.Context, c Constraint, k int) ([]W
 			if len(out) >= k {
 				break
 			}
+			st.Candidates++
 			w, err := c.Decode(sample.X)
 			if err != nil {
+				st.PenaltyViolations++
 				lastCheck = err
 				continue
 			}
 			if err := c.Check(w); err != nil {
+				st.VerifyFailures++
 				lastCheck = err
 				if errors.Is(err, ErrUnsatisfiable) {
+					st.DecodeVerify += time.Since(phase)
 					return nil, err
 				}
 				continue
@@ -267,6 +334,7 @@ func (s *Solver) EnumerateContext(ctx context.Context, c Constraint, k int) ([]W
 			seen[key] = true
 			out = append(out, w)
 		}
+		st.DecodeVerify += time.Since(phase)
 		// A deterministic sampler (fixed seed, exact solver) re-delivers
 		// the identical sample set every attempt; once an attempt yields
 		// nothing previously unseen, further attempts cannot either.
