@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench benchsmoke
+.PHONY: check build vet test race racebatch bench benchsmoke benchbatch
 
 ## check: the CI gate — build, vet, race-checked tests, and a
 ## 1-iteration benchmark smoke pass (includes the remote
-## fault-injection suite in internal/remote and the root-package
-## context/failover acceptance tests).
+## fault-injection suite in internal/remote, the root-package
+## context/failover acceptance tests, and — under -race — the
+## batch/shard/cache concurrency suite).
 check: build vet race benchsmoke
 
 build:
@@ -20,6 +21,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+## racebatch: the focused race gate for the concurrent batch layer —
+## SolveBatch/EnumerateBatch fan-out, shard sampling, and the shared
+## compile cache. Subset of `race`, for quick iteration on batch code.
+racebatch:
+	$(GO) test -race -run 'Batch|Shard|Cache' . ./internal/qubo ./internal/smtlib
+
 ## bench: run the Table 1 and substrate benchmarks and record them as
 ## BENCH_kernel.json (benchmark name -> ns/op, allocs/op, custom
 ## metrics) via cmd/benchjson, so before/after numbers are diffable.
@@ -32,4 +39,12 @@ bench:
 ## benchmark code without paying for stable timings.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./... > /dev/null
+
+## benchbatch: the batch-layer acceptance numbers — 32 mixed constraints
+## solved sequentially vs as one SolveBatch (shard decomposition +
+## compile cache + bounded concurrency), recorded as BENCH_batch.json.
+benchbatch:
+	$(GO) test -run '^$$' -bench 'SequentialSolve32|SolveBatch32' -benchtime=3x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_batch.json
+	@cat BENCH_batch.json
 

@@ -1,0 +1,343 @@
+package qsmt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"context"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+)
+
+// This file is the batch/shard layer: the paper's workload is many
+// small, independent QUBOs (one per constraint, 7 bits per character),
+// exactly the shape that rewards batching across constraints and
+// sharding within them. SolveBatch runs a fleet of constraints over a
+// bounded worker pool; each solve decomposes its model into the
+// connected components of the variable-interaction graph
+// (qubo.Components) and solves the components as independent shards —
+// coupler-free shards closed-form, small shards by exact enumeration,
+// the rest through the configured sampler, which may be a remote.Pool
+// fanning the shards out across an annealerd fleet.
+
+// BatchItem is the outcome of one constraint of a batch, in submission
+// order. Exactly one of Result and Err is non-nil.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// BatchResult reports a whole SolveBatch call.
+type BatchResult struct {
+	Items   []BatchItem   // one per submitted constraint, same order
+	Solved  int           // items with a verified witness
+	Failed  int           // items with an error
+	Shards  int           // shards solved across successful items
+	Elapsed time.Duration // wall-clock time for the whole batch
+}
+
+// SolveBatch solves many independent constraints concurrently: every
+// constraint runs the full SMT loop (with sharding enabled — see
+// Options.Shard) and at most Options.BatchWorkers sampling operations
+// are in flight at once across the whole batch. Per-constraint failures
+// do not abort the batch; they are reported per item. The returned
+// error is non-nil only when ctx ended before the batch completed (the
+// per-item errors then say which constraints were cut short).
+//
+// The Solver's Sampler must be safe for concurrent use (all module
+// samplers and the remote client/pool are); a remote.Pool sampler makes
+// SolveBatch fan shards out across the pool's backends.
+func (s *Solver) SolveBatch(ctx context.Context, cs []Constraint) (*BatchResult, error) {
+	start := time.Now()
+	br := &BatchResult{Items: make([]BatchItem, len(cs))}
+	if len(cs) == 0 {
+		return br, ctx.Err()
+	}
+	m := s.opts.Metrics
+	m.batchInFlight(1)
+	defer m.batchInFlight(-1)
+
+	batched := s.batchSolver()
+	var wg sync.WaitGroup
+	for i, c := range cs {
+		wg.Add(1)
+		go func(i int, c Constraint) {
+			defer wg.Done()
+			res, err := batched.SolveContext(ctx, c)
+			br.Items[i] = BatchItem{Result: res, Err: err}
+		}(i, c)
+	}
+	wg.Wait()
+	br.Elapsed = time.Since(start)
+	for _, it := range br.Items {
+		if it.Err != nil {
+			br.Failed++
+		} else {
+			br.Solved++
+			br.Shards += it.Result.Shards
+		}
+	}
+	m.recordBatch(len(cs), br.Failed, br.Elapsed)
+	return br, ctx.Err()
+}
+
+// EnumerateBatchItem is the outcome of one constraint of an
+// EnumerateBatch call.
+type EnumerateBatchItem struct {
+	Witnesses []Witness
+	Err       error
+}
+
+// EnumerateBatch enumerates up to k distinct verified witnesses for
+// every constraint concurrently, under the same bounded worker pool as
+// SolveBatch. Enumeration runs whole-model (sharded enumeration would
+// have to walk the cross product of per-shard manifolds; the per-
+// constraint fan-out is where the throughput is). The returned error is
+// non-nil only when ctx ended early.
+func (s *Solver) EnumerateBatch(ctx context.Context, cs []Constraint, k int) ([]EnumerateBatchItem, error) {
+	start := time.Now()
+	items := make([]EnumerateBatchItem, len(cs))
+	if len(cs) == 0 {
+		return items, ctx.Err()
+	}
+	m := s.opts.Metrics
+	m.batchInFlight(1)
+	defer m.batchInFlight(-1)
+
+	batched := s.batchSolver()
+	batched.opts.Shard = false // enumerate is whole-model; see doc comment
+	var wg sync.WaitGroup
+	for i, c := range cs {
+		wg.Add(1)
+		go func(i int, c Constraint) {
+			defer wg.Done()
+			ws, err := batched.EnumerateContext(ctx, c, k)
+			items[i] = EnumerateBatchItem{Witnesses: ws, Err: err}
+		}(i, c)
+	}
+	wg.Wait()
+	failed := 0
+	for _, it := range items {
+		if it.Err != nil {
+			failed++
+		}
+	}
+	m.recordBatch(len(cs), failed, time.Since(start))
+	return items, ctx.Err()
+}
+
+// batchSolver returns a copy of s configured for batch execution:
+// sharding on and a worker gate bounding concurrent sampling.
+func (s *Solver) batchSolver() *Solver {
+	cp := &Solver{opts: s.opts}
+	cp.opts.Shard = true
+	workers := cp.opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cp.gate = make(chan struct{}, workers)
+	return cp
+}
+
+// shardPlan is one shard of a sharded solve, classified by how it will
+// be solved.
+type shardPlan struct {
+	shard    qubo.Shard
+	compiled *qubo.Compiled // nil for closed-form shards
+	exact    bool           // exhaustively enumerated instead of sampled
+	trivial  bool           // coupler-free: solved closed-form
+}
+
+// solveSharded attempts the component decomposition of model. handled
+// is false when the interaction graph is connected (≤ 1 component) —
+// the caller then falls back to whole-model solving on the model it
+// already built. The decomposition is exact: no coupler crosses a
+// component boundary, so merging per-shard minima yields a global
+// minimum, and merged candidate energies are exact total energies.
+func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Model, start time.Time, st *SolveStats) (*Result, error, bool) {
+	shards := qubo.Components(model)
+	if len(shards) <= 1 {
+		return nil, nil, false
+	}
+	st.Shards = len(shards)
+	plans := make([]shardPlan, len(shards))
+	sampled := 0
+	for i, sh := range shards {
+		if sh.Model.NumQuadratic() == 0 {
+			plans[i] = shardPlan{shard: sh, trivial: true}
+			st.ExactShards++
+			continue
+		}
+		compiled := s.compileModel(sh.Model, st)
+		exact := s.opts.ExactShardVars > 0 && compiled.N <= s.opts.ExactShardVars
+		if exact {
+			st.ExactShards++
+		} else {
+			sampled++
+		}
+		plans[i] = shardPlan{shard: sh, compiled: compiled, exact: exact}
+	}
+	st.Compile = time.Since(start)
+
+	var lastCheck error
+	for attempt := 0; attempt < s.opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("qsmt: solving %s: %w", c.Name(), err), true
+		}
+		st.Attempts = attempt + 1
+		st.Sampler = samplerName(s.samplerFor(attempt))
+
+		// Sample every non-trivial shard concurrently; each sampling call
+		// individually acquires a batch-gate slot (when one is installed),
+		// so shard fan-out from many batched constraints still respects
+		// the global worker bound.
+		phase := time.Now()
+		sets := make([]*anneal.SampleSet, len(plans))
+		errs := make([]error, len(plans))
+		var wg sync.WaitGroup
+		for i := range plans {
+			p := &plans[i]
+			if p.trivial {
+				sets[i] = solveLinearShard(p.shard.Model, s.opts.Seed, attempt, i)
+				continue
+			}
+			wg.Add(1)
+			go func(i int, p *shardPlan) {
+				defer wg.Done()
+				var sampler Sampler
+				if p.exact {
+					sampler = &anneal.ExactSolver{MaxStates: s.opts.CandidatesPerAttempt}
+				} else {
+					sampler = s.samplerFor(attempt)
+				}
+				sets[i], errs[i] = s.sample(ctx, sampler, p.compiled)
+			}(i, p)
+		}
+		wg.Wait()
+		st.Sample += time.Since(phase)
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("qsmt: sampling %s (shard %d/%d): %w", c.Name(), i, len(plans), err), true
+			}
+		}
+
+		// Aggregate sample statistics across shards. Energies are
+		// additive over components (plus the parent offset, which the
+		// shards do not carry); ground fractions multiply because the
+		// shards are sampled independently.
+		best, mean, gf := model.Offset(), model.Offset(), 1.0
+		maxLen := 0
+		for _, ss := range sets {
+			st.Reads += ss.TotalReads()
+			if ss.Len() == 0 {
+				maxLen = -1
+				break
+			}
+			if ss.Len() > maxLen && maxLen >= 0 {
+				maxLen = ss.Len()
+			}
+			best += ss.Best().Energy
+			mean += ss.MeanEnergy()
+			gf *= ss.GroundFraction(0)
+		}
+		if maxLen <= 0 {
+			// A (custom) sampler returned an empty set for some shard; no
+			// candidate can be merged this attempt.
+			lastCheck = fmt.Errorf("qsmt: empty sample set for a shard of %s", c.Name())
+			continue
+		}
+		st.observeBest(best)
+		st.MeanEnergy = mean
+		st.GroundFraction = gf
+
+		// Merge the k-th best sample of every shard (clamped to each
+		// shard's sample count) into the k-th full candidate; merged
+		// candidate 0 is the global best the attempt found.
+		limit := s.opts.CandidatesPerAttempt
+		if limit > maxLen {
+			limit = maxLen
+		}
+		phase = time.Now()
+		for k := 0; k < limit; k++ {
+			x := make([]qubo.Bit, model.N())
+			energy := model.Offset()
+			for i := range plans {
+				ss := sets[i]
+				idx := k
+				if idx >= ss.Len() {
+					idx = ss.Len() - 1
+				}
+				smp := ss.Samples[idx]
+				plans[i].shard.Scatter(x, smp.X)
+				energy += smp.Energy
+			}
+			w, ok, fatal, checkErr := examineCandidate(c, x, st)
+			if fatal != nil {
+				st.DecodeVerify += time.Since(phase)
+				return nil, fatal, true
+			}
+			if !ok {
+				lastCheck = checkErr
+				continue
+			}
+			st.DecodeVerify += time.Since(phase)
+			res := &Result{
+				Witness:  w,
+				Energy:   energy,
+				Attempts: attempt + 1,
+				Vars:     model.N(),
+				Shards:   len(shards),
+				Elapsed:  time.Since(start),
+			}
+			res.Stats = *st
+			return res, nil, true
+		}
+		st.DecodeVerify += time.Since(phase)
+
+		// With no sampled shards the attempt is deterministic up to
+		// free-variable tie-breaking; further attempts still reshuffle
+		// those, so the retry loop keeps going (it is cheap here).
+		_ = sampled
+	}
+	if lastCheck != nil {
+		return nil, fmt.Errorf("%w (last failure: %v)", ErrNoModel, lastCheck), true
+	}
+	return nil, ErrNoModel, true
+}
+
+// solveLinearShard solves a coupler-free shard closed-form: each
+// variable independently minimizes its diagonal coefficient (1 when
+// negative, 0 when positive). Zero-coefficient variables are free in
+// the energy; they are filled from a deterministic splitmix64 stream
+// keyed by (seed, attempt, shard) so retries explore the degenerate
+// manifold instead of always returning the same corner.
+func solveLinearShard(m *qubo.Model, seed int64, attempt, shard int) *anneal.SampleSet {
+	x := make([]qubo.Bit, m.N())
+	energy := 0.0
+	state := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(attempt)*0xbf58476d1ce4e5b9 ^ uint64(shard)
+	for i := range x {
+		v := m.Linear(i)
+		switch {
+		case v < 0:
+			x[i] = 1
+			energy += v
+		case v == 0:
+			x[i] = qubo.Bit(splitmix64(&state) & 1)
+		}
+	}
+	return &anneal.SampleSet{Samples: []anneal.Sample{{X: x, Energy: energy, Occurrences: 1}}}
+}
+
+// splitmix64 advances the state and returns the next 64-bit draw
+// (Steele et al.'s SplitMix64, the stream-seeding generator the
+// annealing substrate also derives its streams from).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,78 @@
+package qsmt
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"qsmt/internal/qubo"
+)
+
+// The batch acceptance benchmarks: the same 32 mixed constraints solved
+// sequentially through Solve versus as one SolveBatch. Both paths
+// verify every witness (a failed solve aborts the benchmark), so the
+// comparison is at equal witness-validity; the batch path wins through
+// shard decomposition (closed-form and exact shards instead of full
+// annealing runs), the compile cache, and bounded concurrency.
+// `make benchbatch` records the pair as BENCH_batch.json.
+
+// benchConstraints returns 32 mixed constraints: equalities,
+// palindromes of several lengths, decomposable conjunctions, and
+// prefix-pinned generators.
+func benchConstraints() []Constraint {
+	cs := make([]Constraint, 0, 32)
+	for i := 0; i < 8; i++ {
+		cs = append(cs,
+			Equality(fmt.Sprintf("str%02d", i)),
+			Palindrome(4+(i%3)*2),
+			And(Equality("abba"), Palindrome(4)),
+			PrefixOf("ab", 5),
+		)
+	}
+	return cs
+}
+
+func BenchmarkSequentialSolve32(b *testing.B) {
+	cs := benchConstraints()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSolver(&Options{Seed: 17})
+		for _, c := range cs {
+			res, err := s.Solve(c)
+			if err != nil {
+				b.Fatalf("%s: %v", c.Name(), err)
+			}
+			if err := c.Check(res.Witness); err != nil {
+				b.Fatalf("%s: invalid witness: %v", c.Name(), err)
+			}
+		}
+	}
+}
+
+func BenchmarkSolveBatch32(b *testing.B) {
+	cs := benchConstraints()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSolver(&Options{
+			Seed:         17,
+			CompileCache: qubo.NewCache(qubo.DefaultCacheCapacity),
+		})
+		br, err := s.SolveBatch(context.Background(), cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if br.Failed != 0 {
+			for j, it := range br.Items {
+				if it.Err != nil {
+					b.Logf("item %d: %v", j, it.Err)
+				}
+			}
+			b.Fatalf("%d of %d constraints failed", br.Failed, len(cs))
+		}
+		for j, it := range br.Items {
+			if err := cs[j].Check(it.Result.Witness); err != nil {
+				b.Fatalf("item %d: invalid witness: %v", j, err)
+			}
+		}
+	}
+}

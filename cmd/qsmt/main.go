@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	qsmt [-seed N] [-reads N] [-sweeps N] [-attempts N] [file.smt2]
+//	qsmt [-seed N] [-reads N] [-sweeps N] [-attempts N] [-batch] [file.smt2]
 //	qsmt -i        # interactive REPL: one command per line, errors are
 //	               # reported but do not end the session
 //
@@ -36,6 +36,9 @@ func main() {
 		sweeps        = flag.Int("sweeps", 1000, "annealer sweeps per read")
 		attempts      = flag.Int("attempts", 4, "verify-retry budget per constraint")
 		interactive   = flag.Bool("i", false, "interactive REPL mode")
+		batch         = flag.Bool("batch", false, "solve independent check-sat problems as one bounded-concurrency batch with shard decomposition")
+		workers       = flag.Int("workers", 0, "concurrent sampling operations in batch mode (0 = GOMAXPROCS; raise beyond core count for remote backends)")
+		cacheSize     = flag.Int("cache", qubo.DefaultCacheCapacity, "compiled-QUBO LRU cache capacity (0 disables)")
 		remoteURL     = flag.String("remote", "", "comma-separated base URLs of remote annealer services (see cmd/annealerd); two or more enable failover")
 		remoteRetries = flag.Int("remote-retries", remote.DefaultMaxRetries, "retries per sampling job on transient remote failures")
 		sampleTimeout = flag.Duration("sample-timeout", 0, "deadline per sampling job (0 = none)")
@@ -57,12 +60,18 @@ func main() {
 	if *sampleTimeout > 0 {
 		sampler = &deadlineSampler{base: sampler, timeout: *sampleTimeout}
 	}
-	solver := qsmt.NewSolver(&qsmt.Options{
-		Sampler:     sampler,
-		MaxAttempts: *attempts,
-		Seed:        *seed,
-	})
+	opts := &qsmt.Options{
+		Sampler:      sampler,
+		MaxAttempts:  *attempts,
+		Seed:         *seed,
+		BatchWorkers: *workers,
+	}
+	if *cacheSize > 0 {
+		opts.CompileCache = qubo.NewCache(*cacheSize)
+	}
+	solver := qsmt.NewSolver(opts)
 	interp := smtlib.NewInterpreter(solver, os.Stdout)
+	interp.Batch = *batch
 
 	if *interactive {
 		repl(interp)

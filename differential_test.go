@@ -1,0 +1,146 @@
+package qsmt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"qsmt/internal/baseline"
+	"qsmt/internal/strtheory"
+)
+
+// These tests pit the three implementations of string semantics against
+// each other — the QUBO encodings (internal/core via the solver), the
+// classical constructive solver (internal/baseline.Direct), and the
+// reference semantics (internal/strtheory) — on the edge cases where
+// SMT-LIB string theory is easy to get wrong: empty patterns,
+// from == len(t) boundaries, and overlapping occurrences.
+
+func TestDifferentialEdgeCases(t *testing.T) {
+	solver := NewSolver(&Options{Seed: 21})
+	direct := baseline.Direct{}
+	cases := []Constraint{
+		SubstringMatch("", 3), // every string contains ""
+		SubstringMatch("", 0), // ...including the empty string
+		SubstringMatch("aa", 3),
+		IndexOf("", 0, 3),
+		IndexOf("", 3, 3), // from == len(t): "" occurs at the very end
+		IndexOf("ab", 1, 3),
+		Includes("abc", ""), // first occurrence of "" is index 0
+		Includes("", ""),
+		Includes("aaa", "aa"),    // overlapping: the first occurrence must win
+		Includes("abcabc", "bc"), // repeated: likewise
+	}
+	for _, c := range cases {
+		res, err := solver.Solve(c)
+		if err != nil {
+			t.Errorf("%s: QUBO solver failed: %v", c.Name(), err)
+			continue
+		}
+		if err := c.Check(res.Witness); err != nil {
+			t.Errorf("%s: QUBO witness fails reference check: %v", c.Name(), err)
+		}
+		dw, err := direct.Solve(c)
+		if err != nil {
+			t.Errorf("%s: classical solver diverges (failed where QUBO succeeded): %v", c.Name(), err)
+			continue
+		}
+		if err := c.Check(dw); err != nil {
+			t.Errorf("%s: classical witness fails reference check: %v", c.Name(), err)
+		}
+		if res.Witness.Kind == WitnessIndex && res.Witness.Index != dw.Index {
+			t.Errorf("%s: index witnesses diverge: QUBO %d, classical %d",
+				c.Name(), res.Witness.Index, dw.Index)
+		}
+	}
+}
+
+// Unsatisfiable edge cases must be rejected by both solvers — and for
+// the same reason.
+func TestDifferentialUnsatAgreement(t *testing.T) {
+	solver := NewSolver(&Options{Seed: 22})
+	direct := baseline.Direct{}
+	cases := []Constraint{
+		SubstringMatch("abcd", 3), // substring longer than the target
+		IndexOf("", 4, 3),         // from > len(t)
+		IndexOf("ab", 2, 3),       // window overruns the string
+		Includes("ab", "abc"),     // needle longer than the haystack
+	}
+	for _, c := range cases {
+		if _, err := solver.Solve(c); !errors.Is(err, ErrUnsatisfiable) {
+			t.Errorf("%s: QUBO solver error = %v, want ErrUnsatisfiable", c.Name(), err)
+		}
+		if _, err := direct.Solve(c); !errors.Is(err, ErrUnsatisfiable) {
+			t.Errorf("%s: classical solver error = %v, want ErrUnsatisfiable", c.Name(), err)
+		}
+	}
+}
+
+// The reference semantics themselves, at the boundaries the encoders
+// rely on.
+func TestStrtheoryBoundarySemantics(t *testing.T) {
+	if got := strtheory.IndexOf("abc", "", 0); got != 0 {
+		t.Errorf(`IndexOf("abc", "", 0) = %d, want 0`, got)
+	}
+	if got := strtheory.IndexOf("abc", "", 3); got != 3 {
+		t.Errorf(`IndexOf("abc", "", 3) = %d, want 3 (from == len(t))`, got)
+	}
+	if got := strtheory.IndexOf("abc", "", 4); got != -1 {
+		t.Errorf(`IndexOf("abc", "", 4) = %d, want -1`, got)
+	}
+	if got := strtheory.IndexOf("aaa", "aa", 1); got != 1 {
+		t.Errorf(`IndexOf("aaa", "aa", 1) = %d, want 1 (overlap)`, got)
+	}
+	if got := strtheory.Substr("abc", 3, 2); got != "" {
+		t.Errorf(`Substr("abc", 3, 2) = %q, want "" (from == len(t))`, got)
+	}
+	if got := strtheory.Substr("abc", 1, 5); got != "bc" {
+		t.Errorf(`Substr("abc", 1, 5) = %q, want clamped "bc"`, got)
+	}
+	if !strtheory.Contains("", "") {
+		t.Error(`Contains("", "") = false, want true`)
+	}
+	if got := strtheory.CountOccurrences("aaa", "aa"); got != 2 {
+		t.Errorf(`CountOccurrences("aaa", "aa") = %d, want 2 (overlapping)`, got)
+	}
+}
+
+// Property fuzz: random small haystack/needle pairs over a two-letter
+// alphabet, including empty needles; the solver's verdict and index must
+// track the reference IndexOf exactly.
+func TestDifferentialIncludesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	solver := NewSolver(&Options{Seed: 33})
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = "ab"[rng.Intn(2)]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 40; trial++ {
+		hay := randStr(rng.Intn(6))
+		needle := randStr(rng.Intn(3))
+		c := Includes(hay, needle)
+		want := strtheory.IndexOf(hay, needle, 0)
+		res, err := solver.Solve(c)
+		if want < 0 {
+			if err == nil {
+				t.Errorf("Includes(%q, %q): solved with index %d, reference says unsat",
+					hay, needle, res.Witness.Index)
+			} else if !errors.Is(err, ErrUnsatisfiable) && !errors.Is(err, ErrNoModel) {
+				t.Errorf("Includes(%q, %q): unexpected error %v", hay, needle, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Includes(%q, %q): solver failed: %v (reference index %d)",
+				hay, needle, err, want)
+			continue
+		}
+		if res.Witness.Index != want {
+			t.Errorf("Includes(%q, %q): solver index %d, reference %d",
+				hay, needle, res.Witness.Index, want)
+		}
+	}
+}

@@ -44,8 +44,17 @@ func (Direct) Solve(c core.Constraint) (core.Witness, error) {
 	case *core.Reverse:
 		return stringWitness(strtheory.Reverse(k.Input)), nil
 	case *core.SubstringMatch:
-		if len(k.Sub) == 0 || k.Length < len(k.Sub) {
+		if k.Length < len(k.Sub) {
 			return core.Witness{}, fmt.Errorf("%w: %q in length %d", core.ErrUnsatisfiable, k.Sub, k.Length)
+		}
+		if len(k.Sub) == 0 {
+			// Every string contains "" (SMT-LIB str.contains); any filler
+			// witness of the right length works.
+			out := make([]byte, k.Length)
+			for i := range out {
+				out[i] = 'a'
+			}
+			return stringWitness(string(out)), nil
 		}
 		// Same canonical witness as the QUBO overwrite encoding.
 		pad := make([]byte, k.Length-len(k.Sub))
@@ -54,7 +63,10 @@ func (Direct) Solve(c core.Constraint) (core.Witness, error) {
 		}
 		return stringWitness(string(pad) + k.Sub), nil
 	case *core.IndexOf:
-		if len(k.Sub) == 0 || k.Index < 0 || k.Index+len(k.Sub) > k.Length {
+		// An empty Sub is allowed anywhere in [0, Length] (SMT-LIB
+		// str.indexof, including the from == len(t) boundary); the range
+		// check alone decides satisfiability.
+		if k.Index < 0 || k.Index+len(k.Sub) > k.Length {
 			return core.Witness{}, fmt.Errorf("%w: %q at %d in length %d", core.ErrUnsatisfiable, k.Sub, k.Index, k.Length)
 		}
 		out := make([]byte, k.Length)

@@ -222,9 +222,24 @@ func TestSubstringMatchUnsatisfiable(t *testing.T) {
 }
 
 func TestSubstringMatchEmptySub(t *testing.T) {
+	// SMT-LIB str.contains: every string contains "", so the constraint
+	// is satisfiable and any ground state must pass Check.
 	c := &SubstringMatch{Sub: "", Length: 2}
-	if _, err := c.BuildModel(); err == nil {
-		t.Fatal("empty substring accepted")
+	m, err := c.BuildModel()
+	if err != nil {
+		t.Fatalf("empty substring rejected: %v", err)
+	}
+	if m.N() != c.NumVars() {
+		t.Fatalf("model has %d vars, want %d", m.N(), c.NumVars())
+	}
+	ground := exactGround(t, c)
+	if len(ground) == 0 {
+		t.Fatal("no decodable ground state")
+	}
+	for _, w := range ground {
+		if err := c.Check(w); err != nil {
+			t.Errorf("ground witness %q fails check: %v", w.Str, err)
+		}
 	}
 }
 

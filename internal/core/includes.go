@@ -53,9 +53,6 @@ func (c *Includes) BuildModel() (*qubo.Model, error) {
 	if err := requireASCII(c.Name(), "needle", c.S); err != nil {
 		return nil, err
 	}
-	if len(c.S) == 0 {
-		return nil, fmt.Errorf("core: %s: empty needle", c.Name())
-	}
 	nv := c.NumVars()
 	if nv == 0 {
 		return nil, fmt.Errorf("%w: %s: needle %q longer than haystack %q",
@@ -71,7 +68,12 @@ func (c *Includes) BuildModel() (*qubo.Model, error) {
 		d = a / 2
 	}
 	m := qubo.New(nv)
-	// Reward per candidate position: −A per agreeing character.
+	// Reward per candidate position: −A per agreeing character. An empty
+	// needle (SMT-LIB: "" occurs in every string, first at index 0)
+	// matches everywhere with zero agreeing characters, which would leave
+	// selecting a position strictly worse than selecting none; grant the
+	// zero-length full match a base reward of −A so the one-hot manifold
+	// still undercuts the empty assignment.
 	for i := 0; i < nv; i++ {
 		agree := 0
 		for j := 0; j < len(c.S); j++ {
@@ -81,6 +83,8 @@ func (c *Includes) BuildModel() (*qubo.Model, error) {
 		}
 		if agree > 0 {
 			m.AddLinear(i, -a*float64(agree))
+		} else if len(c.S) == 0 {
+			m.AddLinear(i, -a)
 		}
 	}
 	// One-hot penalty over every pair.

@@ -35,11 +35,17 @@ func (c *SubstringMatch) BuildModel() (*qubo.Model, error) {
 		return nil, fmt.Errorf("%w: %s: substring %q longer than target length %d",
 			ErrUnsatisfiable, c.Name(), c.Sub, c.Length)
 	}
-	if len(c.Sub) == 0 {
-		return nil, fmt.Errorf("core: %s: empty substring", c.Name())
-	}
 	m := qubo.New(c.NumVars())
 	a := coeff(c.A)
+	if len(c.Sub) == 0 {
+		// SMT-LIB: every string contains "" — any Length-character string
+		// satisfies the constraint, so the encoding degenerates to the
+		// soft printable bias (the same landscape AnyPrintable uses).
+		for pos := 0; pos < c.Length; pos++ {
+			addPrintableBias(m, pos, SoftFactor*a)
+		}
+		return m, nil
+	}
 	// Encode the substring at every feasible window; SetLinear gives the
 	// paper's "overwrite previous entries" semantics.
 	for start := 0; start+len(c.Sub) <= c.Length; start++ {
@@ -105,9 +111,10 @@ func (c *IndexOf) BuildModel() (*qubo.Model, error) {
 	if err := requireASCII(c.Name(), "substring", c.Sub); err != nil {
 		return nil, err
 	}
-	if len(c.Sub) == 0 {
-		return nil, fmt.Errorf("core: %s: empty substring", c.Name())
-	}
+	// An empty substring occurs at every index of [0, Length] (SMT-LIB
+	// str.indexof semantics, including from == len(t)), so the range
+	// check below is the only requirement: the pinned window is empty and
+	// every position gets the soft filler bias.
 	if c.Index < 0 || c.Index+len(c.Sub) > c.Length {
 		return nil, fmt.Errorf("%w: %s: window [%d,%d) outside string of length %d",
 			ErrUnsatisfiable, c.Name(), c.Index, c.Index+len(c.Sub), c.Length)

@@ -1,0 +1,170 @@
+package qubo
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// Fingerprint is a canonical identity of a Model's coefficients: two
+// models over the same variable count with identical nonzero diagonals,
+// couplers, and offset produce the same fingerprint regardless of the
+// order coefficients were added in (couplers are hashed in sorted
+// row-major order, and entries that were set and later cancelled back
+// to zero do not contribute). The structural fields plus two
+// independent 64-bit FNV-1a streams make an accidental collision
+// between distinct models vanishingly unlikely, so the compile cache
+// trusts a fingerprint match without re-comparing coefficients.
+type Fingerprint struct {
+	N      int    // variables
+	Linear int    // nonzero diagonal entries
+	Quad   int    // nonzero couplers
+	H1, H2 uint64 // independent content hashes
+}
+
+// FNV-1a constants; the second stream perturbs the offset basis so the
+// two hashes are not correlated.
+const (
+	fnvOffset  = 0xcbf29ce484222325
+	fnvOffset2 = 0x9e3779b97f4a7c15
+	fnvPrime   = 0x100000001b3
+)
+
+// fnvPair feeds one 64-bit word into both hash streams.
+type fnvPair struct{ h1, h2 uint64 }
+
+func newFnvPair() fnvPair { return fnvPair{fnvOffset, fnvOffset2} }
+
+func (f *fnvPair) word(w uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], w)
+	for _, c := range b {
+		f.h1 = (f.h1 ^ uint64(c)) * fnvPrime
+		f.h2 = (f.h2 ^ uint64(c)) * fnvPrime
+	}
+}
+
+// FingerprintOf computes the canonical fingerprint of m.
+func FingerprintOf(m *Model) Fingerprint {
+	fp := Fingerprint{N: m.n, Quad: len(m.quad)}
+	h := newFnvPair()
+	h.word(uint64(m.n))
+	h.word(math.Float64bits(m.offset))
+	for i, v := range m.diag {
+		if v != 0 {
+			fp.Linear++
+			h.word(uint64(i))
+			h.word(math.Float64bits(v))
+		}
+	}
+	for _, t := range m.Terms() { // sorted row-major: canonical order
+		h.word(uint64(t.I)<<32 | uint64(uint32(t.J)))
+		h.word(math.Float64bits(t.W))
+	}
+	fp.H1, fp.H2 = h.h1, h.h2
+	return fp
+}
+
+// Cache is a bounded LRU of compiled models keyed by Fingerprint. The
+// solver fronts Model.Compile with one so repeated constraints — the
+// dominant shape of pipeline stages and batch workloads, where the same
+// few models recur thousands of times — skip compilation entirely and
+// share one immutable *Compiled. All methods are safe for concurrent
+// use; a nil *Cache compiles straight through.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	items    map[Fingerprint]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	fp Fingerprint
+	c  *Compiled
+}
+
+// NewCache returns a cache holding at most capacity compiled models;
+// capacity <= 0 selects DefaultCacheCapacity.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[Fingerprint]*list.Element, capacity),
+	}
+}
+
+// DefaultCacheCapacity is the entry bound NewCache applies when the
+// caller does not choose one. Compiled models are a few KB for the
+// paper's constraint sizes, so 256 entries is ~1 MB worst case.
+const DefaultCacheCapacity = 256
+
+// Compile returns the compiled form of m, reusing the cached result when
+// an identical model (by fingerprint) was compiled before. The second
+// return reports whether the result came from the cache. Compilation of
+// a missing entry happens outside the lock, so a slow compile does not
+// stall unrelated lookups; concurrent misses on the same model may
+// compile twice and keep one result.
+func (c *Cache) Compile(m *Model) (*Compiled, bool) {
+	if c == nil {
+		return m.Compile(), false
+	}
+	fp := FingerprintOf(m)
+	c.mu.Lock()
+	if el, ok := c.items[fp]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		compiled := el.Value.(*cacheEntry).c
+		c.mu.Unlock()
+		return compiled, true
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	compiled := m.Compile()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok { // a concurrent miss beat us to it
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).c, true
+	}
+	c.items[fp] = c.ll.PushFront(&cacheEntry{fp: fp, c: compiled})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).fp)
+		c.evictions++
+	}
+	return compiled, false
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Capacity  int
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

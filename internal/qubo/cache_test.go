@@ -1,0 +1,159 @@
+package qubo
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestFingerprintCanonical(t *testing.T) {
+	// Same coefficients added in different orders — and with entries
+	// that cancel back to zero — fingerprint identically.
+	a := New(5)
+	a.AddLinear(1, 2)
+	a.AddQuadratic(0, 3, -1)
+	a.AddQuadratic(2, 4, 0.5)
+	a.AddOffset(3)
+
+	b := New(5)
+	b.AddQuadratic(4, 2, 0.5) // reversed endpoints
+	b.AddOffset(3)
+	b.AddQuadratic(3, 0, -1)
+	b.AddLinear(1, 2)
+	b.AddQuadratic(1, 2, 9)
+	b.AddQuadratic(1, 2, -9) // cancels to zero: must not contribute
+
+	if FingerprintOf(a) != FingerprintOf(b) {
+		t.Fatalf("equivalent models fingerprint differently:\n%+v\n%+v", FingerprintOf(a), FingerprintOf(b))
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := func() *Model {
+		m := New(4)
+		m.AddLinear(0, 1)
+		m.AddQuadratic(1, 2, -1)
+		return m
+	}
+	fp := FingerprintOf(base())
+
+	bigger := New(5)
+	bigger.AddLinear(0, 1)
+	bigger.AddQuadratic(1, 2, -1)
+	if FingerprintOf(bigger) == fp {
+		t.Error("different N collided")
+	}
+	coeff := base()
+	coeff.AddLinear(0, 0.25)
+	if FingerprintOf(coeff) == fp {
+		t.Error("different coefficient collided")
+	}
+	moved := New(4)
+	moved.AddLinear(1, 1) // same value, different variable
+	moved.AddQuadratic(1, 2, -1)
+	if FingerprintOf(moved) == fp {
+		t.Error("moved diagonal collided")
+	}
+	offset := base()
+	offset.AddOffset(1)
+	if FingerprintOf(offset) == fp {
+		t.Error("different offset collided")
+	}
+}
+
+func TestCacheHitReturnsSameCompiled(t *testing.T) {
+	c := NewCache(4)
+	m := New(3)
+	m.AddQuadratic(0, 2, -1)
+	first, hit := c.Compile(m)
+	if hit {
+		t.Fatal("first compile reported a hit")
+	}
+	again, hit := c.Compile(m.Clone())
+	if !hit {
+		t.Fatal("identical model missed the cache")
+	}
+	if again != first {
+		t.Fatal("cache hit returned a different *Compiled")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheNilPassthrough(t *testing.T) {
+	var c *Cache
+	m := New(2)
+	m.AddLinear(0, -1)
+	compiled, hit := c.Compile(m)
+	if hit || compiled == nil || compiled.N != 2 {
+		t.Fatalf("nil cache Compile = (%v, %v)", compiled, hit)
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	mk := func(v float64) *Model {
+		m := New(1)
+		m.AddLinear(0, v)
+		return m
+	}
+	c.Compile(mk(1)) // {1}
+	c.Compile(mk(2)) // {2,1}
+	c.Compile(mk(1)) // touch 1 -> {1,2}
+	c.Compile(mk(3)) // evicts 2 -> {3,1}
+	if _, hit := c.Compile(mk(2)); hit {
+		t.Error("evicted entry still hit")
+	}
+	if _, hit := c.Compile(mk(1)); hit {
+		// 1 was evicted by re-inserting 2 above ({2,3}); this documents
+		// strict LRU order rather than asserting staleness.
+		t.Error("expected 1 to have been evicted after reinserting 2")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v, want 2 entries at capacity 2", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8)
+	models := make([]*Model, 4)
+	for i := range models {
+		m := New(6)
+		m.AddLinear(i, 1)
+		m.AddQuadratic(0, 5, float64(i+1))
+		models[i] = m
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 200; k++ {
+				m := models[rng.Intn(len(models))]
+				compiled, _ := c.Compile(m)
+				if compiled.N != 6 {
+					t.Errorf("bad compiled N = %d", compiled.N)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4", st.Entries)
+	}
+}

@@ -1,0 +1,142 @@
+package qubo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComponentsEmptyModel(t *testing.T) {
+	if got := Components(New(0)); len(got) != 0 {
+		t.Fatalf("Components(empty) = %d shards, want 0", len(got))
+	}
+}
+
+func TestComponentsSingletons(t *testing.T) {
+	// Pure diagonal model: every variable is its own component.
+	m := New(4)
+	m.AddLinear(0, -1)
+	m.AddLinear(2, 3)
+	shards := Components(m)
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards, want 4", len(shards))
+	}
+	for i, s := range shards {
+		if len(s.Vars) != 1 || s.Vars[0] != i {
+			t.Errorf("shard %d vars = %v, want [%d]", i, s.Vars, i)
+		}
+		if s.Model.N() != 1 {
+			t.Errorf("shard %d model has %d vars", i, s.Model.N())
+		}
+	}
+	if got := shards[0].Model.Linear(0); got != -1 {
+		t.Errorf("shard 0 linear = %g, want -1", got)
+	}
+	if got := shards[2].Model.Linear(0); got != 3 {
+		t.Errorf("shard 2 linear = %g, want 3", got)
+	}
+}
+
+func TestComponentsChainAndIsland(t *testing.T) {
+	// 0-1-2 chained, 3-4 paired, 5 isolated.
+	m := New(6)
+	m.AddQuadratic(0, 1, 1)
+	m.AddQuadratic(1, 2, -2)
+	m.AddQuadratic(4, 3, 0.5)
+	m.AddLinear(5, 7)
+	m.AddOffset(11)
+	shards := Components(m)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	wantVars := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	for i, want := range wantVars {
+		if got := shards[i].Vars; len(got) != len(want) {
+			t.Fatalf("shard %d vars = %v, want %v", i, got, want)
+		} else {
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("shard %d vars = %v, want %v", i, got, want)
+				}
+			}
+		}
+	}
+	// Couplers survive with local indices; shard offsets are zero.
+	if got := shards[0].Model.Quadratic(0, 1); got != 1 {
+		t.Errorf("shard 0 Q(0,1) = %g, want 1", got)
+	}
+	if got := shards[0].Model.Quadratic(1, 2); got != -2 {
+		t.Errorf("shard 0 Q(1,2) = %g, want -2", got)
+	}
+	if got := shards[1].Model.Quadratic(0, 1); got != 0.5 {
+		t.Errorf("shard 1 Q(0,1) = %g, want 0.5", got)
+	}
+	for i, s := range shards {
+		if s.Model.Offset() != 0 {
+			t.Errorf("shard %d offset = %g, want 0", i, s.Model.Offset())
+		}
+	}
+}
+
+// TestComponentsEnergyDecomposition is the load-bearing property: the
+// parent energy equals the parent offset plus the sum of shard energies
+// on the restricted assignments, for random models and assignments.
+func TestComponentsEnergyDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(24)
+		m := New(n)
+		m.AddOffset(rng.NormFloat64())
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				m.AddLinear(i, rng.NormFloat64())
+			}
+		}
+		couplers := rng.Intn(2 * n)
+		for k := 0; k < couplers; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				m.AddQuadratic(i, j, rng.NormFloat64())
+			}
+		}
+		shards := Components(m)
+		cover := make([]bool, n)
+		for _, s := range shards {
+			for _, g := range s.Vars {
+				if cover[g] {
+					t.Fatalf("trial %d: variable %d in two shards", trial, g)
+				}
+				cover[g] = true
+			}
+		}
+		for g, ok := range cover {
+			if !ok {
+				t.Fatalf("trial %d: variable %d in no shard", trial, g)
+			}
+		}
+		for xa := 0; xa < 8; xa++ {
+			x := make([]Bit, n)
+			for i := range x {
+				x[i] = Bit(rng.Intn(2))
+			}
+			want := m.Energy(x)
+			got := m.Offset()
+			full := make([]Bit, n)
+			for _, s := range shards {
+				lx := make([]Bit, len(s.Vars))
+				for k, g := range s.Vars {
+					lx[k] = x[g]
+				}
+				got += s.Model.Energy(lx)
+				s.Scatter(full, lx)
+			}
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d: shard energy sum %g != full energy %g", trial, got, want)
+			}
+			for i := range x {
+				if full[i] != x[i] {
+					t.Fatalf("trial %d: Scatter reassembled %v, want %v", trial, full, x)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package smtlib
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -53,6 +54,13 @@ type Interpreter struct {
 	// built-in annealers are; the topology-embedding sampler records
 	// per-call statistics and is not).
 	Parallel bool
+	// Batch routes check-sat through Solver.SolveBatch: all batchable
+	// problems — plain constraints and single-stage pipelines — solve as
+	// one batch (bounded workers, shard decomposition, compile-cache
+	// reuse), while multi-stage pipelines keep their sequential data
+	// dependency and run stage by stage. Implies the same concurrency
+	// caveat as Parallel.
+	Batch bool
 
 	// Live assertion state (push/pop-scoped).
 	decls   []Decl
@@ -208,9 +216,50 @@ func (it *Interpreter) checkSat() error {
 			results[i].val = Value{Sort: SortInt, Int: res.Witness.Index}
 		}
 	}
-	if it.Parallel && len(comp.Problems) > 1 {
-		var wg sync.WaitGroup
+	// rest indexes the problems not claimed by the batch path below.
+	rest := make([]int, 0, len(comp.Problems))
+	if it.Batch {
+		var batchIdx []int
+		var cs []qsmt.Constraint
+		for i, p := range comp.Problems {
+			switch {
+			case p.Single != nil:
+				batchIdx = append(batchIdx, i)
+				cs = append(cs, p.Single)
+			case p.Pipeline != nil && p.Pipeline.Len() == 1:
+				// A single-stage pipeline is a plain constraint; route it
+				// through the batch instead of a one-stage Run.
+				batchIdx = append(batchIdx, i)
+				cs = append(cs, p.Pipeline.Generator())
+			default:
+				rest = append(rest, i)
+			}
+		}
+		if len(cs) > 0 {
+			br, _ := it.Solver.SolveBatch(context.Background(), cs)
+			for k, i := range batchIdx {
+				item := br.Items[k]
+				p := comp.Problems[i]
+				switch {
+				case item.Err != nil:
+					results[i].err = item.Err
+				case p.Single != nil:
+					results[i].val = Value{Sort: SortInt, Int: item.Result.Witness.Index}
+				case item.Result.Witness.Kind != qsmt.WitnessString:
+					results[i].err = fmt.Errorf("smtlib: %s produced a non-string witness", p.Var)
+				default:
+					results[i].val = Value{Sort: SortString, Str: item.Result.Witness.Str}
+				}
+			}
+		}
+	} else {
 		for i := range comp.Problems {
+			rest = append(rest, i)
+		}
+	}
+	if it.Parallel && len(rest) > 1 {
+		var wg sync.WaitGroup
+		for _, i := range rest {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
@@ -219,7 +268,7 @@ func (it *Interpreter) checkSat() error {
 		}
 		wg.Wait()
 	} else {
-		for i := range comp.Problems {
+		for _, i := range rest {
 			solveOne(i)
 		}
 	}

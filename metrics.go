@@ -3,9 +3,11 @@ package qsmt
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"qsmt/internal/obs"
+	"qsmt/internal/qubo"
 )
 
 // SolveStats reports how a solve went: how much work each phase of the
@@ -28,6 +30,35 @@ type SolveStats struct {
 	Compile      time.Duration // BuildModel + QUBO compilation
 	Sample       time.Duration // total time inside the sampler
 	DecodeVerify time.Duration // total time decoding and checking candidates
+
+	// Shards is how many independent connected components the solve was
+	// decomposed into (0 when sharding was not requested, 1 when it was
+	// requested but the interaction graph was connected and the solve
+	// fell back to the whole model).
+	Shards int
+	// ExactShards counts shards solved without the configured sampler:
+	// closed-form (coupler-free) shards plus exhaustively enumerated
+	// small shards.
+	ExactShards int
+	// ShardFallback reports that sharding was requested but the model
+	// did not decompose, so the solve ran on the whole model.
+	ShardFallback bool
+	// CacheHits counts compile-cache hits during this solve (whole-model
+	// and per-shard compilations combined).
+	CacheHits int
+
+	// bestSet tracks whether BestEnergy holds a real sample energy yet;
+	// without it an empty first sample set would leave the zero value
+	// looking like a legitimate best of 0.
+	bestSet bool
+}
+
+// observeBest folds one sample-set best energy into the running minimum.
+func (st *SolveStats) observeBest(e float64) {
+	if !st.bestSet || e < st.BestEnergy {
+		st.BestEnergy = e
+		st.bestSet = true
+	}
 }
 
 // SolverMetrics is the registry-backed view of SolveStats: a Solver with
@@ -51,6 +82,29 @@ type SolverMetrics struct {
 	GroundFraction *obs.Histogram // qsmt_ground_fraction
 	BestEnergy     *obs.Gauge     // qsmt_best_energy
 	MeanEnergy     *obs.Gauge     // qsmt_mean_energy
+
+	// Batch/shard layer. Shard counters are recorded per solve (sharded
+	// solves happen inside and outside SolveBatch); the batch counters
+	// are recorded once per SolveBatch/EnumerateBatch call.
+	Batches          *obs.Counter   // qsmt_batch_total
+	BatchConstraints *obs.Counter   // qsmt_batch_constraints_total
+	BatchFailures    *obs.Counter   // qsmt_batch_constraint_failures_total
+	BatchSeconds     *obs.Histogram // qsmt_batch_seconds
+	BatchInFlight    *obs.Gauge     // qsmt_batch_inflight
+	Shards           *obs.Counter   // qsmt_batch_shards_total
+	ExactShards      *obs.Counter   // qsmt_batch_exact_shards_total
+	ShardFallbacks   *obs.Counter   // qsmt_batch_shard_fallbacks_total
+
+	// Compile cache. Counters advance by delta against the last synced
+	// qubo.CacheStats snapshot, so one SolverMetrics should front one
+	// cache (shared solvers sharing both is fine).
+	CacheHits      *obs.Counter // qsmt_cache_hits_total
+	CacheMisses    *obs.Counter // qsmt_cache_misses_total
+	CacheEvictions *obs.Counter // qsmt_cache_evictions_total
+	CacheEntries   *obs.Gauge   // qsmt_cache_entries
+
+	cacheMu   sync.Mutex
+	lastCache qubo.CacheStats
 }
 
 // NewSolverMetrics registers the solver metric families on r and returns
@@ -71,6 +125,20 @@ func NewSolverMetrics(r *obs.Registry) *SolverMetrics {
 		GroundFraction:    r.Histogram("qsmt_ground_fraction", "Ground-state hit rate of the final sample set per solve.", obs.FractionBuckets),
 		BestEnergy:        r.Gauge("qsmt_best_energy", "Lowest sample energy of the most recent solve."),
 		MeanEnergy:        r.Gauge("qsmt_mean_energy", "Mean sample energy of the most recent solve."),
+
+		Batches:          r.Counter("qsmt_batch_total", "SolveBatch/EnumerateBatch calls."),
+		BatchConstraints: r.Counter("qsmt_batch_constraints_total", "Constraints submitted across all batch calls."),
+		BatchFailures:    r.Counter("qsmt_batch_constraint_failures_total", "Batch constraints that returned an error."),
+		BatchSeconds:     r.Histogram("qsmt_batch_seconds", "Wall-clock time per batch call.", obs.DefaultLatencyBuckets),
+		BatchInFlight:    r.Gauge("qsmt_batch_inflight", "Batch calls currently executing."),
+		Shards:           r.Counter("qsmt_batch_shards_total", "Connected-component shards solved across all sharded solves."),
+		ExactShards:      r.Counter("qsmt_batch_exact_shards_total", "Shards solved closed-form or by exact enumeration instead of the sampler."),
+		ShardFallbacks:   r.Counter("qsmt_batch_shard_fallbacks_total", "Sharding requests that fell back to whole-model solving (connected graph)."),
+
+		CacheHits:      r.Counter("qsmt_cache_hits_total", "Compile-cache hits."),
+		CacheMisses:    r.Counter("qsmt_cache_misses_total", "Compile-cache misses."),
+		CacheEvictions: r.Counter("qsmt_cache_evictions_total", "Compile-cache LRU evictions."),
+		CacheEntries:   r.Gauge("qsmt_cache_entries", "Compiled models currently cached."),
 	}
 }
 
@@ -93,13 +161,59 @@ func (m *SolverMetrics) record(st *SolveStats, err error) {
 	m.CompileSeconds.Observe(st.Compile.Seconds())
 	m.SampleSeconds.Observe(st.Sample.Seconds())
 	m.DecodeSeconds.Observe(st.DecodeVerify.Seconds())
-	if st.Reads > 0 {
+	if st.Reads > 0 && st.bestSet {
 		// Energy statistics are meaningless before any sampling happened
-		// (e.g. a solve cancelled before its first attempt).
+		// (e.g. a solve cancelled before its first attempt, or a sampler
+		// that only ever returned empty sample sets).
 		m.GroundFraction.Observe(st.GroundFraction)
 		m.BestEnergy.Set(st.BestEnergy)
 		m.MeanEnergy.Set(st.MeanEnergy)
 	}
+	if st.Shards > 0 {
+		m.Shards.Add(float64(st.Shards))
+		m.ExactShards.Add(float64(st.ExactShards))
+	}
+	if st.ShardFallback {
+		m.ShardFallbacks.Inc()
+	}
+}
+
+// recordBatch mirrors one finished batch call into the registry.
+// Safe on a nil receiver.
+func (m *SolverMetrics) recordBatch(constraints, failures int, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Batches.Inc()
+	m.BatchConstraints.Add(float64(constraints))
+	m.BatchFailures.Add(float64(failures))
+	m.BatchSeconds.Observe(elapsed.Seconds())
+}
+
+// batchInFlight moves the in-flight batch gauge by d. Safe on a nil
+// receiver.
+func (m *SolverMetrics) batchInFlight(d float64) {
+	if m == nil {
+		return
+	}
+	m.BatchInFlight.Add(d)
+}
+
+// syncCache folds a compile-cache snapshot into the registry, advancing
+// the cumulative counters by the delta since the previous sync. Safe on
+// a nil receiver.
+func (m *SolverMetrics) syncCache(cs qubo.CacheStats) {
+	if m == nil {
+		return
+	}
+	m.cacheMu.Lock()
+	last := m.lastCache
+	m.lastCache = cs
+	m.cacheMu.Unlock()
+	m.CacheHits.Add(float64(cs.Hits - last.Hits))
+	m.CacheMisses.Add(float64(cs.Misses - last.Misses))
+	m.CacheEvictions.Add(float64(cs.Evictions - last.Evictions))
+	m.CacheEntries.Set(float64(cs.Entries))
 }
 
 // samplerName renders a sampler's identity for SolveStats: the concrete

@@ -102,6 +102,11 @@ func (p *Pipeline) add(name string, make func(string) Constraint) *Pipeline {
 // (generator + transforms).
 func (p *Pipeline) Len() int { return 1 + len(p.stages) }
 
+// Generator returns the pipeline's stage-0 constraint. Single-stage
+// pipelines (Len() == 1) are plain constraints in disguise; the batch
+// layer uses this to route them through SolveBatch.
+func (p *Pipeline) Generator() Constraint { return p.generator }
+
 // StageResult records one stage of a pipeline run.
 type StageResult struct {
 	Name   string
@@ -124,37 +129,47 @@ func (s *Solver) Run(p *Pipeline) (*PipelineResult, error) {
 
 // RunContext solves a pipeline stage by stage under ctx; a deadline
 // bounds the whole chain, aborting mid-stage where the sampler allows.
+//
+// On a mid-chain failure the returned *PipelineResult is still non-nil:
+// it carries every stage completed before the failure (Output is then
+// the last completed stage's string, empty when the generator itself
+// failed), so a caller can report partial progress or resume from the
+// last good stage instead of redoing work already paid for.
 func (s *Solver) RunContext(ctx context.Context, p *Pipeline) (*PipelineResult, error) {
 	if p == nil || p.generator == nil {
 		return nil, fmt.Errorf("qsmt: pipeline has no generator stage")
 	}
 	start := time.Now()
+	out := &PipelineResult{}
+	fail := func(err error) (*PipelineResult, error) {
+		out.Elapsed = time.Since(start)
+		return out, err
+	}
 	res, err := s.SolveContext(ctx, p.generator)
 	if err != nil {
-		return nil, fmt.Errorf("qsmt: pipeline stage 0 (%s): %w", p.generator.Name(), err)
+		return fail(fmt.Errorf("qsmt: pipeline stage 0 (%s): %w", p.generator.Name(), err))
 	}
 	if res.Witness.Kind != WitnessString {
-		return nil, fmt.Errorf("qsmt: pipeline generator %s produced a non-string witness", p.generator.Name())
+		return fail(fmt.Errorf("qsmt: pipeline generator %s produced a non-string witness", p.generator.Name()))
 	}
-	out := &PipelineResult{
-		Stages:   []StageResult{{Name: p.generator.Name(), Output: res.Witness.Str, Result: res}},
-		Attempts: res.Attempts,
-	}
+	out.Stages = []StageResult{{Name: p.generator.Name(), Output: res.Witness.Str, Result: res}}
+	out.Attempts = res.Attempts
 	current := res.Witness.Str
+	out.Output = current
 	for i, st := range p.stages {
 		c := st.make(current)
 		res, err := s.SolveContext(ctx, c)
 		if err != nil {
-			return nil, fmt.Errorf("qsmt: pipeline stage %d (%s): %w", i+1, st.name, err)
+			return fail(fmt.Errorf("qsmt: pipeline stage %d (%s): %w", i+1, st.name, err))
 		}
 		if res.Witness.Kind != WitnessString {
-			return nil, fmt.Errorf("qsmt: pipeline stage %d (%s) produced a non-string witness", i+1, st.name)
+			return fail(fmt.Errorf("qsmt: pipeline stage %d (%s) produced a non-string witness", i+1, st.name))
 		}
 		current = res.Witness.Str
 		out.Stages = append(out.Stages, StageResult{Name: st.name, Output: current, Result: res})
 		out.Attempts += res.Attempts
+		out.Output = current
 	}
-	out.Output = current
 	out.Elapsed = time.Since(start)
 	return out, nil
 }

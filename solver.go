@@ -55,6 +55,31 @@ type Options struct {
 	// numbers are always available per call via Result.Stats; Metrics
 	// adds the registry-backed aggregate view.
 	Metrics *SolverMetrics
+	// Shard decomposes each model into the connected components of its
+	// QUBO variable-interaction graph and solves the components as
+	// independent shards, merging the shard assignments back into one
+	// witness (see Solver.SolveBatch, which always shards). Coupler-free
+	// shards are solved closed-form and small shards by exact
+	// enumeration; the rest go to the sampler. Falls back to whole-model
+	// solving when the graph is connected.
+	Shard bool
+	// BatchWorkers bounds concurrent sampling operations (shard or
+	// whole-model) across a SolveBatch/EnumerateBatch call. Default
+	// GOMAXPROCS; remote samplers (remote.Client, remote.Pool) tolerate
+	// — and benefit from — values above the local core count, since the
+	// fan-out then saturates the backend fleet instead of local CPUs.
+	BatchWorkers int
+	// CompileCache, when non-nil, fronts every Model.Compile with an LRU
+	// keyed by the model's canonical fingerprint, so repeated
+	// constraints (pipeline stages, recurring batch members, shards of
+	// recurring conjunctions) skip compilation. See qubo.NewCache.
+	CompileCache *qubo.Cache
+	// ExactShardVars is the shard size (in binary variables) at or below
+	// which a sharded solve enumerates the shard exhaustively instead of
+	// sampling it — exact, deterministic, and far cheaper than annealer
+	// reads at these sizes. Default 12; negative disables exact shard
+	// solving. Values above anneal.MaxExactVars are clamped.
+	ExactShardVars int
 }
 
 // Solver runs the full SMT loop over QUBO-encoded string constraints:
@@ -62,6 +87,11 @@ type Options struct {
 // use when its Sampler is.
 type Solver struct {
 	opts Options
+	// gate, when non-nil, bounds concurrent sampling operations; the
+	// batch layer installs it on a per-batch solver copy so a batch of
+	// hundreds of constraints keeps at most BatchWorkers samplers in
+	// flight.
+	gate chan struct{}
 }
 
 // NewSolver returns a solver with the given options; nil selects all
@@ -80,7 +110,39 @@ func NewSolver(opts *Options) *Solver {
 	if s.opts.CandidatesPerAttempt <= 0 {
 		s.opts.CandidatesPerAttempt = 16
 	}
+	if s.opts.ExactShardVars == 0 {
+		s.opts.ExactShardVars = DefaultExactShardVars
+	}
+	if s.opts.ExactShardVars > anneal.MaxExactVars {
+		s.opts.ExactShardVars = anneal.MaxExactVars
+	}
 	return s
+}
+
+// DefaultExactShardVars is the default Options.ExactShardVars: 2^12
+// states enumerate in microseconds, far below the cost of one sampler
+// invocation.
+const DefaultExactShardVars = 12
+
+// compileModel compiles through the configured cache (straight through
+// when none is set) and tracks cache hits in the solve stats.
+func (s *Solver) compileModel(m *qubo.Model, st *SolveStats) *qubo.Compiled {
+	if s.opts.CompileCache == nil {
+		return m.Compile()
+	}
+	compiled, hit := s.opts.CompileCache.Compile(m)
+	if hit {
+		st.CacheHits++
+	}
+	return compiled
+}
+
+// syncCacheMetrics mirrors the compile-cache counters into the registry
+// after a solve that could have touched the cache.
+func (s *Solver) syncCacheMetrics() {
+	if s.opts.CompileCache != nil && s.opts.Metrics != nil {
+		s.opts.Metrics.syncCache(s.opts.CompileCache.Stats())
+	}
 }
 
 // Result reports a successful solve.
@@ -89,6 +151,7 @@ type Result struct {
 	Energy   float64       // QUBO energy of the accepted sample
 	Attempts int           // sampler invocations used (1 = first try)
 	Vars     int           // QUBO size (binary variables)
+	Shards   int           // independent shards solved (1 = whole model)
 	Elapsed  time.Duration // wall-clock time across all attempts
 	Stats    SolveStats    // phase timings and sample-quality detail
 }
@@ -113,7 +176,31 @@ func (s *Solver) SolveContext(ctx context.Context, c Constraint) (*Result, error
 	var st SolveStats
 	res, err := s.solveContext(ctx, c, &st)
 	s.opts.Metrics.record(&st, err)
+	s.syncCacheMetrics()
 	return res, err
+}
+
+// examineCandidate decodes and checks one assignment, updating the
+// candidate counters in st. ok reports a verified witness; a non-nil
+// fatal means the constraint is provably unsatisfiable and retrying is
+// pointless; otherwise checkErr carries the failure for error reporting.
+func examineCandidate(c Constraint, x []qubo.Bit, st *SolveStats) (w Witness, ok bool, fatal, checkErr error) {
+	st.Candidates++
+	w, err := c.Decode(x)
+	if err != nil {
+		st.PenaltyViolations++
+		return Witness{}, false, nil, err
+	}
+	if err := c.Check(w); err != nil {
+		st.VerifyFailures++
+		// A provably unsatisfiable constraint cannot be fixed by
+		// re-annealing.
+		if errors.Is(err, ErrUnsatisfiable) {
+			return Witness{}, false, err, err
+		}
+		return Witness{}, false, nil, err
+	}
+	return w, true, nil, nil
 }
 
 func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats) (*Result, error) {
@@ -122,7 +209,14 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 	if err != nil {
 		return nil, err
 	}
-	compiled := model.Compile()
+	if s.opts.Shard {
+		res, err, handled := s.solveSharded(ctx, c, model, start, st)
+		if handled {
+			return res, err
+		}
+		st.ShardFallback = true
+	}
+	compiled := s.compileModel(model, st)
 	st.Compile = time.Since(start)
 
 	var lastCheck error
@@ -151,9 +245,7 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 		st.Reads += ss.TotalReads()
 		if len(ss.Samples) > 0 {
 			lastBest = ss.Best().X
-			if best := ss.Best().Energy; attempt == 0 || best < st.BestEnergy {
-				st.BestEnergy = best
-			}
+			st.observeBest(ss.Best().Energy)
 			st.MeanEnergy = ss.MeanEnergy()
 			st.GroundFraction = ss.GroundFraction(0)
 		}
@@ -166,22 +258,13 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 		var fatal error
 		for k := 0; k < limit; k++ {
 			sample := ss.Samples[k]
-			st.Candidates++
-			w, err := c.Decode(sample.X)
-			if err != nil {
-				st.PenaltyViolations++
-				lastCheck = err
-				continue
+			w, ok, fat, checkErr := examineCandidate(c, sample.X, st)
+			if fat != nil {
+				fatal = fat
+				break
 			}
-			if err := c.Check(w); err != nil {
-				st.VerifyFailures++
-				lastCheck = err
-				// A provably unsatisfiable constraint cannot be fixed by
-				// re-annealing.
-				if errors.Is(err, ErrUnsatisfiable) {
-					fatal = err
-					break
-				}
+			if !ok {
+				lastCheck = checkErr
 				continue
 			}
 			accepted = &Result{
@@ -189,6 +272,7 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 				Energy:   sample.Energy,
 				Attempts: attempt + 1,
 				Vars:     compiled.N,
+				Shards:   1,
 			}
 			break
 		}
@@ -253,7 +337,18 @@ func (s *Solver) EnumerateContext(ctx context.Context, c Constraint, k int) ([]W
 	var st SolveStats
 	out, err := s.enumerateContext(ctx, c, k, &st)
 	s.opts.Metrics.record(&st, err)
+	s.syncCacheMetrics()
 	return out, err
+}
+
+// witnessKey renders a witness as a dedup map key, tagged by kind: the
+// string witness "#3" and the index witness 3 are distinct witnesses
+// and must not collide.
+func witnessKey(w Witness) string {
+	if w.Kind == WitnessIndex {
+		return fmt.Sprintf("i:%d", w.Index)
+	}
+	return "s:" + w.Str
 }
 
 func (s *Solver) enumerateContext(ctx context.Context, c Constraint, k int, st *SolveStats) ([]Witness, error) {
@@ -265,7 +360,7 @@ func (s *Solver) enumerateContext(ctx context.Context, c Constraint, k int, st *
 	if err != nil {
 		return nil, err
 	}
-	compiled := model.Compile()
+	compiled := s.compileModel(model, st)
 	st.Compile = time.Since(start)
 	seen := map[string]bool{}
 	seenAssign := map[string]bool{}
@@ -292,9 +387,7 @@ func (s *Solver) enumerateContext(ctx context.Context, c Constraint, k int, st *
 		}
 		st.Reads += ss.TotalReads()
 		if len(ss.Samples) > 0 {
-			if best := ss.Best().Energy; attempt == 0 || best < st.BestEnergy {
-				st.BestEnergy = best
-			}
+			st.observeBest(ss.Best().Energy)
 			st.MeanEnergy = ss.MeanEnergy()
 			st.GroundFraction = ss.GroundFraction(0)
 		}
@@ -324,10 +417,7 @@ func (s *Solver) enumerateContext(ctx context.Context, c Constraint, k int, st *
 				}
 				continue
 			}
-			key := w.Str
-			if w.Kind == WitnessIndex {
-				key = fmt.Sprintf("#%d", w.Index)
-			}
+			key := witnessKey(w)
 			if seen[key] {
 				continue
 			}
@@ -353,7 +443,17 @@ func (s *Solver) enumerateContext(ctx context.Context, c Constraint, k int, st *
 
 // sample runs one sampling call under ctx, using the sampler's native
 // context support when present and the check-around adapter otherwise.
+// When a batch gate is installed, the call first acquires a worker slot
+// so a whole batch keeps at most BatchWorkers samplers in flight.
 func (s *Solver) sample(ctx context.Context, sampler Sampler, compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	if s.gate != nil {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 	if cs, ok := sampler.(SamplerContext); ok {
 		return cs.SampleContext(ctx, compiled)
 	}
