@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test race racebatch bench benchsmoke benchbatch
+.PHONY: check build vet test race racebatch bench benchsmoke benchbatch benchpresolve fuzz
 
-## check: the CI gate — build, vet, race-checked tests, and a
-## 1-iteration benchmark smoke pass (includes the remote
-## fault-injection suite in internal/remote, the root-package
-## context/failover acceptance tests, and — under -race — the
-## batch/shard/cache concurrency suite).
-check: build vet race benchsmoke
+## check: the CI gate — build, vet, race-checked tests, a 1-iteration
+## benchmark smoke pass, the presolve ablation numbers, and a short fuzz
+## smoke of the SMT-LIB front end (includes the remote fault-injection
+## suite in internal/remote, the root-package context/failover
+## acceptance tests, and — under -race — the batch/shard/cache
+## concurrency suite).
+check: build vet race benchsmoke benchpresolve fuzz
 
 build:
 	$(GO) build ./...
@@ -47,4 +48,21 @@ benchbatch:
 	$(GO) test -run '^$$' -bench 'SequentialSolve32|SolveBatch32' -benchtime=3x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_batch.json
 	@cat BENCH_batch.json
+
+## benchpresolve: the presolve acceptance numbers — every Table 1 row
+## solved with the presolve + warm-start stages on vs off, plus the
+## per-row reduction ratios, recorded as BENCH_presolve.json.
+benchpresolve:
+	$(GO) test -run '^$$' -bench 'BenchmarkPresolve' -benchtime=3x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_presolve.json
+	@cat BENCH_presolve.json
+
+## fuzz: a fixed short smoke of the native Go fuzz targets for the
+## SMT-LIB front end (lexer/parser and the batch interpreter path), so
+## malformed scripts that panic the CLI are caught in CI without an
+## open-ended fuzzing budget.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseSExprs -fuzztime 5s ./internal/smtlib
+	$(GO) test -run '^$$' -fuzz FuzzParseScript -fuzztime 5s ./internal/smtlib
+	$(GO) test -run '^$$' -fuzz FuzzInterpreterBatch -fuzztime 10s ./internal/smtlib
 

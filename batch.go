@@ -149,15 +149,19 @@ type shardPlan struct {
 	compiled *qubo.Compiled // nil for closed-form shards
 	exact    bool           // exhaustively enumerated instead of sampled
 	trivial  bool           // coupler-free: solved closed-form
+	seeds    [][]qubo.Bit   // warm-start states for sampled shards
 }
 
-// solveSharded attempts the component decomposition of model. handled
-// is false when the interaction graph is connected (≤ 1 component) —
-// the caller then falls back to whole-model solving on the model it
-// already built. The decomposition is exact: no coupler crosses a
-// component boundary, so merging per-shard minima yields a global
-// minimum, and merged candidate energies are exact total energies.
-func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Model, start time.Time, st *SolveStats) (*Result, error, bool) {
+// solveSharded attempts the component decomposition of model — the
+// (possibly presolve-reduced) working model, whose samples red lifts
+// back to the fullN-variable space. handled is false when the
+// interaction graph is connected (≤ 1 component) — the caller then
+// falls back to whole-model solving on the model it already built. The
+// decomposition is exact: no coupler crosses a component boundary, so
+// merging per-shard minima yields a global minimum, and merged
+// candidate energies are exact total energies (the reduced model's
+// offset carries the energy presolve folded away).
+func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Model, red *qubo.Reduction, fullN int, start time.Time, st *SolveStats) (*Result, error, bool) {
 	shards := qubo.Components(model)
 	if len(shards) <= 1 {
 		return nil, nil, false
@@ -179,8 +183,11 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 			sampled++
 		}
 		plans[i] = shardPlan{shard: sh, compiled: compiled, exact: exact}
+		if !exact && supportsWarmStart(s.samplerFor(0)) {
+			plans[i].seeds = s.warmSeeds(compiled)
+		}
 	}
-	st.Compile = time.Since(start)
+	st.Compile = time.Since(start) - st.Presolve
 
 	var lastCheck error
 	for attempt := 0; attempt < s.opts.MaxAttempts; attempt++ {
@@ -212,6 +219,9 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 					sampler = &anneal.ExactSolver{MaxStates: s.opts.CandidatesPerAttempt}
 				} else {
 					sampler = s.samplerFor(attempt)
+					// Stat counters are updated after wg.Wait() (below)
+					// to keep the goroutines write-free on st.
+					sampler, _ = warmSampler(sampler, p.seeds)
 				}
 				sets[i], errs[i] = s.sample(ctx, sampler, p.compiled)
 			}(i, p)
@@ -221,6 +231,15 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 		for i, err := range errs {
 			if err != nil {
 				return nil, fmt.Errorf("qsmt: sampling %s (shard %d/%d): %w", c.Name(), i, len(plans), err), true
+			}
+		}
+		for i := range plans {
+			if len(plans[i].seeds) == 0 {
+				continue
+			}
+			st.WarmSeeded++
+			if ss := sets[i]; ss.Len() > 0 && ss.Best().Warm {
+				st.WarmHits++
 			}
 		}
 
@@ -254,8 +273,10 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 		st.GroundFraction = gf
 
 		// Merge the k-th best sample of every shard (clamped to each
-		// shard's sample count) into the k-th full candidate; merged
-		// candidate 0 is the global best the attempt found.
+		// shard's sample count) into the k-th reduced-space candidate,
+		// then lift it through the presolve reduction to the full
+		// variable space; merged candidate 0 is the global best the
+		// attempt found.
 		limit := s.opts.CandidatesPerAttempt
 		if limit > maxLen {
 			limit = maxLen
@@ -274,7 +295,7 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 				plans[i].shard.Scatter(x, smp.X)
 				energy += smp.Energy
 			}
-			w, ok, fatal, checkErr := examineCandidate(c, x, st)
+			w, ok, fatal, checkErr := examineCandidate(c, liftBits(red, x), st)
 			if fatal != nil {
 				st.DecodeVerify += time.Since(phase)
 				return nil, fatal, true
@@ -288,7 +309,7 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 				Witness:  w,
 				Energy:   energy,
 				Attempts: attempt + 1,
-				Vars:     model.N(),
+				Vars:     fullN,
 				Shards:   len(shards),
 				Elapsed:  time.Since(start),
 			}

@@ -27,7 +27,10 @@ func TestShardedMatchesWholeModel(t *testing.T) {
 		t.Fatalf("whole-model result claims sharding: Shards=%d Stats.Shards=%d", wres.Shards, wres.Stats.Shards)
 	}
 
-	sharded := NewSolver(&Options{Seed: 5, Shard: true})
+	// Presolve off: it fixes this conjunction outright (the equality
+	// fields dominate every mirror coupler), which would leave nothing
+	// for the shard machinery this test exercises.
+	sharded := NewSolver(&Options{Seed: 5, Shard: true, Presolve: Off})
 	sres, err := sharded.Solve(c)
 	if err != nil {
 		t.Fatalf("sharded solve: %v", err)
@@ -216,10 +219,14 @@ func TestSolveBatchCancelled(t *testing.T) {
 func TestSolveBatchCompileCache(t *testing.T) {
 	cache := qubo.NewCache(32)
 	reg := obs.NewRegistry()
+	// Presolve off: it merges Palindrome's mirror pairs into coupler-free
+	// shards that solve closed-form without ever compiling, leaving the
+	// cache this test exercises untouched.
 	s := NewSolver(&Options{
 		Seed:         7,
 		CompileCache: cache,
 		Metrics:      NewSolverMetrics(reg),
+		Presolve:     Off,
 	})
 	cs := make([]Constraint, 8)
 	for i := range cs {

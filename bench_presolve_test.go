@@ -1,0 +1,72 @@
+package qsmt
+
+// Presolve ablation benchmarks: every Table 1 row solved end to end with
+// the presolve + warm-start stages on (the default) and off (the
+// pre-presolve solver). `make benchpresolve` records the pairs in
+// BENCH_presolve.json so the speedups and reduction ratios are diffable
+// artifacts. The *_on variants also report the fraction of binary
+// variables presolve eliminated as "reduction_ratio".
+
+import (
+	"testing"
+
+	"qsmt/internal/anneal"
+)
+
+// presolveBenchCases mirrors the five Table 1 rows; rows 1 and 4 are the
+// paper's sequential pipelines, the rest single constraints.
+func presolveBenchCases() []struct {
+	name  string
+	solve func(s *Solver) (*Result, error)
+} {
+	runPipeline := func(p *Pipeline) func(s *Solver) (*Result, error) {
+		return func(s *Solver) (*Result, error) {
+			res, err := s.Run(p)
+			if err != nil {
+				return nil, err
+			}
+			return res.Stages[len(res.Stages)-1].Result, nil
+		}
+	}
+	return []struct {
+		name  string
+		solve func(s *Solver) (*Result, error)
+	}{
+		{"Row1_ReverseReplace", runPipeline(NewPipeline(Reverse("hello")).Replace('e', 'a'))},
+		{"Row2_Palindrome6", func(s *Solver) (*Result, error) { return s.Solve(Palindrome(6)) }},
+		{"Row3_RegexABC5", func(s *Solver) (*Result, error) { return s.Solve(Regex("a[bc]+", 5)) }},
+		{"Row4_ConcatReplaceAll", runPipeline(NewPipeline(Concat("hello", " world")).ReplaceAll('l', 'x'))},
+		{"Row5_IndexOfHi", func(s *Solver) (*Result, error) { return s.Solve(IndexOf("hi", 2, 6)) }},
+	}
+}
+
+func benchPresolveRow(b *testing.B, solve func(s *Solver) (*Result, error), presolve bool) {
+	b.Helper()
+	opts := &Options{
+		Sampler: &anneal.SimulatedAnnealer{Reads: 64, Sweeps: 1000, Seed: 1},
+	}
+	if !presolve {
+		opts.Presolve = Off
+		opts.WarmStart = Off
+	}
+	s := NewSolver(opts)
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := solve(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Stats.PresolveRatio
+	}
+	if presolve {
+		b.ReportMetric(ratio, "reduction_ratio")
+	}
+}
+
+func BenchmarkPresolve(b *testing.B) {
+	for _, tc := range presolveBenchCases() {
+		b.Run(tc.name+"_on", func(b *testing.B) { benchPresolveRow(b, tc.solve, true) })
+		b.Run(tc.name+"_off", func(b *testing.B) { benchPresolveRow(b, tc.solve, false) })
+	}
+}

@@ -427,7 +427,8 @@ func TestEnergyConservationDuringAnneal(t *testing.T) {
 		mrng := rand.New(rand.NewSource(seed))
 		c := frustratedModel(mrng, 10).Compile()
 		betas := []float64{0.1, 0.5, 1, 2, 5}
-		k, done := annealOnce(context.Background(), c, betas, newRNG(seed, 0))
+		rng := newRNG(seed, 0)
+		k, done := annealOnce(context.Background(), c, randomBits(rng, c.N), betas, rng)
 		if done != len(betas) || len(k.X()) != c.N {
 			return false
 		}

@@ -30,6 +30,20 @@ type SimulatedAnnealer struct {
 	// post-processing annealer outputs.
 	PostDescent bool
 
+	// InitialStates provides warm-start assignments: the first warmReads
+	// reads (warmReads = round(WarmFraction·Reads)) start from
+	// InitialStates[r mod len(InitialStates)] instead of a uniformly
+	// random state, and run only the cold half of the β schedule — a
+	// warm state pushed through the hot sweeps would be scrambled back
+	// to random, so warm reads skip the exploration phase and polish.
+	// Every state must match the model width. Empty disables warm
+	// starting entirely.
+	InitialStates [][]qubo.Bit
+	// WarmFraction is the fraction of reads warm-started when
+	// InitialStates is non-empty. 0 means DefaultWarmFraction; negative
+	// disables warm reads while keeping InitialStates in place.
+	WarmFraction float64
+
 	// Collector receives per-read substrate statistics (sweeps executed,
 	// accepted flips, resyncs, restart utilisation). nil disables
 	// collection; the cost is one pointer check per read, nothing per
@@ -77,6 +91,10 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 		return &SampleSet{Samples: []Sample{{X: []Bit{}, Energy: c.Offset, Occurrences: 1}}}, nil
 	}
 	reads, sweeps, workers, seed := sa.params()
+	if err := validateStates(sa.InitialStates, c.N); err != nil {
+		return nil, err
+	}
+	warm := warmReadCount(len(sa.InitialStates), sa.WarmFraction, reads)
 	sched := sa.Schedule
 	if sched == nil {
 		sched = DefaultSchedule(c)
@@ -93,8 +111,13 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 	raw := make([]Sample, reads)
 	dispatched := parallelForCtx(ctx, reads, workers, func(r int) {
 		rng := newRNG(seed, r)
-		k, done := annealOnce(ctx, c, betas, rng)
-		completed := done == len(betas)
+		x, isWarm := startState(sa.InitialStates, warm, r, c.N, rng)
+		readBetas := betas
+		if isWarm {
+			readBetas = betas[len(betas)/2:] // cold half: polish, don't scramble
+		}
+		k, done := annealOnce(ctx, c, x, readBetas, rng)
+		completed := done == len(readBetas)
 		if completed && sa.PostDescent {
 			greedyDescend(k, rng)
 		}
@@ -105,7 +128,7 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 		// Relabel the energy exactly once per read: the kernel tracks ΔE
 		// incrementally, and reported energies must match Compiled.Energy
 		// bit-for-bit, not up to accumulated rounding.
-		raw[r] = Sample{X: k.X(), Energy: k.ExactEnergy(), Occurrences: 1}
+		raw[r] = Sample{X: k.X(), Energy: k.ExactEnergy(), Occurrences: 1, Warm: isWarm}
 	})
 	sa.Collector.RecordRun(reads, dispatched)
 	if err := ctx.Err(); err != nil {
@@ -114,13 +137,13 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 	return aggregate(raw), nil
 }
 
-// annealOnce performs one read: random init then Metropolis sweeps on the
-// incremental kernel. It returns the kernel holding the final state and
-// how many sweeps ran; fewer than len(betas) means ctx expired mid-read
-// and the state is a partial walk.
-func annealOnce(ctx context.Context, c *qubo.Compiled, betas []float64, rng *rng) (*Kernel, int) {
+// annealOnce performs one read: install the starting state then run
+// Metropolis sweeps on the incremental kernel. It returns the kernel
+// holding the final state and how many sweeps ran; fewer than len(betas)
+// means ctx expired mid-read and the state is a partial walk.
+func annealOnce(ctx context.Context, c *qubo.Compiled, x []qubo.Bit, betas []float64, rng *rng) (*Kernel, int) {
 	k := NewKernel(c)
-	k.Reset(randomBits(rng, c.N))
+	k.Reset(x)
 	for i, beta := range betas {
 		if ctx.Err() != nil {
 			return k, i

@@ -29,6 +29,11 @@ type Sample struct {
 	X           []Bit
 	Energy      float64
 	Occurrences int
+	// Warm reports that at least one read producing this assignment was
+	// warm-started from a provided initial state (see the samplers'
+	// InitialStates field) rather than a uniformly random one. The solver
+	// uses it to measure the warm-start hit rate.
+	Warm bool
 }
 
 // SampleSet is the result of a sampler run, ordered by increasing energy
@@ -98,11 +103,12 @@ func aggregate(raw []Sample) *SampleSet {
 		k := bitKey(s.X)
 		if a, ok := byKey[k]; ok {
 			a.s.Occurrences += s.Occurrences
+			a.s.Warm = a.s.Warm || s.Warm
 			continue
 		}
 		cp := make([]Bit, len(s.X))
 		copy(cp, s.X)
-		byKey[k] = &agg{s: Sample{X: cp, Energy: s.Energy, Occurrences: s.Occurrences}}
+		byKey[k] = &agg{s: Sample{X: cp, Energy: s.Energy, Occurrences: s.Occurrences, Warm: s.Warm}}
 	}
 	out := make([]Sample, 0, len(byKey))
 	for _, a := range byKey {

@@ -27,6 +27,16 @@ type TabuSampler struct {
 	// full O(N) candidate scan, so it is counted as one sweep. nil
 	// disables collection.
 	Collector *obs.Collector
+
+	// InitialStates provides warm-start assignments: the first warmReads
+	// reads (warmReads = round(WarmFraction·Reads)) start the walk from
+	// InitialStates[r mod len(InitialStates)] instead of a random state.
+	// Tabu search has no exploration temperature, so a warm read benefits
+	// directly. See SimulatedAnnealer.InitialStates for the contract.
+	InitialStates [][]qubo.Bit
+	// WarmFraction is the fraction of reads warm-started; 0 means
+	// DefaultWarmFraction, negative disables.
+	WarmFraction float64
 }
 
 // Sample implements the sampler contract.
@@ -68,11 +78,16 @@ func (ts *TabuSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*Sa
 	if seed == 0 {
 		seed = 1
 	}
+	if err := validateStates(ts.InitialStates, c.N); err != nil {
+		return nil, err
+	}
+	warm := warmReadCount(len(ts.InitialStates), ts.WarmFraction, reads)
 	raw := make([]Sample, reads)
 	dispatched := parallelForCtx(ctx, reads, ts.Workers, func(r int) {
 		rng := newRNG(seed, r)
 		k := NewKernel(c)
-		k.Reset(randomBits(rng, c.N))
+		x, isWarm := startState(ts.InitialStates, warm, r, c.N, rng)
+		k.Reset(x)
 		best := make([]Bit, c.N)
 		copy(best, k.X())
 		bestE := k.Energy()
@@ -118,7 +133,7 @@ func (ts *TabuSampler) SampleContext(ctx context.Context, c *qubo.Compiled) (*Sa
 		}
 		ts.Collector.RecordRead(int64(stepsDone), k.Flips(), k.Resyncs(), !cancelled)
 		// Relabel from the model: bestE tracked the incremental energy.
-		raw[r] = Sample{X: best, Energy: c.Energy(best), Occurrences: 1}
+		raw[r] = Sample{X: best, Energy: c.Energy(best), Occurrences: 1, Warm: isWarm}
 	})
 	ts.Collector.RecordRun(reads, dispatched)
 	if err := ctx.Err(); err != nil {

@@ -27,6 +27,17 @@ type ParallelTempering struct {
 	// Collector receives per-read substrate statistics; a PT read counts
 	// one sweep per replica pass. nil disables collection.
 	Collector *obs.Collector
+
+	// InitialStates provides warm-start assignments: in each of the first
+	// warmReads reads (warmReads = round(WarmFraction·Reads)) the coldest
+	// replica starts from InitialStates[r mod len(InitialStates)] instead
+	// of a random state — the hot rungs stay random, so the ladder keeps
+	// exploring while the cold end polishes the seed. See
+	// SimulatedAnnealer.InitialStates for the contract.
+	InitialStates [][]qubo.Bit
+	// WarmFraction is the fraction of reads warm-started; 0 means
+	// DefaultWarmFraction, negative disables.
+	WarmFraction float64
 }
 
 // Sample implements the sampler contract. Each read contributes its
@@ -82,10 +93,19 @@ func (pt *ParallelTempering) SampleContext(ctx context.Context, c *qubo.Compiled
 		betas[k] = bmin * math.Pow(bmax/bmin, t)
 	}
 
+	if err := validateStates(pt.InitialStates, c.N); err != nil {
+		return nil, err
+	}
+	warm := warmReadCount(len(pt.InitialStates), pt.WarmFraction, reads)
+
 	raw := make([]Sample, reads)
 	dispatched := parallelForCtx(ctx, reads, pt.Workers, func(r int) {
 		rng := newRNG(seed, r)
-		raw[r] = pt.runOnce(ctx, c, betas, sweeps, swapEvery, rng)
+		var seedState []qubo.Bit
+		if r < warm {
+			seedState = pt.InitialStates[r%len(pt.InitialStates)]
+		}
+		raw[r] = pt.runOnce(ctx, c, betas, sweeps, swapEvery, seedState, rng)
 	})
 	pt.Collector.RecordRun(reads, dispatched)
 	if err := ctx.Err(); err != nil {
@@ -94,12 +114,16 @@ func (pt *ParallelTempering) SampleContext(ctx context.Context, c *qubo.Compiled
 	return aggregate(raw), nil
 }
 
-func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, betas []float64, sweeps, swapEvery int, rng *rng) Sample {
+func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, betas []float64, sweeps, swapEvery int, seedState []qubo.Bit, rng *rng) Sample {
 	// One incremental kernel per replica; a swap exchanges whole kernels
 	// (assignment + fields + energy), so no state is rebuilt on swap.
 	reps := make([]*Kernel, len(betas))
 	for k := range reps {
 		reps[k] = NewKernel(c)
+		if seedState != nil && k == len(reps)-1 {
+			reps[k].Reset(seedState) // warm-start the coldest rung
+			continue
+		}
 		reps[k].Reset(randomBits(rng, c.N))
 	}
 	bestX := make([]Bit, c.N)
@@ -146,5 +170,5 @@ func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, beta
 		pt.Collector.RecordRead(int64(sweepsDone*len(reps)), flips, resyncs, sweepsDone == sweeps)
 	}
 	// Relabel from the model: bestE tracked incremental kernel energies.
-	return Sample{X: bestX, Energy: c.Energy(bestX), Occurrences: 1}
+	return Sample{X: bestX, Energy: c.Energy(bestX), Occurrences: 1, Warm: seedState != nil}
 }

@@ -1,0 +1,160 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+
+	"qsmt/internal/qubo"
+)
+
+func TestWarmReadCount(t *testing.T) {
+	cases := []struct {
+		states, reads int
+		frac          float64
+		want          int
+	}{
+		{0, 64, 0, 0},    // no states → no warm reads
+		{3, 64, 0, 32},   // default fraction
+		{3, 64, 0.25, 16},
+		{3, 64, -1, 0},   // negative disables
+		{3, 64, 2, 64},   // clamped to reads
+		{3, 4, 0.01, 1},  // states present → at least one warm read
+		{1, 1, 0.5, 1},
+	}
+	for _, tc := range cases {
+		if got := warmReadCount(tc.states, tc.frac, tc.reads); got != tc.want {
+			t.Errorf("warmReadCount(%d states, frac=%g, %d reads) = %d, want %d",
+				tc.states, tc.frac, tc.reads, got, tc.want)
+		}
+	}
+}
+
+func TestGreedySeedsAreLocalMinima(t *testing.T) {
+	mrng := rand.New(rand.NewSource(7))
+	c := frustratedModel(mrng, 24).Compile()
+	seeds := GreedySeeds(c, 4, 1)
+	if len(seeds) == 0 {
+		t.Fatal("no seeds for a non-empty model")
+	}
+	k := NewKernel(c)
+	for s, x := range seeds {
+		if len(x) != c.N {
+			t.Fatalf("seed %d has %d bits, want %d", s, len(x), c.N)
+		}
+		k.Reset(x)
+		for i := 0; i < c.N; i++ {
+			if k.Delta(i) < 0 {
+				t.Fatalf("seed %d is not a local minimum: flip %d improves by %g", s, i, k.Delta(i))
+			}
+		}
+	}
+	// Deterministic across calls.
+	again := GreedySeeds(c, 4, 1)
+	if len(again) != len(seeds) {
+		t.Fatalf("seed count changed across calls: %d vs %d", len(seeds), len(again))
+	}
+	for s := range seeds {
+		for i := range seeds[s] {
+			if seeds[s][i] != again[s][i] {
+				t.Fatalf("seed %d differs across calls at bit %d", s, i)
+			}
+		}
+	}
+	if GreedySeeds(nil, 4, 1) != nil || GreedySeeds(c, 0, 1) != nil {
+		t.Fatal("nil model / k=0 should produce no seeds")
+	}
+}
+
+func TestSAWarmStartFindsGroundAndMarksProvenance(t *testing.T) {
+	mrng := rand.New(rand.NewSource(11))
+	c := frustratedModel(mrng, 16).Compile()
+	want, err := (&ExactSolver{}).Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := GreedySeeds(c, 3, 1)
+	sa := &SimulatedAnnealer{Reads: 32, Sweeps: 300, Seed: 1, InitialStates: seeds}
+	ss, err := sa.Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.TotalReads() != 32 {
+		t.Fatalf("reads = %d, want 32", ss.TotalReads())
+	}
+	if ss.Best().Energy > want.Best().Energy+1e-9 {
+		t.Fatalf("warm-started SA best %g worse than exact ground %g", ss.Best().Energy, want.Best().Energy)
+	}
+	warmSeen := false
+	for _, s := range ss.Samples {
+		warmSeen = warmSeen || s.Warm
+	}
+	if !warmSeen {
+		t.Fatal("no sample carries warm provenance despite InitialStates")
+	}
+	// Determinism with warm starts: identical reruns produce identical
+	// sample sets.
+	ss2, err := sa.Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss2.Samples) != len(ss.Samples) {
+		t.Fatalf("sample counts differ across reruns: %d vs %d", len(ss.Samples), len(ss2.Samples))
+	}
+	for i := range ss.Samples {
+		if ss.Samples[i].Energy != ss2.Samples[i].Energy ||
+			ss.Samples[i].Occurrences != ss2.Samples[i].Occurrences ||
+			ss.Samples[i].Warm != ss2.Samples[i].Warm {
+			t.Fatalf("sample %d differs across reruns", i)
+		}
+	}
+}
+
+func TestWarmStartStateWidthValidated(t *testing.T) {
+	mrng := rand.New(rand.NewSource(3))
+	c := frustratedModel(mrng, 8).Compile()
+	bad := [][]qubo.Bit{make([]qubo.Bit, c.N+1)}
+	if _, err := (&SimulatedAnnealer{Reads: 4, Sweeps: 10, InitialStates: bad}).Sample(c); err == nil {
+		t.Fatal("SA accepted a mismatched warm-start state")
+	}
+	if _, err := (&ParallelTempering{Reads: 2, Sweeps: 10, InitialStates: bad}).Sample(c); err == nil {
+		t.Fatal("PT accepted a mismatched warm-start state")
+	}
+	if _, err := (&TabuSampler{Reads: 2, Steps: 10, InitialStates: bad}).Sample(c); err == nil {
+		t.Fatal("tabu accepted a mismatched warm-start state")
+	}
+}
+
+func TestTemperingAndTabuWarmStart(t *testing.T) {
+	mrng := rand.New(rand.NewSource(5))
+	c := frustratedModel(mrng, 12).Compile()
+	want, err := (&ExactSolver{}).Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := GreedySeeds(c, 2, 9)
+
+	pt := &ParallelTempering{Reads: 8, Sweeps: 200, Seed: 2, InitialStates: seeds}
+	ss, err := pt.Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Best().Energy > want.Best().Energy+1e-9 {
+		t.Fatalf("warm PT best %g worse than ground %g", ss.Best().Energy, want.Best().Energy)
+	}
+
+	tb := &TabuSampler{Reads: 8, Seed: 2, InitialStates: seeds}
+	ss, err = tb.Sample(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Best().Energy > want.Best().Energy+1e-9 {
+		t.Fatalf("warm tabu best %g worse than ground %g", ss.Best().Energy, want.Best().Energy)
+	}
+	warmSeen := false
+	for _, s := range ss.Samples {
+		warmSeen = warmSeen || s.Warm
+	}
+	if !warmSeen {
+		t.Fatal("tabu sample set carries no warm provenance")
+	}
+}

@@ -11,6 +11,52 @@ func TestComponentsEmptyModel(t *testing.T) {
 	}
 }
 
+func TestComponentsSingleVariable(t *testing.T) {
+	// A one-variable model is one shard carrying the variable's field;
+	// the parent offset stays with the parent (see Shard doc).
+	m := New(1)
+	m.AddLinear(0, -2.5)
+	m.AddOffset(3)
+	shards := Components(m)
+	if len(shards) != 1 {
+		t.Fatalf("got %d shards, want 1", len(shards))
+	}
+	s := shards[0]
+	if len(s.Vars) != 1 || s.Vars[0] != 0 {
+		t.Fatalf("shard vars = %v, want [0]", s.Vars)
+	}
+	if s.Model.N() != 1 || s.Model.Linear(0) != -2.5 {
+		t.Fatalf("shard model: n=%d linear=%g, want n=1 linear=-2.5", s.Model.N(), s.Model.Linear(0))
+	}
+	if s.Model.Offset() != 0 {
+		t.Fatalf("shard offset = %g, want 0", s.Model.Offset())
+	}
+	full := make([]Bit, 1)
+	s.Scatter(full, []Bit{1})
+	if full[0] != 1 {
+		t.Fatalf("Scatter lost the single variable")
+	}
+}
+
+func TestComponentsAllIsolatedNoCoefficients(t *testing.T) {
+	// Variables with no terms at all are still covered, one shard each —
+	// the decomposition must partition every variable, not just the ones
+	// the energy mentions.
+	m := New(3)
+	shards := Components(m)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	for i, s := range shards {
+		if len(s.Vars) != 1 || s.Vars[0] != i || s.Model.N() != 1 {
+			t.Errorf("shard %d = vars %v (n=%d), want [%d] (n=1)", i, s.Vars, s.Model.N(), i)
+		}
+		if s.Model.NumQuadratic() != 0 || s.Model.Linear(0) != 0 {
+			t.Errorf("shard %d carries phantom coefficients", i)
+		}
+	}
+}
+
 func TestComponentsSingletons(t *testing.T) {
 	// Pure diagonal model: every variable is its own component.
 	m := New(4)

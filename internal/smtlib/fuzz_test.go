@@ -1,6 +1,12 @@
 package smtlib
 
-import "testing"
+import (
+	"io"
+	"testing"
+
+	"qsmt"
+	"qsmt/internal/anneal"
+)
 
 // FuzzParseSExprs checks the reader never panics and that anything it
 // accepts re-parses from its own rendering.
@@ -55,5 +61,56 @@ func FuzzParseScript(f *testing.F) {
 		}
 		// Anything parseable must also compile or fail cleanly.
 		_, _ = Compile(sc)
+	})
+}
+
+// longDigitRun reports a run of three or more ASCII digits: the fuzz
+// interpreter skips such scripts so a fuzzed (= (str.len x) 99999999)
+// cannot turn the no-panic property into an allocation stress test.
+func longDigitRun(src string) bool {
+	run := 0
+	for i := 0; i < len(src); i++ {
+		if src[i] >= '0' && src[i] <= '9' {
+			if run++; run >= 3 {
+				return true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return false
+}
+
+// FuzzInterpreterBatch drives the full batch CLI path — parse, compile,
+// batch-solve, print — on fuzzed scripts: whatever the front end
+// accepts must execute without panicking (this is the `qsmt -batch`
+// code path, where a crash takes down the whole batch). The solver
+// budget is tiny because the property is "no panic", not "sat".
+func FuzzInterpreterBatch(f *testing.F) {
+	seeds := []string{
+		`(declare-const x String)(assert (= x "a"))(check-sat)(get-model)`,
+		`(declare-const a String)(assert (= a "hi"))(declare-const b String)(assert (= (str.len b) 2))(check-sat)`,
+		`(push 1)(declare-const x String)(assert (str.prefixof "a" x))(assert (= (str.len x) 2))(check-sat)(pop 1)(check-sat)`,
+		`(set-logic QF_S)(echo "hello")(get-info :name)(check-sat)`,
+		`(assert (= x "unbound"))(check-sat)`,
+		`(declare-const i Int)(assert (= i (str.indexof "ab" "b" 0)))(check-sat)(get-model)`,
+		`(declare-const x String)(assert (str.in_re x (re.+ (re.range "a" "c"))))(assert (= (str.len x) 2))(check-sat)`,
+		`(check-sat)(check-sat)(exit)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 300 || longDigitRun(src) {
+			return // keep each execution cheap; parser coverage lives above
+		}
+		solver := qsmt.NewSolver(&qsmt.Options{
+			Sampler:     &anneal.SimulatedAnnealer{Reads: 2, Sweeps: 16, Seed: 1},
+			MaxAttempts: 1,
+			Seed:        1,
+		})
+		it := NewInterpreter(solver, io.Discard)
+		it.Batch = true
+		_ = it.Execute(src) // errors are fine; a panic is the bug
 	})
 }

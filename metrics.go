@@ -28,8 +28,26 @@ type SolveStats struct {
 	GroundFraction float64 // ground-state hit rate of the last sample set
 
 	Compile      time.Duration // BuildModel + QUBO compilation
+	Presolve     time.Duration // QUBO presolve stage (0 when disabled)
 	Sample       time.Duration // total time inside the sampler
 	DecodeVerify time.Duration // total time decoding and checking candidates
+
+	// PresolveRounds is how many fixed-point rounds the presolver ran;
+	// 0 means the presolve stage was disabled (the stage itself always
+	// runs at least one round when on).
+	PresolveRounds int
+	// PresolveEliminated is how many binary variables presolve removed
+	// (persistency fixes, pendant folds and pair merges combined).
+	PresolveEliminated int
+	// PresolveRatio is the fraction of variables eliminated, in [0, 1].
+	PresolveRatio float64
+	// WarmSeeded counts sampling operations (whole-model attempts or
+	// sampled shards) that were offered warm-start states.
+	WarmSeeded int
+	// WarmHits counts warm-seeded sampling operations whose best sample
+	// came from a warm-started read — WarmHits/WarmSeeded is the
+	// warm-start hit rate.
+	WarmHits int
 
 	// Shards is how many independent connected components the solve was
 	// decomposed into (0 when sharding was not requested, 1 when it was
@@ -95,6 +113,17 @@ type SolverMetrics struct {
 	ExactShards      *obs.Counter   // qsmt_batch_exact_shards_total
 	ShardFallbacks   *obs.Counter   // qsmt_batch_shard_fallbacks_total
 
+	// Presolve stage and warm-start seeding, recorded per solve that ran
+	// the stage. The warm-hit counters divide to the fleet-wide
+	// warm-start hit rate.
+	Presolves          *obs.Counter   // qsmt_presolve_total
+	PresolveEliminated *obs.Counter   // qsmt_presolve_vars_eliminated_total
+	PresolveRounds     *obs.Counter   // qsmt_presolve_rounds_total
+	PresolveRatio      *obs.Histogram // qsmt_presolve_reduction_ratio
+	PresolveSeconds    *obs.Histogram // qsmt_presolve_seconds
+	WarmSeeded         *obs.Counter   // qsmt_presolve_warm_seeded_total
+	WarmHits           *obs.Counter   // qsmt_presolve_warm_hits_total
+
 	// Compile cache. Counters advance by delta against the last synced
 	// qubo.CacheStats snapshot, so one SolverMetrics should front one
 	// cache (shared solvers sharing both is fine).
@@ -135,6 +164,14 @@ func NewSolverMetrics(r *obs.Registry) *SolverMetrics {
 		ExactShards:      r.Counter("qsmt_batch_exact_shards_total", "Shards solved closed-form or by exact enumeration instead of the sampler."),
 		ShardFallbacks:   r.Counter("qsmt_batch_shard_fallbacks_total", "Sharding requests that fell back to whole-model solving (connected graph)."),
 
+		Presolves:          r.Counter("qsmt_presolve_total", "Solves that ran the QUBO presolve stage."),
+		PresolveEliminated: r.Counter("qsmt_presolve_vars_eliminated_total", "Binary variables eliminated by presolve (fixes, pendant folds, merges)."),
+		PresolveRounds:     r.Counter("qsmt_presolve_rounds_total", "Fixed-point rounds run by the presolver."),
+		PresolveRatio:      r.Histogram("qsmt_presolve_reduction_ratio", "Fraction of variables eliminated per presolved solve.", obs.FractionBuckets),
+		PresolveSeconds:    r.Histogram("qsmt_presolve_seconds", "Presolve stage time per solve.", obs.DefaultLatencyBuckets),
+		WarmSeeded:         r.Counter("qsmt_presolve_warm_seeded_total", "Sampling operations offered warm-start states."),
+		WarmHits:           r.Counter("qsmt_presolve_warm_hits_total", "Warm-seeded sampling operations whose best sample was warm-started."),
+
 		CacheHits:      r.Counter("qsmt_cache_hits_total", "Compile-cache hits."),
 		CacheMisses:    r.Counter("qsmt_cache_misses_total", "Compile-cache misses."),
 		CacheEvictions: r.Counter("qsmt_cache_evictions_total", "Compile-cache LRU evictions."),
@@ -172,6 +209,17 @@ func (m *SolverMetrics) record(st *SolveStats, err error) {
 	if st.Shards > 0 {
 		m.Shards.Add(float64(st.Shards))
 		m.ExactShards.Add(float64(st.ExactShards))
+	}
+	if st.PresolveRounds > 0 {
+		m.Presolves.Inc()
+		m.PresolveEliminated.Add(float64(st.PresolveEliminated))
+		m.PresolveRounds.Add(float64(st.PresolveRounds))
+		m.PresolveRatio.Observe(st.PresolveRatio)
+		m.PresolveSeconds.Observe(st.Presolve.Seconds())
+	}
+	if st.WarmSeeded > 0 {
+		m.WarmSeeded.Add(float64(st.WarmSeeded))
+		m.WarmHits.Add(float64(st.WarmHits))
 	}
 	if st.ShardFallback {
 		m.ShardFallbacks.Inc()

@@ -152,8 +152,10 @@ func (w *weakSampler) Sample(c *qubo.Compiled) (*anneal.SampleSet, error) {
 }
 
 func TestSolverExhaustsRetriesToErrNoModel(t *testing.T) {
+	// Presolve off: Equality is a pure-field model that presolve solves
+	// outright, and this test needs the sampler's bad output to matter.
 	ws := &weakSampler{}
-	s := NewSolver(&Options{Sampler: ws, MaxAttempts: 3})
+	s := NewSolver(&Options{Sampler: ws, MaxAttempts: 3, Presolve: Off})
 	_, err := s.Solve(Equality("a"))
 	if !errors.Is(err, ErrNoModel) {
 		t.Fatalf("err = %v, want ErrNoModel", err)

@@ -26,6 +26,34 @@ type SamplerContext interface {
 	SampleContext(ctx context.Context, c *qubo.Compiled) (*anneal.SampleSet, error)
 }
 
+// Toggle is a tri-state boolean option: the zero value selects the
+// field's documented default, On forces the feature on, Off forces it
+// off. It exists so features that are on by default (presolve, warm
+// starts) can still be switched off through a zero-value-friendly
+// Options literal.
+type Toggle uint8
+
+const (
+	// DefaultToggle selects the field's documented default.
+	DefaultToggle Toggle = iota
+	// On forces the option on.
+	On
+	// Off forces the option off.
+	Off
+)
+
+// enabled resolves the toggle against the field's default.
+func (t Toggle) enabled(def bool) bool {
+	switch t {
+	case On:
+		return true
+	case Off:
+		return false
+	default:
+		return def
+	}
+}
+
 // Options configures a Solver. The zero value selects the defaults noted
 // on each field.
 type Options struct {
@@ -80,7 +108,29 @@ type Options struct {
 	// reads at these sizes. Default 12; negative disables exact shard
 	// solving. Values above anneal.MaxExactVars are clamped.
 	ExactShardVars int
+	// Presolve controls the QUBO presolve stage (qubo.Presolve) that runs
+	// between model construction and compilation: persistency fixing,
+	// pendant elimination and duplicate/complement merging shrink the
+	// model the sampler sees, and reduced-model samples are lifted back to
+	// full-model assignments exactly before decoding. On by default; Off
+	// restores today's behavior bit for bit. Presolve never applies to
+	// Enumerate, which needs the full degenerate ground manifold.
+	Presolve Toggle
+	// WarmStart controls warm-start seeding: when on (the default), each
+	// sampling operation on a kernel sampler (simulated annealing,
+	// parallel tempering, tabu) offers greedy-descent and
+	// baseline-propagation states (anneal.GreedySeeds) as initial states,
+	// so a fraction of reads polishes structured starts instead of
+	// cooling from random ones. Samplers without warm-start support
+	// (remote clients, custom samplers) are used unchanged. Off restores
+	// today's behavior bit for bit. Never applies to Enumerate.
+	WarmStart Toggle
 }
+
+// warmSeedCount is how many warm-start states the solver derives per
+// compiled model; greedy descents are a few O(N+M) passes each, far
+// below one annealing read.
+const warmSeedCount = 4
 
 // Solver runs the full SMT loop over QUBO-encoded string constraints:
 // encode, sample, decode, check, retry. A Solver is safe for concurrent
@@ -203,21 +253,110 @@ func examineCandidate(c Constraint, x []qubo.Bit, st *SolveStats) (w Witness, ok
 	return w, true, nil, nil
 }
 
+// presolve runs the QUBO presolve stage on model when enabled, recording
+// stage stats. It returns the model the sampler should see and the
+// reduction to lift samples back through (nil when presolve is off or
+// eliminated nothing, so downstream behavior — compile-cache keys
+// included — is bit-identical to a presolve-free solve).
+func (s *Solver) presolve(model *qubo.Model, st *SolveStats) (*qubo.Model, *qubo.Reduction) {
+	if !s.opts.Presolve.enabled(true) {
+		return model, nil
+	}
+	phase := time.Now()
+	r := qubo.Presolve(model)
+	st.Presolve += time.Since(phase)
+	st.PresolveRounds += r.Stats.Rounds
+	st.PresolveEliminated += r.Eliminated()
+	st.PresolveRatio = r.Ratio()
+	if !r.Reduced() {
+		return model, nil
+	}
+	return r.Model, r
+}
+
+// liftBits maps a (possibly reduced-space) assignment back to the full
+// variable space; a nil reduction means the assignment already is full.
+// Off-width assignments (a custom sampler ignoring the compiled model's
+// size) are passed through unlifted so Decode reports the mismatch
+// instead of Lift panicking.
+func liftBits(red *qubo.Reduction, x []qubo.Bit) []qubo.Bit {
+	if red == nil || len(x) != red.Model.N() {
+		return x
+	}
+	return red.Lift(x)
+}
+
+// warmSeeds derives warm-start states for a compiled model when warm
+// starts are enabled: greedy descents from the all-zeros corner, the
+// baseline-propagation state and a few random starts (anneal.GreedySeeds).
+func (s *Solver) warmSeeds(compiled *qubo.Compiled) [][]qubo.Bit {
+	if !s.opts.WarmStart.enabled(true) || compiled.N == 0 {
+		return nil
+	}
+	return anneal.GreedySeeds(compiled, warmSeedCount, s.opts.Seed)
+}
+
+// supportsWarmStart reports whether the solver can install warm-start
+// states on sampler: it must be one of the kernel samplers (simulated
+// annealing, parallel tempering, tabu) without user-set initial states.
+// Remote clients, custom implementations, and the exact and reverse
+// annealers are used unchanged.
+func supportsWarmStart(sampler Sampler) bool {
+	switch sa := sampler.(type) {
+	case *anneal.SimulatedAnnealer:
+		return sa.InitialStates == nil
+	case *anneal.ParallelTempering:
+		return sa.InitialStates == nil
+	case *anneal.TabuSampler:
+		return sa.InitialStates == nil
+	}
+	return false
+}
+
+// warmSampler installs warm-start states on a copy of sampler when
+// supportsWarmStart allows it; otherwise the sampler is returned
+// unchanged with seeded=false.
+func warmSampler(sampler Sampler, seeds [][]qubo.Bit) (_ Sampler, seeded bool) {
+	if len(seeds) == 0 || !supportsWarmStart(sampler) {
+		return sampler, false
+	}
+	switch sa := sampler.(type) {
+	case *anneal.SimulatedAnnealer:
+		cp := *sa
+		cp.InitialStates = seeds
+		return &cp, true
+	case *anneal.ParallelTempering:
+		cp := *sa
+		cp.InitialStates = seeds
+		return &cp, true
+	case *anneal.TabuSampler:
+		cp := *sa
+		cp.InitialStates = seeds
+		return &cp, true
+	}
+	return sampler, false
+}
+
 func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats) (*Result, error) {
 	start := time.Now()
 	model, err := c.BuildModel()
 	if err != nil {
 		return nil, err
 	}
+	// Presolve before sharding: fixing and folding delete couplers, so a
+	// connected interaction graph can fall apart into components that the
+	// shard planner then solves closed-form or exactly.
+	work, red := s.presolve(model, st)
 	if s.opts.Shard {
-		res, err, handled := s.solveSharded(ctx, c, model, start, st)
+		res, err, handled := s.solveSharded(ctx, c, work, red, model.N(), start, st)
 		if handled {
 			return res, err
 		}
 		st.ShardFallback = true
 	}
-	compiled := s.compileModel(model, st)
-	st.Compile = time.Since(start)
+	compiled := s.compileModel(work, st)
+	st.Compile = time.Since(start) - st.Presolve
+	seeds := s.warmSeeds(compiled)
 
 	var lastCheck error
 	var lastBest []qubo.Bit
@@ -226,6 +365,7 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 			return nil, fmt.Errorf("qsmt: solving %s: %w", c.Name(), err)
 		}
 		sampler := s.samplerFor(attempt)
+		warmed := false
 		if s.opts.RefineRetries && s.opts.Sampler == nil && attempt > 0 && lastBest != nil {
 			sampler = &anneal.ReverseAnnealer{
 				Initial: lastBest,
@@ -233,6 +373,10 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 				Sweeps:  1000,
 				Seed:    s.opts.Seed + int64(attempt)*1_000_003,
 			}
+		} else if ws, ok := warmSampler(sampler, seeds); ok {
+			sampler = ws
+			warmed = true
+			st.WarmSeeded++
 		}
 		st.Attempts = attempt + 1
 		st.Sampler = samplerName(sampler)
@@ -248,6 +392,9 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 			st.observeBest(ss.Best().Energy)
 			st.MeanEnergy = ss.MeanEnergy()
 			st.GroundFraction = ss.GroundFraction(0)
+			if warmed && ss.Best().Warm {
+				st.WarmHits++
+			}
 		}
 		limit := s.opts.CandidatesPerAttempt
 		if limit > len(ss.Samples) {
@@ -258,7 +405,7 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 		var fatal error
 		for k := 0; k < limit; k++ {
 			sample := ss.Samples[k]
-			w, ok, fat, checkErr := examineCandidate(c, sample.X, st)
+			w, ok, fat, checkErr := examineCandidate(c, liftBits(red, sample.X), st)
 			if fat != nil {
 				fatal = fat
 				break
@@ -271,7 +418,7 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 				Witness:  w,
 				Energy:   sample.Energy,
 				Attempts: attempt + 1,
-				Vars:     compiled.N,
+				Vars:     model.N(),
 				Shards:   1,
 			}
 			break

@@ -26,7 +26,9 @@ func (r *rejectFirstChecks) Check(w Witness) error {
 
 func TestResultStatsPopulated(t *testing.T) {
 	reg := obs.NewRegistry()
-	s := NewSolver(&Options{Metrics: NewSolverMetrics(reg)})
+	// Presolve off: it solves Equality outright, and this test asserts
+	// the stats of a full annealing attempt (64 reads).
+	s := NewSolver(&Options{Metrics: NewSolverMetrics(reg), Presolve: Off})
 	res, err := s.Solve(Equality("hi"))
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
