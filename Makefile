@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test race racebatch bench benchsmoke benchbatch benchpresolve fuzz
+.PHONY: check build vet test race racebatch bench benchsmoke benchbatch benchpresolve benchincr incrsmoke fuzz
 
 ## check: the CI gate — build, vet, race-checked tests, a 1-iteration
-## benchmark smoke pass, the presolve ablation numbers, and a short fuzz
-## smoke of the SMT-LIB front end (includes the remote fault-injection
-## suite in internal/remote, the root-package context/failover
-## acceptance tests, and — under -race — the batch/shard/cache
-## concurrency suite).
-check: build vet race benchsmoke benchpresolve fuzz
+## benchmark smoke pass, the presolve ablation numbers, the incremental
+## push/pop smoke suite, and a short fuzz smoke of the SMT-LIB front end
+## (includes the remote fault-injection suite in internal/remote, the
+## root-package context/failover acceptance tests, and — under -race —
+## the batch/shard/cache concurrency suite).
+check: build vet race benchsmoke benchpresolve incrsmoke fuzz
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,24 @@ benchpresolve:
 	$(GO) test -run '^$$' -bench 'BenchmarkPresolve' -benchtime=3x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_presolve.json
 	@cat BENCH_presolve.json
+
+## benchincr: the incremental-solving acceptance numbers — a DFS over a
+## branching path condition driven cold (full re-solve per check-sat)
+## vs through the incremental session (component memo + parent-witness
+## warm starts), recorded as BENCH_incremental.json. The speedup
+## benchmark asserts verdict-sequence equality and reports the
+## cold/incremental ratio as x_speedup; acceptance is x_speedup >= 5.
+benchincr:
+	$(GO) test -run '^$$' -bench 'BenchmarkDFS' -benchtime=3x -benchmem ./internal/harness \
+		| $(GO) run ./cmd/benchjson -o BENCH_incremental.json
+	@cat BENCH_incremental.json
+
+## incrsmoke: the focused incremental gate — scope-leak regressions,
+## the incremental session tests, the presolve/cache isolation audit,
+## and the plain-vs-incremental differential suite, with -race over the
+## concurrent session and interpreter tests.
+incrsmoke:
+	$(GO) test -race -run 'Incremental|ScopeRegression|CachePresolve|CacheNeverServes' . ./internal/smtlib
 
 ## fuzz: a fixed short smoke of the native Go fuzz targets for the
 ## SMT-LIB front end (lexer/parser and the batch interpreter path), so

@@ -1,0 +1,135 @@
+package qsmt
+
+import (
+	"context"
+	"testing"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+)
+
+// These tests audit the compile cache against presolve cross-poisoning:
+// a Compiled produced under Presolve: On must never be served to a
+// Presolve: Off solve (or vice versa) through Solve or SolveBatch. The
+// cache key is the model's canonical content fingerprint, and presolve
+// rewrites the model's content before compilation, so the two paths key
+// under different fingerprints whenever presolve changed anything — and
+// when it changed nothing, sharing the entry is exactly correct. The
+// tests pin both halves of that argument: bit-identical results against
+// cache-free references, and zero cache hits across the On/Off boundary
+// on a model presolve demonstrably reduces.
+
+func auditSolver(presolve Toggle, cache *qubo.Cache, seed int64) *Solver {
+	return NewSolver(&Options{
+		Sampler:      &anneal.SimulatedAnnealer{Reads: 32, Sweeps: 800, Seed: seed},
+		Presolve:     presolve,
+		CompileCache: cache,
+	})
+}
+
+func TestCacheNeverServesPresolvedToPresolveOff(t *testing.T) {
+	c := Palindrome(8)
+
+	// Cache-free reference for the Off path.
+	refRes, err := auditSolver(Off, nil, 9).Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := qubo.NewCache(64)
+	onRes, err := auditSolver(On, cache, 9).Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The audit only bites when presolve actually rewrote the model; the
+	// palindrome's per-bit equality gadget guarantees it does.
+	if onRes.Stats.PresolveEliminated == 0 {
+		t.Fatal("presolve eliminated nothing; pick a reducing model for this audit")
+	}
+
+	offRes, err := auditSolver(Off, cache, 9).Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offRes.Stats.CacheHits != 0 {
+		t.Errorf("Presolve: Off solve took %d cache hits from a cache warmed by Presolve: On", offRes.Stats.CacheHits)
+	}
+	if offRes.Witness.Str != refRes.Witness.Str || offRes.Energy != refRes.Energy {
+		t.Errorf("shared cache changed the Off solve: got (%q, %g), want (%q, %g)",
+			offRes.Witness.Str, offRes.Energy, refRes.Witness.Str, refRes.Energy)
+	}
+}
+
+func TestCacheNeverServesRawToPresolveOn(t *testing.T) {
+	c := Palindrome(8)
+
+	refRes, err := auditSolver(On, nil, 9).Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := qubo.NewCache(64)
+	if _, err := auditSolver(Off, cache, 9).Solve(c); err != nil {
+		t.Fatal(err)
+	}
+	onRes, err := auditSolver(On, cache, 9).Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onRes.Stats.CacheHits != 0 {
+		t.Errorf("Presolve: On solve took %d cache hits from a cache warmed by Presolve: Off", onRes.Stats.CacheHits)
+	}
+	if onRes.Witness.Str != refRes.Witness.Str || onRes.Energy != refRes.Energy {
+		t.Errorf("shared cache changed the On solve: got (%q, %g), want (%q, %g)",
+			onRes.Witness.Str, onRes.Energy, refRes.Witness.Str, refRes.Energy)
+	}
+}
+
+func TestCachePresolveIsolationThroughSolveBatch(t *testing.T) {
+	cs := []Constraint{Palindrome(8), SubstringMatch("cat", 4), Equality("hello")}
+	ctx := context.Background()
+
+	// Cache-free references under both toggles.
+	refOff, err := auditSolver(Off, nil, 9).SolveBatch(ctx, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOn, err := auditSolver(On, nil, 9).SolveBatch(ctx, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One shared cache, On batch first, then Off, then On again.
+	cache := qubo.NewCache(256)
+	if _, err := auditSolver(On, cache, 9).SolveBatch(ctx, cs); err != nil {
+		t.Fatal(err)
+	}
+	gotOff, err := auditSolver(Off, cache, 9).SolveBatch(ctx, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOn, err := auditSolver(On, cache, 9).SolveBatch(ctx, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compare := func(label string, got, want *BatchResult) {
+		t.Helper()
+		for i := range cs {
+			g, w := got.Items[i], want.Items[i]
+			if (g.Err == nil) != (w.Err == nil) {
+				t.Errorf("%s[%d]: err = %v, want %v", label, i, g.Err, w.Err)
+				continue
+			}
+			if g.Err != nil {
+				continue
+			}
+			if g.Result.Witness != w.Result.Witness || g.Result.Energy != w.Result.Energy {
+				t.Errorf("%s[%d]: shared cache changed the result: got (%+v, %g), want (%+v, %g)",
+					label, i, g.Result.Witness, g.Result.Energy, w.Result.Witness, w.Result.Energy)
+			}
+		}
+	}
+	compare("off-after-on", gotOff, refOff)
+	compare("on-after-off-after-on", gotOn, refOn)
+}

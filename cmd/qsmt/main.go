@@ -37,6 +37,7 @@ func main() {
 		attempts      = flag.Int("attempts", 4, "verify-retry budget per constraint")
 		interactive   = flag.Bool("i", false, "interactive REPL mode")
 		batch         = flag.Bool("batch", false, "solve independent check-sat problems as one bounded-concurrency batch with shard decomposition")
+		incremental   = flag.Bool("incremental", false, "reuse solved QUBO components and verdicts across push/pop frames (takes precedence over -batch)")
 		workers       = flag.Int("workers", 0, "concurrent sampling operations in batch mode (0 = GOMAXPROCS; raise beyond core count for remote backends)")
 		cacheSize     = flag.Int("cache", qubo.DefaultCacheCapacity, "compiled-QUBO LRU cache capacity (0 disables)")
 		remoteURL     = flag.String("remote", "", "comma-separated base URLs of remote annealer services (see cmd/annealerd); two or more enable failover")
@@ -80,6 +81,7 @@ func main() {
 	solver := qsmt.NewSolver(opts)
 	interp := smtlib.NewInterpreter(solver, os.Stdout)
 	interp.Batch = *batch
+	interp.Incremental = *incremental
 
 	if *interactive {
 		repl(interp)

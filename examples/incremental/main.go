@@ -23,6 +23,10 @@ func main() {
 		Sampler: &anneal.SimulatedAnnealer{Reads: 32, Sweeps: 800, Seed: 31},
 	})
 	interp := smtlib.NewInterpreter(solver, os.Stdout)
+	// Incremental mode: unchanged per-variable problems replay from a
+	// verdict memo, and changed ones reuse unchanged QUBO components
+	// across push/pop frames (warm-started from the parent witness).
+	interp.Incremental = true
 
 	// Base specification, shared by every query: a 6-character command
 	// token and a named macro for the expected prefix.

@@ -1,0 +1,389 @@
+package qsmt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+)
+
+// This file is the incremental solve layer: the push/pop traffic of an
+// SMT front end produces long chains of queries that differ from their
+// parent by one or two assertions, so almost all of the compiled QUBO
+// structure — and almost all of the sampling work — recurs verbatim
+// between a check-sat and the next. An IncrementalSession exploits that
+// at the component level: each query's model is decomposed into the
+// connected components of its variable-interaction graph
+// (qubo.Components), each component is identified by its canonical
+// content fingerprint (qubo.FingerprintOf), and components whose
+// fingerprints were already solved earlier in the session reuse the
+// memoized sample set outright — no presolve, no compile, no sampler
+// reads. Only the components an assertion delta actually touched are
+// re-presolved and re-sampled, and those are warm-started from the
+// parent frame's accepted witness (anneal.PolishSeed), so the child
+// query's sampler starts in the basin the parent already found.
+
+// incrementalMemoCap bounds the per-session component memo. DFS
+// workloads pop and re-push the same branches, so eviction is FIFO over
+// first insertion: a few thousand entries comfortably cover the live
+// frontier of a deep branching search while bounding memory for
+// long-running sessions.
+const incrementalMemoCap = 4096
+
+// componentEntry is one memoized component: the presolve reduction and
+// compiled model (kept so a verify-retry re-samples without redoing the
+// reduce/compile stages) and the component-space sample set, already
+// lifted back through the reduction so Scatter can place it directly.
+type componentEntry struct {
+	red      *qubo.Reduction   // nil when presolve is off or eliminated nothing
+	compiled *qubo.Compiled    // nil for coupler-free (closed-form) components
+	set      *anneal.SampleSet // component-local assignments, energy-sorted
+	trivial  bool              // coupler-free: solved closed-form
+}
+
+// IncrementalSession solves a sequence of related constraints, reusing
+// solved QUBO components across queries and warm-starting touched
+// components from the parent frame's witness. It is the engine behind
+// the smtlib interpreter's incremental mode; it can also be driven
+// directly for DFS-style symbolic execution loops.
+//
+// Keys name lineages, not constraints: two Solve calls with the same key
+// are treated as parent and child frames of one search path, so the
+// child seeds its sampler from the parent's accepted witness whenever
+// the variable layout still matches. Distinct variables (or distinct
+// search paths) should use distinct keys. The component memo is shared
+// across all keys — component identity is content-addressed, so a
+// component proven on one path is reusable on every other.
+//
+// A session is safe for concurrent use when the Solver's sampler is;
+// memo and parent-witness state are guarded, and sampling runs outside
+// the locks.
+type IncrementalSession struct {
+	s *Solver
+
+	mu      sync.Mutex
+	memo    map[qubo.Fingerprint]*componentEntry
+	order   []qubo.Fingerprint // FIFO eviction order (first insertion)
+	parents map[string][]qubo.Bit
+}
+
+// NewIncrementalSession returns an incremental session backed by s. The
+// session borrows the solver's options (sampler, presolve, warm starts,
+// compile cache, metrics); it does not copy them, so later option
+// visibility follows the solver value the caller keeps.
+func (s *Solver) NewIncrementalSession() *IncrementalSession {
+	return &IncrementalSession{
+		s:       s,
+		memo:    make(map[qubo.Fingerprint]*componentEntry),
+		parents: make(map[string][]qubo.Bit),
+	}
+}
+
+// Reset drops all memoized components and parent witnesses, returning
+// the session to its initial state without discarding the solver.
+func (is *IncrementalSession) Reset() {
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	is.memo = make(map[qubo.Fingerprint]*componentEntry)
+	is.order = is.order[:0]
+	is.parents = make(map[string][]qubo.Bit)
+}
+
+// Solve runs the SMT loop on one constraint of the keyed lineage,
+// reusing session state as described on IncrementalSession. Results,
+// errors and their classification (ErrUnsatisfiable, ErrNoModel) are
+// identical to Solver.SolveContext on the same constraint; only the
+// work performed differs.
+func (is *IncrementalSession) Solve(ctx context.Context, key string, c Constraint) (*Result, error) {
+	var st SolveStats
+	res, err := is.solve(ctx, key, c, &st)
+	is.s.opts.Metrics.record(&st, err)
+	is.s.syncCacheMetrics()
+	return res, err
+}
+
+func (is *IncrementalSession) solve(ctx context.Context, key string, c Constraint, st *SolveStats) (*Result, error) {
+	s := is.s
+	start := time.Now()
+	st.Incremental = true
+	model, err := c.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	shards := qubo.Components(model)
+	st.Shards = len(shards)
+
+	// A variable-free model (e.g. an empty-string equality) has exactly
+	// one assignment; decode and check it directly.
+	if len(shards) == 0 {
+		st.Attempts = 1
+		w, ok, fatal, checkErr := examineCandidate(c, []qubo.Bit{}, st)
+		if fatal != nil {
+			return nil, fatal
+		}
+		if !ok {
+			if checkErr != nil {
+				return nil, fmt.Errorf("%w (last failure: %v)", ErrNoModel, checkErr)
+			}
+			return nil, ErrNoModel
+		}
+		return &Result{
+			Witness: w, Energy: model.Offset(), Attempts: 1,
+			Vars: 0, Shards: 0, Elapsed: time.Since(start), Stats: *st,
+		}, nil
+	}
+
+	parent := is.parentFor(key, model.N())
+
+	var lastCheck error
+	for attempt := 0; attempt < s.opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("qsmt: solving %s: %w", c.Name(), err)
+		}
+		st.Attempts = attempt + 1
+		st.Sampler = samplerName(s.samplerFor(attempt))
+
+		// Resolve every component: memo hits are free; misses (and every
+		// component on a retry attempt, since a retry means the memoized
+		// combination failed verification) are solved fresh, reusing the
+		// memoized presolve reduction and compiled model where available.
+		sets := make([]*anneal.SampleSet, len(shards))
+		for i, sh := range shards {
+			fp := qubo.FingerprintOf(sh.Model)
+			prev := is.lookup(fp)
+			if attempt == 0 && prev != nil && prev.set.Len() > 0 {
+				st.IncrementalHits++
+				sets[i] = prev.set
+				continue
+			}
+			set, err := is.solveComponent(ctx, sh, fp, prev, parent, attempt, i, st)
+			if err != nil {
+				return nil, fmt.Errorf("qsmt: sampling %s (component %d/%d): %w", c.Name(), i, len(shards), err)
+			}
+			sets[i] = set
+		}
+
+		// Aggregate sample statistics across components: energies are
+		// additive over components plus the parent model's offset (the
+		// component models carry zero offsets; per-component presolve may
+		// move energy into a reduction offset, which the component's
+		// sample energies then already include).
+		best, mean, gf := model.Offset(), model.Offset(), 1.0
+		maxLen := 0
+		for _, ss := range sets {
+			st.Reads += ss.TotalReads()
+			if ss.Len() == 0 {
+				maxLen = -1
+				break
+			}
+			if ss.Len() > maxLen && maxLen >= 0 {
+				maxLen = ss.Len()
+			}
+			best += ss.Best().Energy
+			mean += ss.MeanEnergy()
+			gf *= ss.GroundFraction(0)
+		}
+		if maxLen <= 0 {
+			// A (custom) sampler returned an empty set for some component;
+			// nothing to merge this attempt.
+			lastCheck = fmt.Errorf("qsmt: empty sample set for a component of %s", c.Name())
+			continue
+		}
+		st.observeBest(best)
+		st.MeanEnergy = mean
+		st.GroundFraction = gf
+
+		// Merge the k-th best sample of every component (clamped to each
+		// component's sample count) into the k-th full-space candidate —
+		// the same exact-decomposition merge the sharded solver uses.
+		limit := s.opts.CandidatesPerAttempt
+		if limit > maxLen {
+			limit = maxLen
+		}
+		phase := time.Now()
+		for k := 0; k < limit; k++ {
+			x := make([]qubo.Bit, model.N())
+			energy := model.Offset()
+			for i := range shards {
+				ss := sets[i]
+				idx := k
+				if idx >= ss.Len() {
+					idx = ss.Len() - 1
+				}
+				smp := ss.Samples[idx]
+				shards[i].Scatter(x, smp.X)
+				energy += smp.Energy
+			}
+			w, ok, fatal, checkErr := examineCandidate(c, x, st)
+			if fatal != nil {
+				st.DecodeVerify += time.Since(phase)
+				return nil, fatal
+			}
+			if !ok {
+				lastCheck = checkErr
+				continue
+			}
+			st.DecodeVerify += time.Since(phase)
+			is.setParent(key, x)
+			res := &Result{
+				Witness:  w,
+				Energy:   energy,
+				Attempts: attempt + 1,
+				Vars:     model.N(),
+				Shards:   len(shards),
+				Elapsed:  time.Since(start),
+			}
+			res.Stats = *st
+			return res, nil
+		}
+		st.DecodeVerify += time.Since(phase)
+	}
+	if lastCheck != nil {
+		return nil, fmt.Errorf("%w (last failure: %v)", ErrNoModel, lastCheck)
+	}
+	return nil, ErrNoModel
+}
+
+// solveComponent solves one touched component and memoizes the result.
+// prev, when non-nil, is the component's previous memo entry; its
+// presolve reduction and compiled model are reused so a re-sample pays
+// only for sampler reads. The returned set holds component-local
+// full-space assignments (already lifted through the reduction).
+func (is *IncrementalSession) solveComponent(ctx context.Context, sh qubo.Shard, fp qubo.Fingerprint, prev *componentEntry, parent []qubo.Bit, attempt, ordinal int, st *SolveStats) (*anneal.SampleSet, error) {
+	s := is.s
+	if sh.Model.NumQuadratic() == 0 {
+		st.ExactShards++
+		set := solveLinearShard(sh.Model, s.opts.Seed, attempt, ordinal)
+		is.store(fp, &componentEntry{set: set, trivial: true})
+		return set, nil
+	}
+
+	var red *qubo.Reduction
+	var compiled *qubo.Compiled
+	if prev != nil && prev.compiled != nil {
+		red, compiled = prev.red, prev.compiled
+		st.IncrementalPresolveReuses++
+	} else {
+		work, r := s.presolve(sh.Model, st)
+		red = r
+		phase := time.Now()
+		compiled = s.compileModel(work, st)
+		st.Compile += time.Since(phase)
+	}
+
+	var sampler Sampler
+	warmed := false
+	if s.opts.ExactShardVars > 0 && compiled.N <= s.opts.ExactShardVars {
+		st.ExactShards++
+		sampler = &anneal.ExactSolver{MaxStates: s.opts.CandidatesPerAttempt}
+	} else {
+		sampler = s.samplerFor(attempt)
+		if ws, ok := warmSampler(sampler, is.componentSeeds(compiled, red, sh, parent, st)); ok {
+			sampler = ws
+			warmed = true
+			st.WarmSeeded++
+		}
+	}
+	phase := time.Now()
+	ss, err := s.sample(ctx, sampler, compiled)
+	st.Sample += time.Since(phase)
+	if err != nil {
+		return nil, err
+	}
+	if warmed && ss.Len() > 0 && ss.Best().Warm {
+		st.WarmHits++
+	}
+
+	// Lift the samples back to the component's full space before
+	// memoizing, so merge-time Scatter and later memo hits need no
+	// reduction bookkeeping. The presolve identity keeps energies exact:
+	// E_component(Lift(x)) = E_reduced(x), offsets included.
+	if red != nil {
+		lifted := make([]anneal.Sample, ss.Len())
+		for k, smp := range ss.Samples {
+			lifted[k] = smp
+			lifted[k].X = red.Lift(smp.X)
+		}
+		ss = &anneal.SampleSet{Samples: lifted}
+	}
+	is.store(fp, &componentEntry{red: red, compiled: compiled, set: ss})
+	return ss, nil
+}
+
+// componentSeeds assembles warm-start states for a sampled component:
+// the parent frame's witness — restricted to the component's variables
+// and projected through its presolve reduction, then greedily polished
+// (anneal.PolishSeed) — leads, followed by the solver's standard greedy
+// seeds. Nil when warm starts are disabled.
+func (is *IncrementalSession) componentSeeds(compiled *qubo.Compiled, red *qubo.Reduction, sh qubo.Shard, parent []qubo.Bit, st *SolveStats) [][]qubo.Bit {
+	if !is.s.opts.WarmStart.enabled(true) {
+		return nil
+	}
+	seeds := is.s.warmSeeds(compiled)
+	if parent == nil {
+		return seeds
+	}
+	local := make([]qubo.Bit, len(sh.Vars))
+	for k, g := range sh.Vars {
+		local[k] = parent[g]
+	}
+	if red != nil {
+		local = red.Project(local)
+	}
+	if seed := anneal.PolishSeed(compiled, local, is.s.opts.Seed); seed != nil {
+		st.IncrementalParentSeeds++
+		seeds = append([][]qubo.Bit{seed}, seeds...)
+	}
+	return seeds
+}
+
+// lookup returns the memo entry for fp, or nil.
+func (is *IncrementalSession) lookup(fp qubo.Fingerprint) *componentEntry {
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	return is.memo[fp]
+}
+
+// store memoizes a component entry, evicting the oldest first-inserted
+// entries beyond the cap. Overwriting an existing fingerprint (a retry
+// replacing its sample set) keeps the original insertion position.
+func (is *IncrementalSession) store(fp qubo.Fingerprint, e *componentEntry) {
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	if _, ok := is.memo[fp]; ok {
+		is.memo[fp] = e
+		return
+	}
+	is.memo[fp] = e
+	is.order = append(is.order, fp)
+	for len(is.order) > incrementalMemoCap {
+		delete(is.memo, is.order[0])
+		is.order = is.order[1:]
+	}
+}
+
+// parentFor returns the lineage's last accepted witness when its width
+// still matches the current model, nil otherwise (an assertion delta
+// that changes the variable layout simply forgoes parent seeding).
+// The returned slice is shared and must be treated as read-only.
+func (is *IncrementalSession) parentFor(key string, n int) []qubo.Bit {
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	p := is.parents[key]
+	if len(p) != n {
+		return nil
+	}
+	return p
+}
+
+// setParent records the lineage's accepted witness for child seeding.
+func (is *IncrementalSession) setParent(key string, x []qubo.Bit) {
+	cp := make([]qubo.Bit, len(x))
+	copy(cp, x)
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	is.parents[key] = cp
+}

@@ -1,0 +1,217 @@
+package qsmt
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/strtheory"
+)
+
+// checkPalindrome fails the test unless s is a length-n palindrome.
+func checkPalindrome(t *testing.T, s string, n int) {
+	t.Helper()
+	if len(s) != n {
+		t.Fatalf("witness %q has length %d, want %d", s, len(s), n)
+	}
+	if strtheory.Reverse(s) != s {
+		t.Fatalf("witness %q is not a palindrome", s)
+	}
+}
+
+func TestIncrementalSessionSolvesLineage(t *testing.T) {
+	s := testSolver(21)
+	is := s.NewIncrementalSession()
+	ctx := context.Background()
+
+	r0, err := is.Solve(ctx, "x", Palindrome(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPalindrome(t, r0.Witness.Str, 8)
+	if !r0.Stats.Incremental {
+		t.Error("Stats.Incremental not set on a session solve")
+	}
+	if r0.Shards <= 1 {
+		t.Fatalf("palindrome(8) solved as %d components; the test needs a decomposable model", r0.Shards)
+	}
+	// The per-bit equality gadgets repeat across mirror pairs, so even
+	// the first solve hits the memo on duplicate components — but not on
+	// all of them (something must have been solved fresh).
+	if r0.Stats.IncrementalHits >= r0.Shards {
+		t.Errorf("first solve reported %d hits over %d components", r0.Stats.IncrementalHits, r0.Shards)
+	}
+
+	// A DFS child pins one position; its siblings differ only in that
+	// pin, so almost all components must come from the session memo.
+	r1, err := is.Solve(ctx, "x", And(Palindrome(8), CharAt('m', 0, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPalindrome(t, r1.Witness.Str, 8)
+	if r1.Witness.Str[0] != 'm' {
+		t.Errorf("witness %q does not honor the pin at 0", r1.Witness.Str)
+	}
+	r2, err := is.Solve(ctx, "x", And(Palindrome(8), CharAt('n', 0, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPalindrome(t, r2.Witness.Str, 8)
+	if r2.Witness.Str[0] != 'n' {
+		t.Errorf("witness %q does not honor the pin at 0", r2.Witness.Str)
+	}
+	if r2.Stats.IncrementalHits == 0 {
+		t.Error("sibling solve reused no components from the memo")
+	}
+
+	// Re-checking an already-solved frame costs no component work at all.
+	r3, err := is.Solve(ctx, "x", And(Palindrome(8), CharAt('m', 0, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Stats.IncrementalHits != r3.Shards {
+		t.Errorf("replayed solve reused %d of %d components, want all", r3.Stats.IncrementalHits, r3.Shards)
+	}
+	if r3.Witness.Str != r1.Witness.Str {
+		t.Errorf("replayed solve witness %q, want the memoized %q", r3.Witness.Str, r1.Witness.Str)
+	}
+}
+
+func TestIncrementalSessionMatchesSolverVerdicts(t *testing.T) {
+	s := testSolver(22)
+	is := s.NewIncrementalSession()
+	ctx := context.Background()
+
+	// Sat: verdict and witness agree with the plain solver.
+	want, err := s.Solve(Includes("hello world", "o w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := is.Solve(ctx, "i", Includes("hello world", "o w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Witness.Index != want.Witness.Index {
+		t.Errorf("session index %d, solver index %d", got.Witness.Index, want.Witness.Index)
+	}
+
+	// Unsat: the session classifies exactly like the solver.
+	if _, err := is.Solve(ctx, "j", Includes("abc", "zz")); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("session err = %v, want ErrUnsatisfiable", err)
+	}
+	if _, err := s.Solve(Includes("abc", "zz")); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("solver err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestIncrementalSessionEmptyModel(t *testing.T) {
+	s := testSolver(23)
+	is := s.NewIncrementalSession()
+	res, err := is.Solve(context.Background(), "e", Equality(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Witness.Str != "" || res.Vars != 0 {
+		t.Errorf("empty equality solved as %+v", res.Witness)
+	}
+}
+
+func TestIncrementalSessionReset(t *testing.T) {
+	s := testSolver(24)
+	is := s.NewIncrementalSession()
+	ctx := context.Background()
+	first, err := is.Solve(ctx, "x", Palindrome(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm: a replay of the same constraint hits on every component.
+	warm, err := is.Solve(ctx, "x", Palindrome(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.IncrementalHits != warm.Shards {
+		t.Fatalf("replay reused %d of %d components", warm.Stats.IncrementalHits, warm.Shards)
+	}
+	is.Reset()
+	// After Reset the solve behaves like the very first one again (only
+	// within-model duplicate components hit).
+	res, err := is.Solve(ctx, "x", Palindrome(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IncrementalHits != first.Stats.IncrementalHits {
+		t.Errorf("solve after Reset reported %d memo hits, want %d (same as a cold session)",
+			res.Stats.IncrementalHits, first.Stats.IncrementalHits)
+	}
+}
+
+// TestIncrementalSessionParentSeeding drives the sampled-component path
+// (exact shard solving disabled, presolve off so the tiny gadget
+// components survive to the sampler) and checks that a child frame's
+// fresh components are warm-started from the parent frame's witness.
+func TestIncrementalSessionParentSeeding(t *testing.T) {
+	s := NewSolver(&Options{
+		Sampler:        &anneal.SimulatedAnnealer{Reads: 16, Sweeps: 200, Seed: 5},
+		ExactShardVars: -1,
+		Presolve:       Off,
+	})
+	is := s.NewIncrementalSession()
+	ctx := context.Background()
+	parent, err := is.Solve(ctx, "x", Palindrome(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent.Stats.IncrementalParentSeeds != 0 {
+		t.Errorf("first frame claimed %d parent seeds with no parent", parent.Stats.IncrementalParentSeeds)
+	}
+	child, err := is.Solve(ctx, "x", And(Palindrome(8), CharAt('m', 0, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPalindrome(t, child.Witness.Str, 8)
+	if child.Stats.IncrementalParentSeeds == 0 {
+		t.Error("child frame's fresh components were not seeded from the parent witness")
+	}
+	if child.Stats.WarmSeeded == 0 {
+		t.Error("child frame's fresh components were not warm-started")
+	}
+}
+
+// TestIncrementalSessionConcurrent drives one session from many
+// goroutines (distinct lineages, overlapping components); run with
+// -race this doubles as the data-race check on the memo and parent
+// maps.
+func TestIncrementalSessionConcurrent(t *testing.T) {
+	s := testSolver(25)
+	is := s.NewIncrementalSession()
+	ctx := context.Background()
+	pins := []byte{'a', 'b', 'c', 'd'}
+	var wg sync.WaitGroup
+	errs := make([]error, len(pins))
+	for i, p := range pins {
+		wg.Add(1)
+		go func(i int, p byte) {
+			defer wg.Done()
+			key := "x" + string(p)
+			for depth := 0; depth < 2; depth++ {
+				res, err := is.Solve(ctx, key, And(Palindrome(8), CharAt(p, depth, 8)))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if res.Witness.Str[depth] != p {
+					errs[i] = errors.New("pin not honored: " + res.Witness.Str)
+					return
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("lineage %d: %v", i, err)
+		}
+	}
+}

@@ -74,6 +74,35 @@ func startState(states [][]qubo.Bit, warm, r, n int, rng *rng) ([]qubo.Bit, bool
 // derivation never aliases a read's stream.
 const greedySeedStreamBase = 0x5eed << 8
 
+// parentSeedStream is the RNG stream PolishSeed descends with, distinct
+// from both the per-read streams and every GreedySeeds stream.
+const parentSeedStream = greedySeedStreamBase - 1
+
+// PolishSeed greedy-descends from a caller-provided start state and
+// returns the resulting locally minimal assignment, for use as a
+// warm-start initial state. It is the incremental-solving half of the
+// warm-start story: an incremental session feeds the parent frame's
+// witness (restricted to a component and projected through the
+// component's presolve reduction) through PolishSeed, so the child
+// query's sampler starts from the basin the parent already solved —
+// Bian et al.'s observation that push/pop children share almost all of
+// the parent's ground structure, made operational. Returns nil when the
+// start state does not match the model width, so callers can thread
+// stale parent witnesses without re-validating layouts.
+func PolishSeed(c *qubo.Compiled, start []qubo.Bit, seed int64) []qubo.Bit {
+	if c == nil || c.N == 0 || len(start) != c.N {
+		return nil
+	}
+	k0 := NewKernel(c)
+	x := make([]qubo.Bit, c.N)
+	copy(x, start)
+	k0.Reset(x)
+	greedyDescend(k0, newRNG(seed, parentSeedStream))
+	out := make([]qubo.Bit, c.N)
+	copy(out, k0.X())
+	return out
+}
+
 // GreedySeeds returns up to k deterministic locally minimal assignments
 // for warm-starting a sampler on c:
 //

@@ -158,3 +158,63 @@ func TestTemperingAndTabuWarmStart(t *testing.T) {
 		t.Fatal("tabu sample set carries no warm provenance")
 	}
 }
+
+// TestPolishSeedDescendsToLocalMinimum pins PolishSeed: the returned
+// state never has a strictly improving single flip, its energy is no
+// worse than the start state's, and a width mismatch returns nil
+// instead of panicking (stale parent witnesses must be droppable).
+func TestPolishSeedDescendsToLocalMinimum(t *testing.T) {
+	m := qubo.New(8)
+	for i := 0; i < 8; i++ {
+		m.AddLinear(i, float64(i%3)-1)
+	}
+	for i := 0; i+1 < 8; i++ {
+		m.AddQuadratic(i, i+1, float64(1-2*(i%2)))
+	}
+	c := m.Compile()
+	start := []qubo.Bit{1, 0, 1, 0, 1, 0, 1, 0}
+	got := PolishSeed(c, start, 7)
+	if len(got) != c.N {
+		t.Fatalf("PolishSeed width = %d, want %d", len(got), c.N)
+	}
+	if e, se := m.Energy(got), m.Energy(start); e > se {
+		t.Errorf("PolishSeed raised the energy: %g -> %g", se, e)
+	}
+	k := NewKernel(c)
+	k.Reset(got)
+	for i := 0; i < c.N; i++ {
+		if k.Delta(i) < -1e-12 {
+			t.Errorf("flip %d still improves by %g; not a local minimum", i, k.Delta(i))
+		}
+	}
+	if PolishSeed(c, make([]qubo.Bit, c.N+3), 7) != nil {
+		t.Error("width-mismatched start accepted")
+	}
+	if PolishSeed(nil, start, 7) != nil {
+		t.Error("nil model accepted")
+	}
+}
+
+// TestPolishSeedDeterministic pins that equal inputs produce equal
+// seeds — the incremental differential tests rely on it.
+func TestPolishSeedDeterministic(t *testing.T) {
+	m := qubo.New(12)
+	for i := 0; i < 12; i++ {
+		m.AddLinear(i, 0.5-float64((i*7)%4)*0.4)
+	}
+	for i := 0; i < 12; i += 2 {
+		m.AddQuadratic(i, (i+5)%12, -1.25)
+	}
+	c := m.Compile()
+	start := make([]qubo.Bit, 12)
+	for i := range start {
+		start[i] = qubo.Bit((i / 3) % 2)
+	}
+	a := PolishSeed(c, start, 42)
+	b := PolishSeed(c, start, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("PolishSeed nondeterministic at bit %d", i)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"qsmt"
+	"qsmt/internal/anneal"
+	"qsmt/internal/smtlib"
+)
+
+// This file is the incremental-solving experiment: a DFS over a
+// branching path condition — the access pattern of symbolic execution,
+// where every branch pushes one more constraint onto a shared prefix —
+// driven through the SMT-LIB interpreter cold (every check-sat re-solves
+// from scratch) versus incrementally (component memo + parent-witness
+// warm starts). The verdict sequences must be identical; the wall-clock
+// ratio is the headline number in BENCH_incremental.json.
+
+// DFSConfig describes one DFS workload over a palindrome path condition
+// of the given length: Depth levels of Branch-way splits, each branch
+// pinning one more character position.
+type DFSConfig struct {
+	Length int   // palindrome length (characters)
+	Depth  int   // DFS depth (positions pinned on the deepest path)
+	Branch int   // branching factor (distinct pin characters per level)
+	Seed   int64 // sampler seed
+	// Incremental selects the interpreter's incremental mode; everything
+	// else about the two runs is identical.
+	Incremental bool
+}
+
+// DFSOutcome reports one DFS walk.
+type DFSOutcome struct {
+	Verdicts string // space-joined check-sat verdict sequence
+	Nodes    int    // check-sat calls issued (tree nodes plus the root)
+	Sat      int    // nodes with verdict sat
+}
+
+// RunIncrementalDFS drives the configured DFS through a fresh
+// interpreter and returns the verdict trace. The base frame asserts a
+// printable palindrome of cfg.Length; each DFS node pushes a scope, pins
+// character position = depth to one of cfg.Branch letters, checks
+// satisfiability, recurses while sat, and pops — the canonical push/pop
+// traffic shape incremental solving targets.
+func RunIncrementalDFS(cfg DFSConfig) (*DFSOutcome, error) {
+	solver := qsmt.NewSolver(&qsmt.Options{
+		Sampler: &anneal.SimulatedAnnealer{Reads: 64, Sweeps: 1000, Seed: cfg.Seed},
+	})
+	var out strings.Builder
+	it := smtlib.NewInterpreter(solver, &out)
+	it.Incremental = cfg.Incremental
+
+	o := &DFSOutcome{}
+	check := func(src string) (smtlib.Status, error) {
+		if err := it.Execute(src); err != nil {
+			return smtlib.StatusUnknown, err
+		}
+		o.Nodes++
+		st, _ := it.Status()
+		if st == smtlib.StatusSat {
+			o.Sat++
+		}
+		return st, nil
+	}
+
+	if _, err := check(fmt.Sprintf(
+		`(declare-const x String)(assert (= x (str.rev x)))(assert (= (str.len x) %d))(check-sat)`,
+		cfg.Length)); err != nil {
+		return nil, err
+	}
+	var walk func(depth int) error
+	walk = func(depth int) error {
+		if depth >= cfg.Depth {
+			return nil
+		}
+		for b := 0; b < cfg.Branch; b++ {
+			st, err := check(fmt.Sprintf(
+				`(push)(assert (= (str.at x %d) "%c"))(check-sat)`,
+				depth, 'a'+byte(b)))
+			if err != nil {
+				return err
+			}
+			if st == smtlib.StatusSat {
+				if err := walk(depth + 1); err != nil {
+					return err
+				}
+			}
+			if err := it.Execute(`(pop)`); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	o.Verdicts = strings.Join(strings.Fields(out.String()), " ")
+	return o, nil
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// The cold-vs-incremental DFS benchmarks. Both walks execute the exact
+// same interpreter traffic (palindrome base, push / pin / check-sat /
+// pop at every node); the only difference is Incremental mode. The
+// speedup benchmark runs both per iteration, fails hard if verdicts
+// ever diverge, and reports the wall-clock ratio as a custom metric so
+// BENCH_incremental.json carries the acceptance number directly.
+
+func dfsBenchConfig(incremental bool) DFSConfig {
+	return DFSConfig{Length: 10, Depth: 3, Branch: 2, Seed: 99, Incremental: incremental}
+}
+
+func runDFS(b *testing.B, cfg DFSConfig) *DFSOutcome {
+	b.Helper()
+	out, err := RunIncrementalDFS(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if out.Sat == 0 {
+		b.Fatalf("DFS reached no sat node (verdicts %q); the workload is degenerate", out.Verdicts)
+	}
+	return out
+}
+
+func BenchmarkDFSCold(b *testing.B) {
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		nodes = runDFS(b, dfsBenchConfig(false)).Nodes
+	}
+	b.ReportMetric(float64(nodes), "nodes")
+}
+
+func BenchmarkDFSIncremental(b *testing.B) {
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		nodes = runDFS(b, dfsBenchConfig(true)).Nodes
+	}
+	b.ReportMetric(float64(nodes), "nodes")
+}
+
+// BenchmarkDFSSpeedup runs the cold and incremental walks back to back
+// per iteration, asserts verdict-sequence equality, and reports the
+// cold/incremental time ratio. Acceptance: x_speedup >= 5.
+func BenchmarkDFSSpeedup(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		coldStart := time.Now()
+		cold := runDFS(b, dfsBenchConfig(false))
+		coldDur := time.Since(coldStart)
+
+		incrStart := time.Now()
+		incr := runDFS(b, dfsBenchConfig(true))
+		incrDur := time.Since(incrStart)
+
+		if cold.Verdicts != incr.Verdicts {
+			b.Fatalf("verdicts diverge:\n  cold        %s\n  incremental %s", cold.Verdicts, incr.Verdicts)
+		}
+		speedup = float64(coldDur) / float64(incrDur)
+	}
+	b.ReportMetric(speedup, "x_speedup")
+}

@@ -116,6 +116,24 @@ func (r *Reduction) Lift(x []Bit) []Bit {
 	return full
 }
 
+// Project maps a full-model assignment onto the reduced variable space:
+// reduced variable k takes full[Vars[k]], eliminated variables are
+// dropped. It is the left inverse of Lift on surviving variables
+// (Project(Lift(x)) == x for every reduced x), and is how an assignment
+// found for an earlier revision of a model — an incremental session's
+// parent-frame witness — is threaded through a fresh presolve as a
+// warm-start state.
+func (r *Reduction) Project(full []Bit) []Bit {
+	if len(full) != r.FullN {
+		panic(fmt.Sprintf("qubo: project of %d bits, full model has %d", len(full), r.FullN))
+	}
+	x := make([]Bit, len(r.Vars))
+	for k, g := range r.Vars {
+		x[k] = full[g]
+	}
+	return x
+}
+
 // LiftInto is Lift into a caller-provided slice of length FullN.
 func (r *Reduction) LiftInto(full, x []Bit) {
 	if len(x) != r.Model.N() {

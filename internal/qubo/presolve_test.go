@@ -367,3 +367,51 @@ func TestPresolveStrongPersistencyPreservesGroundStates(t *testing.T) {
 		}
 	}
 }
+
+// TestReductionProjectInvertsLift pins Project as the left inverse of
+// Lift on surviving variables, over random reducing models: for every
+// reduced-space assignment x, Project(Lift(x)) == x, and projecting an
+// arbitrary full assignment gathers exactly the surviving positions.
+func TestReductionProjectInvertsLift(t *testing.T) {
+	rng := presolveRNG(0xfeedface)
+	for trial := 0; trial < 60; trial++ {
+		m := randomPresolveModel(&rng, 4+rng.intn(10))
+		red := Presolve(m)
+		n := red.Model.N()
+		for rep := 0; rep < 4; rep++ {
+			x := make([]Bit, n)
+			for i := range x {
+				x[i] = Bit(rng.intn(2))
+			}
+			back := red.Project(red.Lift(x))
+			for i := range x {
+				if back[i] != x[i] {
+					t.Fatalf("trial %d: Project(Lift(x))[%d] = %d, want %d", trial, i, back[i], x[i])
+				}
+			}
+		}
+		full := make([]Bit, red.FullN)
+		for i := range full {
+			full[i] = Bit(rng.intn(2))
+		}
+		proj := red.Project(full)
+		for k, g := range red.Vars {
+			if proj[k] != full[g] {
+				t.Fatalf("trial %d: Project gathered full[%d] wrong", trial, g)
+			}
+		}
+	}
+}
+
+// TestReductionProjectWidthPanics pins the width contract.
+func TestReductionProjectWidthPanics(t *testing.T) {
+	m := New(3)
+	m.AddLinear(0, 5) // persistency-fixed to 0
+	red := Presolve(m)
+	defer func() {
+		if recover() == nil {
+			t.Error("Project accepted a wrong-width assignment")
+		}
+	}()
+	red.Project(make([]Bit, red.FullN+1))
+}

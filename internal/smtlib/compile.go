@@ -15,6 +15,12 @@ type Problem struct {
 	Sort     Sort
 	Pipeline *qsmt.Pipeline  // non-nil for string variables
 	Single   qsmt.Constraint // non-nil for integer variables
+	// Asserts holds the assertion nodes that produced this problem, in
+	// assertion order. The interpreter's incremental mode keys its
+	// per-problem memo on their rendered forms: a push/pop delta that
+	// leaves a variable's assertion group untouched leaves its key — and
+	// therefore its memoized verdict — untouched.
+	Asserts []*Node
 }
 
 // Compilation is the result of compiling a script's assertions.
@@ -66,6 +72,7 @@ func Compile(sc *Script) (*Compilation, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.Asserts = asserts
 		comp.Problems = append(comp.Problems, p)
 	}
 	return comp, nil

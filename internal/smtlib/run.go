@@ -61,6 +61,25 @@ type Interpreter struct {
 	// dependency and run stage by stage. Implies the same concurrency
 	// caveat as Parallel.
 	Batch bool
+	// Incremental makes push/pop traffic actually incremental: each
+	// per-variable problem is memoized under its assertion-set key, so a
+	// check-sat after a pop (or any delta leaving a variable's assertions
+	// unchanged) reuses the earlier verdict outright, and changed
+	// problems solve through a qsmt.IncrementalSession — unchanged QUBO
+	// components are reused across frames and touched components are
+	// warm-started from the parent frame's witness. Takes precedence over
+	// Batch; composes with Parallel.
+	Incremental bool
+
+	// Incremental-mode state: the session (lazily created), the
+	// per-problem verdict memo with its FIFO insertion order, and the
+	// per-node render cache backing the memo keys. Guarded by incrMu so
+	// Parallel check-sats can share them.
+	session    *qsmt.IncrementalSession
+	incrMu     sync.Mutex
+	probMemo   map[string]memoResult
+	probOrder  []string
+	renderMemo map[*Node]string
 
 	// Live assertion state (push/pop-scoped).
 	decls   []Decl
@@ -74,7 +93,9 @@ type Interpreter struct {
 }
 
 // frame records the state sizes at a push, restored by the matching pop.
-type frame struct{ nDecls, nAsserts int }
+// All three live-state slices are covered: forgetting one (nDefines was
+// missing for several releases) leaks scoped items past their pop.
+type frame struct{ nDecls, nAsserts, nDefines int }
 
 // NewInterpreter returns an interpreter writing command responses to out.
 // A nil solver selects qsmt defaults.
@@ -156,17 +177,21 @@ func (it *Interpreter) runCommand(cmd Command) (done bool, err error) {
 		it.printInfo(cmd.Arg)
 	case CmdPush:
 		for k := 0; k < cmd.N; k++ {
-			it.frames = append(it.frames, frame{nDecls: len(it.decls), nAsserts: len(it.asserts)})
+			it.frames = append(it.frames, frame{nDecls: len(it.decls), nAsserts: len(it.asserts), nDefines: len(it.defines)})
 		}
 	case CmdPop:
+		// Validate before unwinding anything, so an over-deep pop is
+		// atomic: it errors with every scope intact instead of popping
+		// as far as it can and then failing.
+		if cmd.N > len(it.frames) {
+			return false, errors.New("smtlib: pop without matching push")
+		}
 		for k := 0; k < cmd.N; k++ {
-			if len(it.frames) == 0 {
-				return false, errors.New("smtlib: pop without matching push")
-			}
 			f := it.frames[len(it.frames)-1]
 			it.frames = it.frames[:len(it.frames)-1]
 			it.decls = it.decls[:f.nDecls]
 			it.asserts = it.asserts[:f.nAsserts]
+			it.defines = it.defines[:f.nDefines]
 		}
 	case CmdExit:
 		return true, nil
@@ -199,6 +224,10 @@ func (it *Interpreter) checkSat() error {
 	results := make([]solved, len(comp.Problems))
 	solveOne := func(i int) {
 		p := comp.Problems[i]
+		if it.Incremental {
+			results[i].val, results[i].err = it.solveIncremental(p)
+			return
+		}
 		switch {
 		case p.Pipeline != nil:
 			res, err := it.Solver.Run(p.Pipeline)
@@ -218,7 +247,7 @@ func (it *Interpreter) checkSat() error {
 	}
 	// rest indexes the problems not claimed by the batch path below.
 	rest := make([]int, 0, len(comp.Problems))
-	if it.Batch {
+	if it.Batch && !it.Incremental {
 		var batchIdx []int
 		var cs []qsmt.Constraint
 		for i, p := range comp.Problems {

@@ -65,6 +65,20 @@ type SolveStats struct {
 	// and per-shard compilations combined).
 	CacheHits int
 
+	// Incremental reports that the solve ran through an
+	// IncrementalSession: components resolved against the session memo,
+	// touched ones re-presolved and re-sampled, untouched ones reused.
+	Incremental bool
+	// IncrementalHits counts components whose memoized sample set was
+	// reused outright — no presolve, no compile, no sampling.
+	IncrementalHits int
+	// IncrementalParentSeeds counts sampled components that were seeded
+	// from the parent frame's witness (anneal.PolishSeed).
+	IncrementalParentSeeds int
+	// IncrementalPresolveReuses counts re-sampled components that reused
+	// a memoized component presolve instead of re-running the stage.
+	IncrementalPresolveReuses int
+
 	// bestSet tracks whether BestEnergy holds a real sample energy yet;
 	// without it an empty first sample set would leave the zero value
 	// looking like a legitimate best of 0.
@@ -124,6 +138,16 @@ type SolverMetrics struct {
 	WarmSeeded         *obs.Counter   // qsmt_presolve_warm_seeded_total
 	WarmHits           *obs.Counter   // qsmt_presolve_warm_hits_total
 
+	// Incremental sessions. Recorded per IncrementalSession.Solve; the
+	// hit counters divide against the component counter to the session
+	// reuse rate, the headline number of the incremental path.
+	IncrementalSolves         *obs.Counter   // qsmt_incremental_solves_total
+	IncrementalComponents     *obs.Counter   // qsmt_incremental_components_total
+	IncrementalHits           *obs.Counter   // qsmt_incremental_component_hits_total
+	IncrementalParentSeeds    *obs.Counter   // qsmt_incremental_parent_seeds_total
+	IncrementalPresolveReuses *obs.Counter   // qsmt_incremental_presolve_reuses_total
+	IncrementalReuse          *obs.Histogram // qsmt_incremental_reuse_ratio
+
 	// Compile cache. Counters advance by delta against the last synced
 	// qubo.CacheStats snapshot, so one SolverMetrics should front one
 	// cache (shared solvers sharing both is fine).
@@ -171,6 +195,13 @@ func NewSolverMetrics(r *obs.Registry) *SolverMetrics {
 		PresolveSeconds:    r.Histogram("qsmt_presolve_seconds", "Presolve stage time per solve.", obs.DefaultLatencyBuckets),
 		WarmSeeded:         r.Counter("qsmt_presolve_warm_seeded_total", "Sampling operations offered warm-start states."),
 		WarmHits:           r.Counter("qsmt_presolve_warm_hits_total", "Warm-seeded sampling operations whose best sample was warm-started."),
+
+		IncrementalSolves:         r.Counter("qsmt_incremental_solves_total", "Solves run through an IncrementalSession."),
+		IncrementalComponents:     r.Counter("qsmt_incremental_components_total", "Connected components examined by incremental solves."),
+		IncrementalHits:           r.Counter("qsmt_incremental_component_hits_total", "Components reused straight from the session memo."),
+		IncrementalParentSeeds:    r.Counter("qsmt_incremental_parent_seeds_total", "Sampled components warm-started from the parent frame's witness."),
+		IncrementalPresolveReuses: r.Counter("qsmt_incremental_presolve_reuses_total", "Re-sampled components that reused a memoized component presolve."),
+		IncrementalReuse:          r.Histogram("qsmt_incremental_reuse_ratio", "Fraction of components reused from the memo per incremental solve.", obs.FractionBuckets),
 
 		CacheHits:      r.Counter("qsmt_cache_hits_total", "Compile-cache hits."),
 		CacheMisses:    r.Counter("qsmt_cache_misses_total", "Compile-cache misses."),
@@ -223,6 +254,16 @@ func (m *SolverMetrics) record(st *SolveStats, err error) {
 	}
 	if st.ShardFallback {
 		m.ShardFallbacks.Inc()
+	}
+	if st.Incremental {
+		m.IncrementalSolves.Inc()
+		m.IncrementalComponents.Add(float64(st.Shards))
+		m.IncrementalHits.Add(float64(st.IncrementalHits))
+		m.IncrementalParentSeeds.Add(float64(st.IncrementalParentSeeds))
+		m.IncrementalPresolveReuses.Add(float64(st.IncrementalPresolveReuses))
+		if st.Shards > 0 {
+			m.IncrementalReuse.Observe(float64(st.IncrementalHits) / float64(st.Shards))
+		}
 	}
 }
 
