@@ -251,6 +251,7 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 		maxLen := 0
 		for _, ss := range sets {
 			st.Reads += ss.TotalReads()
+			st.observeKernel(ss.Kernel)
 			if ss.Len() == 0 {
 				maxLen = -1
 				break

@@ -11,6 +11,11 @@
 // kernel sweep's proposals/s). Repeated runs of the same benchmark
 // (-count > 1) keep the fastest ns/op, the usual convention for
 // noise-prone shared machines.
+//
+// With -merge, rows already present in the -o file are kept unless this
+// run re-measured them, so one JSON artifact can be assembled from
+// several `go test -bench` invocations at different -benchtime budgets
+// (Table 1 rows at 1x, substrate sweeps at a real time budget).
 package main
 
 import (
@@ -34,6 +39,7 @@ type Result struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	merge := flag.Bool("merge", false, "merge into existing -o file: keep rows not re-measured by this run")
 	flag.Parse()
 
 	results, err := parse(os.Stdin)
@@ -44,6 +50,22 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
 		os.Exit(1)
+	}
+	if *merge {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -merge requires -o")
+			os.Exit(1)
+		}
+		if prev, err := readExisting(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		} else {
+			for name, res := range prev {
+				if _, measured := results[name]; !measured {
+					results[name] = res
+				}
+			}
+		}
 	}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -61,6 +83,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// readExisting loads a prior benchjson artifact for -merge. A missing
+// file is an empty baseline, not an error, so -merge is safe on the
+// first run; a malformed file is an error rather than silent data loss.
+func readExisting(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	prev := make(map[string]Result)
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("existing %s is not a benchjson artifact: %v", path, err)
+	}
+	return prev, nil
 }
 
 // parse scans go-test output for benchmark result lines. The format is

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -79,6 +80,56 @@ func TestParseIgnoresNonBenchmarkLines(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Errorf("parsed %v from garbage input", sortedNames(got))
+	}
+}
+
+func TestReadExistingForMerge(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file: empty baseline, not an error (first -merge run).
+	got, err := readExisting(dir + "/absent.json")
+	if err != nil {
+		t.Fatalf("missing file: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("missing file yielded %v", sortedNames(got))
+	}
+
+	path := dir + "/bench.json"
+	prev := `{"BenchmarkOld": {"ns_per_op": 42, "iterations": 3},
+	          "BenchmarkBoth": {"ns_per_op": 9, "iterations": 1}}`
+	if err := os.WriteFile(path, []byte(prev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = readExisting(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkOld"].NsPerOp != 42 || got["BenchmarkBoth"].NsPerOp != 9 {
+		t.Fatalf("readExisting = %+v", got)
+	}
+
+	// The merge rule: fresh measurements win, stale-only rows survive.
+	fresh := map[string]Result{"BenchmarkBoth": {NsPerOp: 7, Iterations: 5}}
+	for name, res := range got {
+		if _, measured := fresh[name]; !measured {
+			fresh[name] = res
+		}
+	}
+	if fresh["BenchmarkBoth"].NsPerOp != 7 {
+		t.Errorf("re-measured row not overwritten: %+v", fresh["BenchmarkBoth"])
+	}
+	if fresh["BenchmarkOld"].NsPerOp != 42 {
+		t.Errorf("stale row lost: %+v", fresh["BenchmarkOld"])
+	}
+
+	// Malformed artifact must error, not silently drop history.
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readExisting(bad); err == nil {
+		t.Error("malformed artifact accepted")
 	}
 }
 

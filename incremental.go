@@ -175,6 +175,7 @@ func (is *IncrementalSession) solve(ctx context.Context, key string, c Constrain
 		maxLen := 0
 		for _, ss := range sets {
 			st.Reads += ss.TotalReads()
+			st.observeKernel(ss.Kernel)
 			if ss.Len() == 0 {
 				maxLen = -1
 				break

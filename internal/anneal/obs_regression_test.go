@@ -246,27 +246,55 @@ func (c *countdownCtx) Err() error {
 // TestCollectorRecordsCancellation: a run cut off by its context reports
 // cancelled and skipped reads, so restart utilisation is observable.
 func TestCollectorRecordsCancellation(t *testing.T) {
-	target := []Bit{1, 0, 1, 1}
-	c := diagModel(target).Compile()
-	reg := obs.NewRegistry()
-	col := obs.NewCollector(reg)
-	// Single worker, 4 reads of 5 sweeps: the Err budget runs out inside
-	// the second read, so at least one read is cancelled mid-run and at
-	// least one is never dispatched.
-	ctx := &countdownCtx{Context: context.Background(), remaining: 9}
-	sa := &SimulatedAnnealer{Reads: 4, Sweeps: 5, Workers: 1, Seed: 1, Collector: col}
-	if _, err := sa.SampleContext(ctx, c); err == nil {
-		t.Fatal("cancelled run succeeded")
-	}
-	started := col.Reads.Value()
-	skipped := col.ReadsSkipped.Value()
-	if started+skipped != 4 {
-		t.Errorf("started (%g) + skipped (%g) != 4 requested reads", started, skipped)
-	}
-	if skipped == 0 {
-		t.Error("no skipped reads recorded")
-	}
-	if col.ReadsCancelled.Value() == 0 {
-		t.Error("no mid-run cancellation recorded")
-	}
+	t.Run("scalar", func(t *testing.T) {
+		target := []Bit{1, 0, 1, 1}
+		c := diagModel(target).Compile()
+		reg := obs.NewRegistry()
+		col := obs.NewCollector(reg)
+		// Single worker, 4 reads of 5 sweeps: the Err budget runs out inside
+		// the second read, so at least one read is cancelled mid-run and at
+		// least one is never dispatched.
+		ctx := &countdownCtx{Context: context.Background(), remaining: 9}
+		sa := &SimulatedAnnealer{Reads: 4, Sweeps: 5, Workers: 1, Seed: 1, Scalar: true, Collector: col}
+		if _, err := sa.SampleContext(ctx, c); err == nil {
+			t.Fatal("cancelled run succeeded")
+		}
+		started := col.Reads.Value()
+		skipped := col.ReadsSkipped.Value()
+		if started+skipped != 4 {
+			t.Errorf("started (%g) + skipped (%g) != 4 requested reads", started, skipped)
+		}
+		if skipped == 0 {
+			t.Error("no skipped reads recorded")
+		}
+		if col.ReadsCancelled.Value() == 0 {
+			t.Error("no mid-run cancellation recorded")
+		}
+	})
+
+	t.Run("packed", func(t *testing.T) {
+		target := []Bit{1, 0, 1, 1}
+		c := diagModel(target).Compile()
+		reg := obs.NewRegistry()
+		col := obs.NewCollector(reg)
+		// 130 reads = three 64-lane groups (64+64+2). The Err budget runs
+		// out inside the second group's sweeps, so its 64 lanes are
+		// cancelled mid-run and the third group's 2 reads are skipped.
+		ctx := &countdownCtx{Context: context.Background(), remaining: 9}
+		sa := &SimulatedAnnealer{Reads: 130, Sweeps: 5, Workers: 1, Seed: 1, Collector: col}
+		if _, err := sa.SampleContext(ctx, c); err == nil {
+			t.Fatal("cancelled run succeeded")
+		}
+		started := col.Reads.Value()
+		skipped := col.ReadsSkipped.Value()
+		if started+skipped != 130 {
+			t.Errorf("started (%g) + skipped (%g) != 130 requested reads", started, skipped)
+		}
+		if skipped == 0 {
+			t.Error("no skipped reads recorded")
+		}
+		if col.ReadsCancelled.Value() == 0 {
+			t.Error("no mid-run cancellation recorded")
+		}
+	})
 }

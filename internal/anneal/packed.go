@@ -1,0 +1,506 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"qsmt/internal/qubo"
+)
+
+// This file is the bit-parallel multi-replica annealing kernel: 64
+// independent Metropolis walkers ("lanes") advance through one shared scan
+// of the model. It is the multi-spin-coding layout quantum-inspired
+// heuristic solvers (momentum annealing, simulated-bifurcation machines)
+// get their headline throughput from, adapted to the incremental
+// local-field scheme of the scalar Kernel:
+//
+//   - State is a structure of arrays: bit r of lanes[i] is spin i of
+//     replica r, and field[i*Lanes+r] caches replica r's SIGNED flip
+//     delta d_i = (1−2x_i)·(h_i + Σ_j W_ij·x_j), kept incrementally
+//     exact. Storing the delta rather than the raw local field moves all
+//     sign handling off the rejection path: the accept-mask loop is a
+//     pure multiply-compare over the column, with no spin-bit extraction
+//     per lane (measured ~30% of the AVX2 kernel's time when the signs
+//     were applied in-loop). The price is paid only on accepted flips:
+//     the flipped variable's own entry negates (x_i flips the 1−2x_i
+//     factor; the raw field is diagonal-free and unchanged), and a
+//     neighbour's ±w update direction picks up the neighbour's own spin
+//     sign — one extra XOR against the already-loaded lane word.
+//   - One sweep walks the variables once. Per variable the kernel spends
+//     one ziggurat Exp(1) draw (refreshing one threshold-pool slot), then
+//     64 compare steps over the variable's contiguous field column to
+//     form the accept mask — four lanes per AVX2 vector op where the CPU
+//     has it, a branch-free rolling-mask scalar loop otherwise; the flips
+//     land as a single XOR of the mask into the lane word.
+//   - Only accepted flips pay O(degree) per accepting lane to push ±w
+//     into the neighbours' field columns — the same asymptotics as the
+//     scalar kernel, so the packed layout wins exactly where sweeps are
+//     rejection-dominated (the cold end of every schedule) and ties
+//     elsewhere.
+//
+// Accept-mask derivation. The Metropolis rule accepts a proposal with
+// ΔE ≤ 0 always and ΔE > 0 with probability exp(−β·ΔE). Drawing u uniform
+// in [0,1), the event u < exp(−β·ΔE) is exactly the event β·ΔE < t with
+// t = −ln(u) an Exp(1) variate: t > 0 covers every downhill proposal,
+// and P(t > β·ΔE) = exp(−β·ΔE) covers the uphill tail — the same
+// acceptance law the scalar sweep implements with the range-reduced
+// expNeg bracket, inverted so the transcendental is paid once per
+// variable instead of once per replica. The per-lane thresholds come
+// from a pool of poolSize Exp(1) variates (see the pool field): every
+// proposal step refreshes one pool slot with a fresh ziggurat draw and
+// then reads a contiguous 64-value window at a RANDOM offset, so lane r
+// takes the window's r-th value. Each lane's marginal chain is an exact
+// Metropolis chain (every threshold it reads is Exp(1)-distributed and
+// independent of the lane's own state); lanes are weakly correlated
+// only through scattered value reuse across the pool's lifetime. Both
+// degenerate sharing schemes fail: a single threshold shared across
+// lanes makes lane coalescence absorbing and collapses the 64-walker
+// population to one, and a rotating 64-slot ring (lane r reading slot
+// (step+r) mod 64) hands every lane the same 64-value set per window,
+// time-shifted by one step per lane — the group then sees correlated
+// temperature fluctuations and either funnels together or collectively
+// misses the ground state (see DESIGN §13 for both measurements).
+//
+// Fixed point is deliberately NOT used for the field columns: model
+// weights arrive from penalty constructions at wildly mixed scales
+// (1e-2..1e2 within one model is common under quadratization), so a
+// shared fixed-point grid either overflows the large couplers or
+// truncates the small ones past the 1e-9 equivalence bar the scalar
+// kernel is held to. Float64 columns keep packed-vs-scalar agreement
+// exact to rounding; see DESIGN §13.
+//
+// A PackedKernel is not safe for concurrent use; every worker owns its
+// own (the compiled model is shared read-only).
+
+// Lanes is the replica population a PackedKernel advances per sweep: one
+// replica per bit of a machine word.
+const Lanes = 64
+
+// packedStreamBase offsets the RNG stream indices used by packed kernel
+// groups far away from both the scalar per-read streams (0..reads−1) and
+// the greedy-seed streams, so group streams never alias either.
+const packedStreamBase = 0xb17 << 16
+
+// packedResyncEvery bounds incremental drift for the packed kernel. The
+// scalar kernel rebuilds every defaultResyncEvery accepted flips; drift
+// here grows per lane, so the bound scales by the lane count and the
+// O(Lanes·(N+M)) rebuild amortizes identically per lane flip.
+const packedResyncEvery = Lanes * defaultResyncEvery
+
+// signBit isolates a float64 sign for the branchless conditional-negate
+// trick: Float64frombits(Float64bits(v) ^ signBit) is exactly −v.
+const signBit = uint64(1) << 63
+
+// poolSize is the threshold-pool length (a power of two, ≥ 4·Lanes so
+// the random 64-value windows of nearby steps rarely overlap). 1024
+// keeps the pool + mirror comfortably inside L1 (8.5 KB) while making
+// any specific value's reuse by any specific lane rare and untimed.
+const (
+	poolSize = 1024
+	poolMask = poolSize - 1
+)
+
+// PackedKernel anneals 64 replicas bit-parallel over one compiled QUBO.
+// Construct with NewPackedKernel, install states with InitRandom/SetLane
+// followed by one Rebuild, then drive with Sweep/GreedyDescend and read
+// results back with ExtractLane/Energy.
+type PackedKernel struct {
+	c *qubo.Compiled
+	r *rng
+
+	// lanes[i] holds spin i of all 64 replicas: bit r is replica r.
+	lanes []uint64
+	// field[i*Lanes+r] = ΔE of flipping variable i in replica r — the
+	// SIGNED delta (1−2x_i)·(h_i + Σ_j W_ij·x_j), not the raw local
+	// field, so the accept-mask loop needs no per-lane sign fixup.
+	// Variable-major: each variable's 64 lane deltas are one contiguous
+	// column, which the accept-mask loop streams sequentially (and the
+	// AVX2 kernel loads four at a time).
+	field []float64
+	// energy[r] is replica r's running incremental energy.
+	energy [Lanes]float64
+	// active masks the lanes sweeps advance: inactive lanes never flip
+	// (their state and field columns stay frozen). Samplers use it for
+	// partially filled tail groups and to hold warm lanes out of the hot
+	// half of a schedule.
+	active uint64
+
+	// pool holds poolSize Exp(1) threshold variates, with the first
+	// Lanes entries mirrored at pool[poolSize:] so any 64-value window
+	// pool[off:off+64] with off < poolSize is contiguous — ready for
+	// sequential (and vector) loads with no wraparound. Every proposal
+	// step refreshes one slot (sequentially, position step&poolMask,
+	// mirror maintained) and reads its window at a fresh random offset,
+	// so value reuse is scattered across lanes and steps instead of
+	// following any fixed lane↔slot pattern. The raw variates are never
+	// premultiplied by 1/β; the accept compare scales the delta instead
+	// (β·ΔE < t), so no per-sweep rescale pass is needed and the ladder
+	// sweep's per-lane β comes for free.
+	pool []float64
+	step int
+
+	accepted    int // accepted lane flips since the last exact resync
+	resyncEvery int // overrides packedResyncEvery when positive (tests)
+
+	// Population counters, never reset (Rebuild installs state but work
+	// already done stays counted).
+	laneFlips [Lanes]int64 // accepted flips per lane
+	flips     int64        // total accepted lane flips
+	proposals int64        // lane proposals examined by Sweep/GreedyDescend
+	resyncs   int64        // drift-bound exact rebuilds
+
+	scratch []qubo.Bit // lane extraction buffer for exact energy rebuilds
+}
+
+// NewPackedKernel returns a packed kernel for the model with all lanes at
+// the all-zeros assignment, every lane active, and a deterministic
+// internal RNG on the (seed, stream) xoshiro256++ stream — the same
+// derivation the scalar samplers use per read, so packed runs are
+// reproducible per seed exactly like scalar ones.
+func NewPackedKernel(c *qubo.Compiled, seed int64, stream int) *PackedKernel {
+	p := &PackedKernel{
+		c:       c,
+		r:       newRNG(seed, stream),
+		lanes:   make([]uint64, c.N),
+		field:   make([]float64, c.N*Lanes),
+		active:  ^uint64(0),
+		pool:    make([]float64, poolSize+Lanes),
+		scratch: make([]qubo.Bit, c.N),
+	}
+	for s := 0; s < poolSize; s++ {
+		e := p.r.expFloat64()
+		p.pool[s] = e
+		if s < Lanes {
+			p.pool[s+poolSize] = e
+		}
+	}
+	p.rebuild()
+	return p
+}
+
+// N returns the model's variable count.
+func (p *PackedKernel) N() int { return p.c.N }
+
+// InitRandom fills every lane with an independent uniformly random
+// assignment (one RNG word per variable covers all 64 lanes). Call
+// Rebuild before sweeping.
+func (p *PackedKernel) InitRandom() {
+	for i := range p.lanes {
+		p.lanes[i] = p.r.Uint64()
+	}
+}
+
+// SetLane installs x as lane r's assignment. Call Rebuild before
+// sweeping; SetLane only writes the lane bits.
+func (p *PackedKernel) SetLane(r int, x []qubo.Bit) {
+	if len(x) != p.c.N {
+		panic(fmt.Sprintf("anneal: packed lane set with %d bits, model has %d", len(x), p.c.N))
+	}
+	bit := uint64(1) << r
+	for i, xi := range x {
+		if xi == 0 {
+			p.lanes[i] &^= bit
+		} else {
+			p.lanes[i] |= bit
+		}
+	}
+}
+
+// ExtractLane copies lane r's assignment into dst (len must be N).
+func (p *PackedKernel) ExtractLane(r int, dst []qubo.Bit) {
+	for i, w := range p.lanes {
+		dst[i] = qubo.Bit(w >> r & 1)
+	}
+}
+
+// SetActive restricts sweeps to the lanes in mask. Inactive lanes are
+// frozen exactly: no flips, no field updates, no energy drift.
+func (p *PackedKernel) SetActive(mask uint64) { p.active = mask }
+
+// Active returns the current lane mask.
+func (p *PackedKernel) Active() uint64 { return p.active }
+
+// Energy returns lane r's running incremental energy.
+func (p *PackedKernel) Energy(r int) float64 { return p.energy[r] }
+
+// Delta returns ΔE of flipping variable i in lane r — an O(1) read of
+// the incremental signed-delta column.
+func (p *PackedKernel) Delta(i, r int) float64 {
+	return p.field[i*Lanes+r]
+}
+
+// LaneFlips returns the lifetime accepted-flip count of lane r.
+func (p *PackedKernel) LaneFlips(r int) int64 { return p.laneFlips[r] }
+
+// Flips returns the lifetime accepted lane-flip total across all lanes.
+func (p *PackedKernel) Flips() int64 { return p.flips }
+
+// Proposals returns the lifetime count of lane proposals examined (one
+// per active lane per variable visited).
+func (p *PackedKernel) Proposals() int64 { return p.proposals }
+
+// Resyncs returns how many drift-bound exact rebuilds have run.
+func (p *PackedKernel) Resyncs() int64 { return p.resyncs }
+
+// Rebuild recomputes every field column and lane energy exactly from the
+// lane words, in O(Lanes·(N+M)). Call it once after installing states.
+func (p *PackedKernel) Rebuild() { p.rebuild() }
+
+func (p *PackedKernel) rebuild() {
+	c := p.c
+	for i := 0; i < c.N; i++ {
+		f := p.field[i*Lanes : i*Lanes+Lanes]
+		h := c.Linear[i]
+		for rr := range f {
+			f[rr] = h
+		}
+		for q := c.RowStart[i]; q < c.RowStart[i+1]; q++ {
+			w := c.NeighW[q]
+			for m := p.lanes[c.NeighJ[q]]; m != 0; m &= m - 1 {
+				f[bits.TrailingZeros64(m)] += w
+			}
+		}
+		// Apply the (1−2x_i) factor: lanes whose spin is set store −f.
+		for m := p.lanes[i]; m != 0; m &= m - 1 {
+			rr := bits.TrailingZeros64(m)
+			f[rr] = -f[rr]
+		}
+	}
+	for rr := 0; rr < Lanes; rr++ {
+		p.ExtractLane(rr, p.scratch)
+		p.energy[rr] = c.Energy(p.scratch)
+	}
+	p.accepted = 0
+}
+
+// ExactEnergy recomputes lane r's energy from the model, installs it as
+// the lane's running energy, and returns it.
+func (p *PackedKernel) ExactEnergy(r int) float64 {
+	p.ExtractLane(r, p.scratch)
+	p.energy[r] = p.c.Energy(p.scratch)
+	return p.energy[r]
+}
+
+// Sweep runs one Metropolis pass at inverse temperature beta over all
+// active lanes: every variable is proposed exactly once per lane. The
+// visit order is a random rotation of the sequential scan, mirroring the
+// scalar sweep.
+func (p *PackedKernel) Sweep(beta float64) {
+	n := len(p.lanes)
+	if n == 0 || p.active == 0 {
+		return
+	}
+	p.proposals += int64(n) * int64(bits.OnesCount64(p.active))
+	start := p.r.Intn(n)
+	p.sweepSegment(beta, start, n)
+	p.sweepSegment(beta, 0, start)
+}
+
+// sweepSegment proposes variables [lo, hi) in order against the
+// exponential-threshold pool. Hot loop per variable: one ziggurat draw
+// (refreshing one mirrored pool slot), one cheap uniform draw for the
+// window offset, then the 64-lane accept-mask kernel over the variable's
+// contiguous field column and the contiguous threshold window. u = 0
+// gives t = +∞ (accept everything), matching β = 0.
+func (p *PackedKernel) sweepSegment(beta float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := p.step & poolMask
+		p.step++
+		e := p.r.expFloat64()
+		p.pool[s] = e
+		if s < Lanes {
+			p.pool[s+poolSize] = e
+		}
+		off := int(p.r.Uint64() & poolMask)
+		var mask uint64
+		if useMaskAVX2 {
+			mask = maskAVX2(&p.field[i*Lanes], &p.pool[off], beta)
+		} else {
+			mask = p.maskFor(i, off, beta)
+		}
+		if mask &= p.active; mask != 0 {
+			p.applyFlips(i, mask)
+		}
+	}
+}
+
+// maskFor assembles the accept mask of variable i against the current
+// signed-delta column and the threshold window pool[off:off+64] — the
+// portable reference for the AVX2 kernel. The assembling mask rolls one
+// bit per step (the signbit of β·delta−threshold IS the accept bit), so
+// the scale, the compare, and the mask insert are all branch-free
+// constant-shift operations; after the 64th step lane r's bit sits at
+// position r.
+func (p *PackedKernel) maskFor(i, off int, beta float64) uint64 {
+	f := p.field[i*Lanes : i*Lanes+Lanes : i*Lanes+Lanes]
+	tw := p.pool[off : off+Lanes]
+	var mask uint64
+	for rr := 0; rr < Lanes; rr++ {
+		mask = mask>>1 | math.Float64bits(beta*f[rr]-tw[rr])&signBit
+	}
+	return mask
+}
+
+// ladderSweep is Sweep with a per-lane inverse temperature — the packed
+// form of parallel tempering's replica ladder. The threshold pool is
+// shared with Sweep; because the compare scales the delta (β_r·ΔE < t)
+// rather than the threshold, per-lane temperatures cost one extra
+// multiply per lane, same as the uniform sweep.
+func (p *PackedKernel) ladderSweep(beta *[Lanes]float64) {
+	n := len(p.lanes)
+	if n == 0 || p.active == 0 {
+		return
+	}
+	p.proposals += int64(n) * int64(bits.OnesCount64(p.active))
+	start := p.r.Intn(n)
+	p.ladderSegment(beta, start, n)
+	p.ladderSegment(beta, 0, start)
+}
+
+func (p *PackedKernel) ladderSegment(beta *[Lanes]float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := p.step & poolMask
+		p.step++
+		e := p.r.expFloat64()
+		p.pool[s] = e
+		if s < Lanes {
+			p.pool[s+poolSize] = e
+		}
+		tw := p.pool[int(p.r.Uint64()&poolMask):]
+		f := p.field[i*Lanes : i*Lanes+Lanes : i*Lanes+Lanes]
+		var mask uint64
+		for rr := 0; rr < Lanes; rr++ {
+			mask = mask>>1 | math.Float64bits(beta[rr]*f[rr]-tw[rr])&signBit
+		}
+		if mask &= p.active; mask != 0 {
+			p.applyFlips(i, mask)
+		}
+	}
+}
+
+// GreedyDescend runs full strict-descent passes (flip wherever ΔE < 0)
+// over the active lanes until no lane improves, and returns the number
+// of passes. Each pass visits variables in a randomly rotated order.
+// Every accepted flip strictly lowers its lane's energy, so termination
+// is unconditional.
+func (p *PackedKernel) GreedyDescend() int {
+	n := len(p.lanes)
+	if n == 0 || p.active == 0 {
+		return 0
+	}
+	passes := 0
+	for {
+		passes++
+		p.proposals += int64(n) * int64(bits.OnesCount64(p.active))
+		start := p.r.Intn(n)
+		improved := p.greedySegment(start, n)
+		if p.greedySegment(0, start) {
+			improved = true
+		}
+		if !improved {
+			return passes
+		}
+	}
+}
+
+func (p *PackedKernel) greedySegment(lo, hi int) bool {
+	any := false
+	for i := lo; i < hi; i++ {
+		f := p.field[i*Lanes : i*Lanes+Lanes : i*Lanes+Lanes]
+		var mask uint64
+		for rr := 0; rr < Lanes; rr++ {
+			// Strict ΔE < 0, matching the scalar greedyDescend: the
+			// float compare leaves −0.0 deltas (a flipped-back zero
+			// delta) out, so the descent provably terminates.
+			mask >>= 1
+			if f[rr] < 0 {
+				mask |= signBit
+			}
+		}
+		if mask &= p.active; mask != 0 {
+			p.applyFlips(i, mask)
+			any = true
+		}
+	}
+	return any
+}
+
+// applyFlips commits the accepted flips of variable i for every lane in
+// mask: XOR the mask into the lane word, fold each lane's stored delta
+// into its running energy and negate it (the raw field is diagonal-free
+// and unchanged by the flip, but the 1−2x_i factor inverts), then push
+// the signed ±w into each neighbour's delta column for each accepting
+// lane — O(degree·popcount). A neighbour's raw field moves by +w when
+// spin i turned on and −w when it turned off; the stored delta moves by
+// that amount times the neighbour's own (1−2x_j), applied branch-free by
+// XORing both sign sources into the weight's bits. lanes[j] is loaded
+// anyway to index the column, so the extra sign costs one shift+XOR.
+func (p *PackedKernel) applyFlips(i int, mask uint64) {
+	c := p.c
+	old := p.lanes[i]
+	on := mask &^ old // lanes whose spin i turns on (raw field +w)
+	p.lanes[i] = old ^ mask
+	fi := p.field[i*Lanes : i*Lanes+Lanes]
+	for m := mask; m != 0; m &= m - 1 {
+		rr := bits.TrailingZeros64(m)
+		d := fi[rr] // ΔE of the accepted flip, stored directly
+		p.energy[rr] += d
+		fi[rr] = -d
+		p.laneFlips[rr]++
+	}
+	lo, hi := int(c.RowStart[i]), int(c.RowStart[i+1])
+	nj, nw := c.NeighJ[lo:hi], c.NeighW[lo:hi]
+	field := p.field
+	lanes := p.lanes
+	if mask&(mask-1) == 0 {
+		// Single accepting lane — the rejection-dominated common case:
+		// one tight strided pass over the row, the i-side sign fixed up
+		// front and the neighbour-spin sign folded in per element.
+		rr := bits.TrailingZeros64(mask)
+		neg := on>>rr<<63 ^ signBit
+		for t, j := range nj {
+			s := neg ^ lanes[j]>>rr<<63
+			field[int(j)*Lanes+rr] += math.Float64frombits(math.Float64bits(nw[t]) ^ s)
+		}
+	} else {
+		var neg [Lanes]uint64
+		for m := mask; m != 0; m &= m - 1 {
+			rr := bits.TrailingZeros64(m)
+			neg[rr] = on>>rr<<63 ^ signBit
+		}
+		for t, j := range nj {
+			wb := math.Float64bits(nw[t])
+			lj := lanes[j]
+			fj := field[int(j)*Lanes : int(j)*Lanes+Lanes]
+			for m := mask; m != 0; m &= m - 1 {
+				rr := bits.TrailingZeros64(m)
+				fj[rr] += math.Float64frombits(wb ^ neg[rr] ^ lj>>rr<<63)
+			}
+		}
+	}
+	nf := bits.OnesCount64(mask)
+	p.flips += int64(nf)
+	p.accepted += nf
+	if p.accepted >= p.resyncEveryOrDefault() {
+		p.resyncs++
+		p.rebuild()
+	}
+}
+
+// resyncEveryOrDefault lets tests shrink the drift bound; the zero value
+// selects packedResyncEvery.
+func (p *PackedKernel) resyncEveryOrDefault() int {
+	if p.resyncEvery > 0 {
+		return p.resyncEvery
+	}
+	return packedResyncEvery
+}
+
+// laneMask returns a mask of the first n lanes.
+func laneMask(n int) uint64 {
+	if n >= Lanes {
+		return ^uint64(0)
+	}
+	return uint64(1)<<n - 1
+}

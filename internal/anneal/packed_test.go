@@ -1,0 +1,250 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qsmt/internal/qubo"
+)
+
+// tolFor scales the 1e-9 agreement bar by the model's coefficient
+// magnitude, mirroring assertKernelMatchesReference: randomKernelModel
+// draws coefficients up to 1e2 scale, and n of them accumulate.
+func tolFor(c *qubo.Compiled) float64 {
+	s := 1.0
+	for i := 0; i < c.N; i++ {
+		s += math.Abs(c.Linear[i])
+	}
+	for _, w := range c.NeighW {
+		s += math.Abs(w)
+	}
+	return 1e-9 * s
+}
+
+// TestPackedMatchesScalarKernel is the packed-vs-scalar property suite:
+// on 120 random QUBOs across densities and coefficient scales, every
+// lane of a PackedKernel must agree with a scalar Kernel holding the
+// same assignment — per-variable flip deltas and total energies to 1e-9
+// (relative to the model scale) — both at installation and after packed
+// sweeps moved every lane.
+func TestPackedMatchesScalarKernel(t *testing.T) {
+	mrng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + mrng.Intn(96)
+		density := []float64{0.05, 0.3, 0.9}[trial%3]
+		c := randomKernelModel(mrng, n, density)
+		tol := tolFor(c)
+
+		pk := NewPackedKernel(c, int64(trial)+1, trial)
+		pk.InitRandom()
+		pk.Rebuild()
+		for s := 0; s < 5; s++ {
+			pk.Sweep(0.2 + mrng.Float64()*8)
+		}
+
+		x := make([]qubo.Bit, n)
+		k := NewKernel(c)
+		for _, lane := range []int{0, mrng.Intn(Lanes), Lanes - 1} {
+			pk.ExtractLane(lane, x)
+			k.Reset(x)
+			if got, want := pk.Energy(lane), k.Energy(); math.Abs(got-want) > tol {
+				t.Fatalf("trial %d lane %d: packed energy %g, scalar %g (tol %g)",
+					trial, lane, got, want, tol)
+			}
+			if got, want := pk.Energy(lane), c.Energy(x); math.Abs(got-want) > tol {
+				t.Fatalf("trial %d lane %d: packed energy %g, exact %g (tol %g)",
+					trial, lane, got, want, tol)
+			}
+			for i := 0; i < n; i++ {
+				if got, want := pk.Delta(i, lane), k.Delta(i); math.Abs(got-want) > tol {
+					t.Fatalf("trial %d lane %d var %d: packed delta %g, scalar %g (tol %g)",
+						trial, lane, i, got, want, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedTrackedEnergyUnderResync forces a tiny drift bound so sweeps
+// cross many exact rebuilds, then checks the running energies still
+// agree with recomputation — the incremental scheme must be transparent
+// across resyncs.
+func TestPackedTrackedEnergyUnderResync(t *testing.T) {
+	mrng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + mrng.Intn(80)
+		c := randomKernelModel(mrng, n, 0.3)
+		tol := tolFor(c)
+		pk := NewPackedKernel(c, int64(trial)*977+13, trial)
+		pk.InitRandom()
+		pk.Rebuild()
+		pk.resyncEvery = 1 + mrng.Intn(50)
+		for s := 0; s < 12; s++ {
+			pk.Sweep(0.5 + mrng.Float64()*4)
+		}
+		if pk.Resyncs() == 0 {
+			t.Fatalf("trial %d: no resyncs despite resyncEvery=%d", trial, pk.resyncEvery)
+		}
+		for r := 0; r < Lanes; r++ {
+			got := pk.Energy(r)
+			if want := pk.ExactEnergy(r); math.Abs(got-want) > tol {
+				t.Fatalf("trial %d lane %d: tracked %g, exact %g (tol %g)", trial, r, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestPackedGreedyDescendReachesLocalMinimum: after GreedyDescend, no
+// active lane may have a strictly improving single flip left, and every
+// accepted flip must have lowered its lane's energy (checked via the
+// exact energies before/after).
+func TestPackedGreedyDescendReachesLocalMinimum(t *testing.T) {
+	mrng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + mrng.Intn(60)
+		c := randomKernelModel(mrng, n, 0.4)
+		pk := NewPackedKernel(c, int64(trial)+3, trial)
+		pk.InitRandom()
+		pk.Rebuild()
+		before := make([]float64, Lanes)
+		for r := range before {
+			before[r] = pk.ExactEnergy(r)
+		}
+		passes := pk.GreedyDescend()
+		if passes < 1 {
+			t.Fatalf("trial %d: GreedyDescend returned %d passes", trial, passes)
+		}
+		tol := tolFor(c)
+		for r := 0; r < Lanes; r++ {
+			after := pk.ExactEnergy(r)
+			if after > before[r]+tol {
+				t.Fatalf("trial %d lane %d: descent raised energy %g -> %g", trial, r, before[r], after)
+			}
+			for i := 0; i < n; i++ {
+				if pk.Delta(i, r) < -tol {
+					t.Fatalf("trial %d lane %d: improving flip %d (delta %g) left after descent",
+						trial, r, i, pk.Delta(i, r))
+				}
+			}
+		}
+	}
+}
+
+// TestPackedInactiveLanesFrozen pins the warm-lane mechanism: lanes
+// masked out of Active must keep their assignment, field column, and
+// energy bit-for-bit through sweeps that move every other lane.
+func TestPackedInactiveLanesFrozen(t *testing.T) {
+	mrng := rand.New(rand.NewSource(23))
+	c := randomKernelModel(mrng, 64, 0.3)
+	pk := NewPackedKernel(c, 5, 0)
+	pk.InitRandom()
+	pk.Rebuild()
+	const frozen = uint64(0xF0F0F0F0F0F0F0F0)
+	pk.SetActive(^frozen)
+
+	snap := make(map[int][]qubo.Bit)
+	snapE := make(map[int]float64)
+	x := make([]qubo.Bit, c.N)
+	for r := 0; r < Lanes; r++ {
+		if frozen>>r&1 == 1 {
+			buf := make([]qubo.Bit, c.N)
+			pk.ExtractLane(r, buf)
+			snap[r] = buf
+			snapE[r] = pk.Energy(r)
+		}
+	}
+	for s := 0; s < 30; s++ {
+		pk.Sweep(1.5)
+	}
+	moved := 0
+	for r := 0; r < Lanes; r++ {
+		pk.ExtractLane(r, x)
+		if frozen>>r&1 == 1 {
+			for i := range x {
+				if x[i] != snap[r][i] {
+					t.Fatalf("frozen lane %d moved at variable %d", r, i)
+				}
+			}
+			if pk.Energy(r) != snapE[r] {
+				t.Fatalf("frozen lane %d energy drifted %g -> %g", r, snapE[r], pk.Energy(r))
+			}
+		} else if pk.LaneFlips(r) > 0 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no active lane accepted any flip in 30 sweeps")
+	}
+}
+
+// TestPackedConcurrentKernelsShareModel runs many packed kernels over
+// one shared Compiled from concurrent goroutines — the supported
+// concurrency contract (kernel per worker, model shared read-only).
+// Run under -race this pins the absence of hidden shared state.
+func TestPackedConcurrentKernelsShareModel(t *testing.T) {
+	mrng := rand.New(rand.NewSource(31))
+	c := randomKernelModel(mrng, 96, 0.2)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pk := NewPackedKernel(c, 11, w)
+			pk.InitRandom()
+			pk.Rebuild()
+			for s := 0; s < 25; s++ {
+				pk.Sweep(2)
+			}
+			pk.GreedyDescend()
+			tol := tolFor(c)
+			for r := 0; r < Lanes; r += 9 {
+				if got, want := pk.Energy(r), pk.ExactEnergy(r); math.Abs(got-want) > tol {
+					errs <- "worker energy drifted"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestPackedSamplerMatchesScalarVerdicts is the sampler-level
+// differential: SA with the packed kernel and SA forced scalar must
+// both find the (known, verified) ground state of every Table 1-style
+// equality/mixed model at default budgets. This pins the packed path's
+// sampling QUALITY, not only its arithmetic — a packed kernel whose
+// lanes are correlated (e.g. by naive threshold sharing) fails this
+// long before the energy tests notice anything.
+func TestPackedSamplerMatchesScalarVerdicts(t *testing.T) {
+	mrng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + mrng.Intn(MaxExactVars-6)
+		c := randomKernelModel(mrng, n, 0.25)
+		exact, err := (&ExactSolver{MaxStates: 1}).Sample(c)
+		if err != nil {
+			t.Fatalf("trial %d: exact: %v", trial, err)
+		}
+		ground := exact.Best().Energy
+		tol := tolFor(c)
+		for _, scalar := range []bool{false, true} {
+			sa := &SimulatedAnnealer{Reads: 32, Sweeps: 300, Seed: int64(trial) + 1, Scalar: scalar}
+			ss, err := sa.Sample(c)
+			if err != nil {
+				t.Fatalf("trial %d scalar=%v: %v", trial, scalar, err)
+			}
+			if best := ss.Best().Energy; best > ground+tol {
+				t.Errorf("trial %d scalar=%v: best %g misses ground %g", trial, scalar, best, ground)
+			}
+			if ss.Kernel.Packed == scalar {
+				t.Errorf("trial %d: Kernel.Packed = %v with scalar=%v", trial, ss.Kernel.Packed, scalar)
+			}
+		}
+	}
+}

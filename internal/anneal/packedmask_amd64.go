@@ -1,0 +1,45 @@
+//go:build amd64
+
+package anneal
+
+// AVX2 accept-mask kernel dispatch. The packed kernel's hot loop is 64
+// independent compare steps per variable; on CPUs with AVX2 the
+// assembly kernel in packedmask_amd64.s retires four lanes per vector
+// op. maskFor in packed.go is the portable reference — the two are
+// pinned bit-for-bit equal by TestMaskAVX2MatchesReference.
+
+// maskAVX2 assembles the 64-lane accept mask for one variable: f points
+// at the variable's 64 contiguous lane deltas (pre-signed — the column
+// stores ΔE directly), t at a contiguous 64-value window of the Exp(1)
+// threshold pool. Bit r of the result is set iff β·f[r] − t[r] < 0.
+// Call only when useMaskAVX2 is true.
+//
+//go:noescape
+func maskAVX2(f *float64, t *float64, beta float64) uint64
+
+//go:noescape
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// useMaskAVX2 reports whether the AVX2 accept-mask kernel is usable:
+// CPU support plus OS-enabled xmm/ymm state (OSXSAVE + XCR0).
+var useMaskAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if _, _, c, _ := cpuidex(1, 0); c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if xa, _ := xgetbv0(); xa&6 != 6 {
+		return false
+	}
+	_, b, _, _ := cpuidex(7, 0)
+	return b&(1<<5) != 0
+}

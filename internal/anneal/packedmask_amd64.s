@@ -1,0 +1,173 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func maskAVX2(f *float64, t *float64, beta float64) uint64
+//
+// Accept-mask kernel over a signed-delta column: 16 fully unrolled
+// groups of 4 lanes. Per group: load 4 lane deltas, scale by β, subtract
+// the 4 thresholds, and VMOVMSKPD extracts the 4 sign bits — the accept
+// bits (β·ΔE < t) — which are placed at positions 4g..4g+3 with an
+// immediate shift. The unroll matters: a rolling-accumulator loop
+// (SHRQ $4 + ORQ per group) carries a ~2-cycle serial dependence per
+// group that rivals the vector work now that the loop body is this
+// small; independent immediate shifts into one OR tree leave the vector
+// chain as the only critical path. The column stores the delta
+// pre-signed (see PackedKernel.field), so the loop carries no spin-bit
+// extraction and — crucially on Broadwell-class parts — no GPR→vector
+// moves: a legacy-SSE MOVQ into an XMM register with dirty ymm uppers
+// stalls ~100x.
+TEXT ·maskAVX2(SB), NOSPLIT, $0-32
+	MOVQ f+0(FP), SI
+	MOVQ t+8(FP), DI
+	VBROADCASTSD beta+16(FP), Y2
+
+	VMOVUPD 0(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 0(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	MOVQ BX, AX
+
+	VMOVUPD 32(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 32(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $4, BX
+	ORQ BX, AX
+
+	VMOVUPD 64(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 64(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $8, BX
+	ORQ BX, AX
+
+	VMOVUPD 96(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 96(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $12, BX
+	ORQ BX, AX
+
+	VMOVUPD 128(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 128(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $16, BX
+	ORQ BX, AX
+
+	VMOVUPD 160(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 160(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $20, BX
+	ORQ BX, AX
+
+	VMOVUPD 192(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 192(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $24, BX
+	ORQ BX, AX
+
+	VMOVUPD 224(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 224(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $28, BX
+	ORQ BX, AX
+
+	VMOVUPD 256(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 256(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $32, BX
+	ORQ BX, AX
+
+	VMOVUPD 288(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 288(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $36, BX
+	ORQ BX, AX
+
+	VMOVUPD 320(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 320(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $40, BX
+	ORQ BX, AX
+
+	VMOVUPD 352(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 352(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $44, BX
+	ORQ BX, AX
+
+	VMOVUPD 384(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 384(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $48, BX
+	ORQ BX, AX
+
+	VMOVUPD 416(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 416(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $52, BX
+	ORQ BX, AX
+
+	VMOVUPD 448(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 448(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $56, BX
+	ORQ BX, AX
+
+	VMOVUPD 480(SI), Y0
+	VMULPD Y2, Y0, Y0
+	VMOVUPD 480(DI), Y1
+	VSUBPD Y1, Y0, Y0
+	VMOVMSKPD Y0, BX
+	SHLQ $60, BX
+	ORQ BX, AX
+
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package anneal
+
+// useMaskAVX2 is statically false off amd64, so the maskAVX2 call site
+// in sweepSegment is dead code and the portable maskFor runs instead.
+const useMaskAVX2 = false
+
+// maskAVX2 is never reached when useMaskAVX2 is false; this stub keeps
+// non-amd64 builds compiling.
+func maskAVX2(f *float64, t *float64, beta float64) uint64 {
+	panic("anneal: maskAVX2 called without AVX2 support")
+}

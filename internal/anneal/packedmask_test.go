@@ -1,0 +1,68 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// maskReference is the free-standing form of PackedKernel.maskFor, the
+// portable accept-mask semantics both implementations must share: the
+// column already stores the signed delta, so the mask is the signbit of
+// β·f − t per lane.
+func maskReference(f, tw []float64, beta float64) uint64 {
+	var mask uint64
+	for rr := 0; rr < Lanes; rr++ {
+		mask = mask>>1 | math.Float64bits(beta*f[rr]-tw[rr])&signBit
+	}
+	return mask
+}
+
+// TestMaskAVX2MatchesReference pins the assembly accept-mask kernel
+// bit-for-bit against the portable loop on random deltas, thresholds,
+// and temperatures, including the edge values the kernel must get
+// right: zero deltas (reject at β·ΔE == t), negative zero, and +Inf
+// thresholds (the u = 0 accept-everything case).
+func TestMaskAVX2MatchesReference(t *testing.T) {
+	if !useMaskAVX2 {
+		t.Skip("AVX2 accept-mask kernel not available on this CPU")
+	}
+	mrng := rand.New(rand.NewSource(99))
+	specials := []float64{0, math.Copysign(0, -1), 1e-300, -1e-300, math.Inf(1), 42.5, -42.5}
+	nonneg := []float64{0, 1e-300, math.Inf(1), 42.5}
+	betas := []float64{1e-6, 0.5, 1, 4, 16, 1e3}
+	for trial := 0; trial < 2000; trial++ {
+		f := make([]float64, Lanes)
+		tw := make([]float64, Lanes)
+		for r := 0; r < Lanes; r++ {
+			if trial%4 == 0 && mrng.Intn(4) == 0 {
+				f[r] = specials[mrng.Intn(len(specials))]
+			} else {
+				f[r] = (mrng.Float64() - 0.5) * 20
+			}
+			if trial%4 == 1 && mrng.Intn(4) == 0 {
+				tw[r] = nonneg[mrng.Intn(len(nonneg))]
+			} else {
+				tw[r] = mrng.ExpFloat64()
+			}
+		}
+		beta := betas[trial%len(betas)]
+		want := maskReference(f, tw, beta)
+		got := maskAVX2(&f[0], &tw[0], beta)
+		if got != want {
+			t.Fatalf("trial %d (beta=%g): maskAVX2 = %064b\nwant            %064b",
+				trial, beta, got, want)
+		}
+	}
+	// Equal scaled delta and threshold must reject (strict β·ΔE < t):
+	// β·ΔE − t = +0.
+	f := make([]float64, Lanes)
+	tw := make([]float64, Lanes)
+	for r := range f {
+		f[r] = 1.5
+		tw[r] = 3.0
+	}
+	if got := maskAVX2(&f[0], &tw[0], 2.0); got != 0 {
+		t.Fatalf("beta·ΔE == t accepted: mask = %064b", got)
+	}
+}

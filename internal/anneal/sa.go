@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"qsmt/internal/obs"
 	"qsmt/internal/qubo"
@@ -16,6 +17,10 @@ import (
 // full passes over the variables while β rises along Schedule; a flip with
 // energy change ΔE is accepted when ΔE ≤ 0 or with probability exp(−β·ΔE).
 //
+// Reads run on the bit-parallel PackedKernel by default — groups of 64
+// reads advance together, one replica per bit of a machine word — with
+// the scalar Kernel kept as the reference path behind Scalar.
+//
 // The zero value is usable: it means 64 reads, 1000 sweeps, seed 1, the
 // model-derived default schedule, and GOMAXPROCS workers.
 type SimulatedAnnealer struct {
@@ -23,7 +28,13 @@ type SimulatedAnnealer struct {
 	Sweeps   int      // full variable passes per read (neal num_sweeps); default 1000
 	Seed     int64    // root seed; default 1
 	Schedule Schedule // β schedule; default DefaultSchedule(model)
-	Workers  int      // concurrent reads; default GOMAXPROCS
+	Workers  int      // concurrent read groups; default GOMAXPROCS
+
+	// Scalar forces the single-replica reference kernel (one read per
+	// goroutine, one proposal at a time) instead of the 64-lane packed
+	// kernel. The two paths implement the same acceptance law; Scalar
+	// exists for differential testing and as the reading reference.
+	Scalar bool
 
 	// PostDescent runs a greedy descent to a local minimum after the
 	// annealing phase of each read, mirroring common practice of
@@ -108,7 +119,105 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 		betas[i] = sched.Beta(i, sweeps)
 	}
 
+	if sa.Scalar {
+		return sa.sampleScalar(ctx, c, reads, workers, seed, warm, betas)
+	}
+	return sa.samplePacked(ctx, c, reads, workers, seed, warm, betas)
+}
+
+// samplePacked runs reads in groups of 64 on the bit-parallel kernel.
+// Group g's RNG stream is packedStreamBase+g — a function of the group
+// index only, so results are deterministic per (seed, reads, sweeps)
+// regardless of Workers. Warm reads land on the low lanes of their group
+// and stay frozen (inactive) through the hot half of the schedule,
+// reproducing the scalar path's cold-half-only polish.
+func (sa *SimulatedAnnealer) samplePacked(ctx context.Context, c *qubo.Compiled, reads, workers int, seed int64, warm int, betas []float64) (*SampleSet, error) {
+	groups := (reads + Lanes - 1) / Lanes
+	coldStart := len(betas) / 2
 	raw := make([]Sample, reads)
+	groupStats := make([]KernelStats, groups)
+	dispatched := parallelForCtx(ctx, groups, workers, func(g int) {
+		base := g * Lanes
+		used := reads - base
+		if used > Lanes {
+			used = Lanes
+		}
+		pk := NewPackedKernel(c, seed, packedStreamBase+g)
+		pk.InitRandom()
+		var warmMask uint64
+		for l := 0; l < used; l++ {
+			if r := base + l; r < warm {
+				pk.SetLane(l, sa.InitialStates[r%len(sa.InitialStates)])
+				warmMask |= 1 << l
+			}
+		}
+		pk.Rebuild()
+		used64 := laneMask(used)
+		pk.SetActive(used64 &^ warmMask)
+		done := 0
+		for si, beta := range betas {
+			if ctx.Err() != nil {
+				break
+			}
+			if si == coldStart {
+				pk.SetActive(used64)
+			}
+			pk.Sweep(beta)
+			done++
+		}
+		completed := done == len(betas)
+		if completed && sa.PostDescent {
+			pk.SetActive(used64)
+			pk.GreedyDescend()
+		}
+		for l := 0; l < used; l++ {
+			isWarm := warmMask>>l&1 == 1
+			laneSweeps := int64(done)
+			if isWarm {
+				if laneSweeps -= int64(coldStart); laneSweeps < 0 {
+					laneSweeps = 0
+				}
+			}
+			var resyncs int64
+			if l == 0 {
+				resyncs = pk.Resyncs() // shared across the group; report once
+			}
+			sa.Collector.RecordRead(laneSweeps, pk.LaneFlips(l), resyncs, completed)
+		}
+		sa.Collector.RecordProposals(pk.Proposals())
+		groupStats[g].add(pk.Proposals(), pk.Flips(), pk.Resyncs(), true)
+		if !completed {
+			return // cancelled mid-group; the outer ctx check reports it
+		}
+		for l := 0; l < used; l++ {
+			// Relabel each lane's energy exactly from the model: reported
+			// energies must match Compiled.Energy bit-for-bit, not up to
+			// the kernel's accumulated incremental rounding.
+			x := make([]qubo.Bit, c.N)
+			pk.ExtractLane(l, x)
+			raw[base+l] = Sample{X: x, Energy: c.Energy(x), Occurrences: 1, Warm: warmMask>>l&1 == 1}
+		}
+	})
+	dispatchedReads := dispatched * Lanes
+	if dispatchedReads > reads {
+		dispatchedReads = reads
+	}
+	sa.Collector.RecordRun(reads, dispatchedReads)
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
+	}
+	ss := aggregate(raw)
+	for _, gs := range groupStats {
+		ss.Kernel.add(gs.Proposals, gs.Flips, gs.Resyncs, gs.Packed)
+	}
+	return ss, nil
+}
+
+// sampleScalar is the single-replica reference path: one read per
+// goroutine on the incremental scalar Kernel.
+func (sa *SimulatedAnnealer) sampleScalar(ctx context.Context, c *qubo.Compiled, reads, workers int, seed int64, warm int, betas []float64) (*SampleSet, error) {
+	raw := make([]Sample, reads)
+	var proposals, flips, resyncs int64
 	dispatched := parallelForCtx(ctx, reads, workers, func(r int) {
 		rng := newRNG(seed, r)
 		x, isWarm := startState(sa.InitialStates, warm, r, c.N, rng)
@@ -122,6 +231,9 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 			greedyDescend(k, rng)
 		}
 		sa.Collector.RecordRead(int64(done), k.Flips(), k.Resyncs(), completed)
+		atomic.AddInt64(&proposals, int64(done)*int64(c.N))
+		atomic.AddInt64(&flips, k.Flips())
+		atomic.AddInt64(&resyncs, k.Resyncs())
 		if !completed {
 			return // cancelled mid-read; the outer ctx check reports it
 		}
@@ -130,11 +242,18 @@ func (sa *SimulatedAnnealer) SampleContext(ctx context.Context, c *qubo.Compiled
 		// bit-for-bit, not up to accumulated rounding.
 		raw[r] = Sample{X: k.X(), Energy: k.ExactEnergy(), Occurrences: 1, Warm: isWarm}
 	})
+	sa.Collector.RecordProposals(atomic.LoadInt64(&proposals))
 	sa.Collector.RecordRun(reads, dispatched)
 	if err := ctx.Err(); err != nil {
 		return nil, abortErr(err)
 	}
-	return aggregate(raw), nil
+	ss := aggregate(raw)
+	ss.Kernel = KernelStats{
+		Proposals: atomic.LoadInt64(&proposals),
+		Flips:     atomic.LoadInt64(&flips),
+		Resyncs:   atomic.LoadInt64(&resyncs),
+	}
+	return ss, nil
 }
 
 // annealOnce performs one read: install the starting state then run
@@ -156,6 +275,10 @@ func annealOnce(ctx context.Context, c *qubo.Compiled, x []qubo.Bit, betas []flo
 // String describes the configuration.
 func (sa *SimulatedAnnealer) String() string {
 	reads, sweeps, workers, seed := sa.params()
-	return fmt.Sprintf("SimulatedAnnealer(reads=%d sweeps=%d workers=%d seed=%d post=%v)",
-		reads, sweeps, workers, seed, sa.PostDescent)
+	kind := "packed"
+	if sa.Scalar {
+		kind = "scalar"
+	}
+	return fmt.Sprintf("SimulatedAnnealer(reads=%d sweeps=%d workers=%d seed=%d post=%v kernel=%s)",
+		reads, sweeps, workers, seed, sa.PostDescent, kind)
 }

@@ -36,11 +36,37 @@ type Sample struct {
 	Warm bool
 }
 
+// KernelStats aggregates substrate kernel work across a sampler run:
+// proposals examined, accepted flips, and drift-bound exact resyncs. The
+// samplers that run on an annealing kernel (SA, tempering, tabu, greedy)
+// fill it; Packed records whether the bit-parallel kernel produced the
+// reads. The solver folds it into SolveStats and the qsmt_kernel_*
+// metric families.
+type KernelStats struct {
+	Proposals int64
+	Flips     int64
+	Resyncs   int64
+	Packed    bool
+}
+
+// add folds another run's kernel counters into ks.
+func (ks *KernelStats) add(proposals, flips, resyncs int64, packed bool) {
+	ks.Proposals += proposals
+	ks.Flips += flips
+	ks.Resyncs += resyncs
+	ks.Packed = ks.Packed || packed
+}
+
 // SampleSet is the result of a sampler run, ordered by increasing energy
 // (ties broken lexicographically by assignment, so ordering is stable and
 // deterministic).
 type SampleSet struct {
 	Samples []Sample
+
+	// Kernel reports the substrate work behind the samples, when the
+	// sampler runs on an annealing kernel. Zero for samplers that don't
+	// (exact, random) and for sets built via Aggregate.
+	Kernel KernelStats
 }
 
 // Best returns the lowest-energy sample. It panics on an empty set — every

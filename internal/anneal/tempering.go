@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync/atomic"
 
 	"qsmt/internal/obs"
 	"qsmt/internal/qubo"
@@ -14,6 +15,12 @@ import (
 // adjacent replicas. Swapping lets cold replicas escape local minima via
 // their hot neighbors — the classical stand-in for the tunneling advantage
 // quantum annealing hardware claims.
+//
+// When the ladder fits in a machine word (Replicas ≤ 64) the walk runs on
+// the bit-parallel PackedKernel: every read's whole ladder occupies
+// Lanes/Replicas·Replicas lanes of one kernel and a swap exchanges the
+// two rungs' temperatures (an O(1) bookkeeping move) instead of their
+// states. The scalar path remains for Replicas > 64 and for Scalar.
 type ParallelTempering struct {
 	Replicas  int     // temperature rungs; default 8
 	Sweeps    int     // sweeps per replica; default 1000
@@ -23,6 +30,10 @@ type ParallelTempering struct {
 	BetaMax   float64 // coldest β; default from model
 	Workers   int     // concurrent runs; default GOMAXPROCS
 	SwapEvery int     // sweeps between swap rounds; default 1
+
+	// Scalar forces the single-replica reference kernels (one kernel per
+	// rung, swaps exchange kernels). Kept for differential testing.
+	Scalar bool
 
 	// Collector receives per-read substrate statistics; a PT read counts
 	// one sweep per replica pass. nil disables collection.
@@ -98,23 +109,158 @@ func (pt *ParallelTempering) SampleContext(ctx context.Context, c *qubo.Compiled
 	}
 	warm := warmReadCount(len(pt.InitialStates), pt.WarmFraction, reads)
 
+	if !pt.Scalar && replicas <= Lanes {
+		return pt.samplePacked(ctx, c, betas, sweeps, swapEvery, reads, warm, seed)
+	}
+
 	raw := make([]Sample, reads)
+	var proposals, flips, resyncs atomic.Int64
 	dispatched := parallelForCtx(ctx, reads, pt.Workers, func(r int) {
 		rng := newRNG(seed, r)
 		var seedState []qubo.Bit
 		if r < warm {
 			seedState = pt.InitialStates[r%len(pt.InitialStates)]
 		}
-		raw[r] = pt.runOnce(ctx, c, betas, sweeps, swapEvery, seedState, rng)
+		s, p, f, rs := pt.runOnce(ctx, c, betas, sweeps, swapEvery, seedState, rng)
+		raw[r] = s
+		proposals.Add(p)
+		flips.Add(f)
+		resyncs.Add(rs)
 	})
+	pt.Collector.RecordProposals(proposals.Load())
 	pt.Collector.RecordRun(reads, dispatched)
 	if err := ctx.Err(); err != nil {
 		return nil, abortErr(err)
 	}
-	return aggregate(raw), nil
+	ss := aggregate(raw)
+	ss.Kernel = KernelStats{Proposals: proposals.Load(), Flips: flips.Load(), Resyncs: resyncs.Load()}
+	return ss, nil
 }
 
-func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, betas []float64, sweeps, swapEvery int, seedState []qubo.Bit, rng *rng) Sample {
+// samplePacked runs whole tempering reads bit-parallel: each 64-lane
+// kernel group holds Lanes/Replicas independent ladders side by side.
+// Lane q·Replicas+k starts as rung k of the group's q-th read; swap
+// moves exchange the rungs' inverse temperatures between lanes (the
+// state and its incremental delta columns never move), tracked by a
+// rung→lane table per read.
+func (pt *ParallelTempering) samplePacked(ctx context.Context, c *qubo.Compiled, betas []float64, sweeps, swapEvery, reads, warm int, seed int64) (*SampleSet, error) {
+	replicas := len(betas)
+	perGroup := Lanes / replicas
+	groups := (reads + perGroup - 1) / perGroup
+	raw := make([]Sample, reads)
+	groupStats := make([]KernelStats, groups)
+	dispatched := parallelForCtx(ctx, groups, pt.Workers, func(g int) {
+		base := g * perGroup
+		used := reads - base
+		if used > perGroup {
+			used = perGroup
+		}
+		nLanes := used * replicas
+		pk := NewPackedKernel(c, seed, packedStreamBase+g)
+		pk.InitRandom()
+		for q := 0; q < used; q++ {
+			if r := base + q; r < warm {
+				// Warm-start the coldest rung; hot rungs stay random.
+				pk.SetLane(q*replicas+replicas-1, pt.InitialStates[r%len(pt.InitialStates)])
+			}
+		}
+		pk.Rebuild()
+		pk.SetActive(laneMask(nLanes))
+
+		// laneB[lane] is the lane's current β; rungLane[q·replicas+k] is
+		// the lane currently holding rung k of read q.
+		var laneB [Lanes]float64
+		rungLane := make([]int, nLanes)
+		for q := 0; q < used; q++ {
+			for k := 0; k < replicas; k++ {
+				lane := q*replicas + k
+				laneB[lane] = betas[k]
+				rungLane[lane] = lane
+			}
+		}
+
+		// Track each read's best-ever state across its ladder, by the
+		// kernel's running energies (relabelled exactly at the end).
+		bestE := make([]float64, used)
+		bestX := make([][]qubo.Bit, used)
+		for q := range bestX {
+			bestX[q] = make([]qubo.Bit, c.N)
+			bestE[q] = math.Inf(1)
+		}
+		noteBest := func() {
+			for q := 0; q < used; q++ {
+				for k := 0; k < replicas; k++ {
+					lane := q*replicas + k
+					if e := pk.Energy(lane); e < bestE[q] {
+						bestE[q] = e
+						pk.ExtractLane(lane, bestX[q])
+					}
+				}
+			}
+		}
+		noteBest()
+
+		sweepsDone := 0
+		for sweep := 0; sweep < sweeps; sweep++ {
+			if ctx.Err() != nil {
+				break // abandon the walk; the caller discards the result set
+			}
+			sweepsDone++
+			pk.ladderSweep(&laneB)
+			noteBest()
+			if sweep%swapEvery == 0 {
+				// Alternate even/odd adjacent pairs to keep proposals balanced.
+				start := sweep / swapEvery % 2
+				for q := 0; q < used; q++ {
+					rl := rungLane[q*replicas : q*replicas+replicas]
+					for k := start; k+1 < replicas; k += 2 {
+						// Accept with probability min(1, exp((β_k−β_{k+1})(E_k−E_{k+1}))).
+						la, lb := rl[k], rl[k+1]
+						arg := (betas[k] - betas[k+1]) * (pk.Energy(la) - pk.Energy(lb))
+						if arg >= 0 || pk.r.Float64() < math.Exp(arg) {
+							laneB[la], laneB[lb] = laneB[lb], laneB[la]
+							rl[k], rl[k+1] = rl[k+1], rl[k]
+						}
+					}
+				}
+			}
+		}
+		completed := sweepsDone == sweeps
+		for q := 0; q < used; q++ {
+			var laneFlips int64
+			for k := 0; k < replicas; k++ {
+				laneFlips += pk.LaneFlips(q*replicas + k)
+			}
+			var resyncs int64
+			if q == 0 {
+				resyncs = pk.Resyncs() // shared across the group; report once
+			}
+			pt.Collector.RecordRead(int64(sweepsDone*replicas), laneFlips, resyncs, completed)
+		}
+		pt.Collector.RecordProposals(pk.Proposals())
+		groupStats[g].add(pk.Proposals(), pk.Flips(), pk.Resyncs(), true)
+		for q := 0; q < used; q++ {
+			r := base + q
+			// Relabel from the model: bestE tracked incremental energies.
+			raw[r] = Sample{X: bestX[q], Energy: c.Energy(bestX[q]), Occurrences: 1, Warm: r < warm}
+		}
+	})
+	dispatchedReads := dispatched * perGroup
+	if dispatchedReads > reads {
+		dispatchedReads = reads
+	}
+	pt.Collector.RecordRun(reads, dispatchedReads)
+	if err := ctx.Err(); err != nil {
+		return nil, abortErr(err)
+	}
+	ss := aggregate(raw)
+	for _, gs := range groupStats {
+		ss.Kernel.add(gs.Proposals, gs.Flips, gs.Resyncs, gs.Packed)
+	}
+	return ss, nil
+}
+
+func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, betas []float64, sweeps, swapEvery int, seedState []qubo.Bit, rng *rng) (s Sample, proposals, flips, resyncs int64) {
 	// One incremental kernel per replica; a swap exchanges whole kernels
 	// (assignment + fields + energy), so no state is rebuilt on swap.
 	reps := make([]*Kernel, len(betas))
@@ -161,14 +307,12 @@ func (pt *ParallelTempering) runOnce(ctx context.Context, c *qubo.Compiled, beta
 			}
 		}
 	}
-	if pt.Collector != nil {
-		var flips, resyncs int64
-		for _, rep := range reps {
-			flips += rep.Flips()
-			resyncs += rep.Resyncs()
-		}
-		pt.Collector.RecordRead(int64(sweepsDone*len(reps)), flips, resyncs, sweepsDone == sweeps)
+	for _, rep := range reps {
+		flips += rep.Flips()
+		resyncs += rep.Resyncs()
 	}
+	proposals = int64(sweepsDone) * int64(len(reps)) * int64(c.N)
+	pt.Collector.RecordRead(int64(sweepsDone*len(reps)), flips, resyncs, sweepsDone == sweeps)
 	// Relabel from the model: bestE tracked incremental kernel energies.
-	return Sample{X: bestX, Energy: c.Energy(bestX), Occurrences: 1, Warm: seedState != nil}
+	return Sample{X: bestX, Energy: c.Energy(bestX), Occurrences: 1, Warm: seedState != nil}, proposals, flips, resyncs
 }

@@ -115,10 +115,56 @@ func PolishSeed(c *qubo.Compiled, start []qubo.Bit, seed int64) []qubo.Bit {
 // deduplicated, so fewer than k states may be returned; the result is
 // never empty for k ≥ 1 on a non-empty model. Cost is a few O(N+M)
 // passes per seed — far below a single annealing read.
+//
+// When all k+2 starts fit in one machine word they descend together on
+// the bit-parallel PackedKernel (one shared neighbour walk per pass for
+// the whole population); larger k falls back to sequential scalar
+// descents.
 func GreedySeeds(c *qubo.Compiled, k int, seed int64) [][]qubo.Bit {
 	if c == nil || c.N == 0 || k <= 0 {
 		return nil
 	}
+	nStarts := k + 2
+	if nStarts > Lanes {
+		return greedySeedsScalar(c, k, seed)
+	}
+	pk := NewPackedKernel(c, seed, greedySeedStreamBase)
+	pk.InitRandom()
+	// Lane 0: the all-zeros start. Lane 1: the one-local baseline
+	// propagation x_i = [h_i < 0]. Lanes 2..: seeded random starts.
+	pk.SetLane(0, make([]qubo.Bit, c.N))
+	prop := make([]qubo.Bit, c.N)
+	for i, h := range c.Linear {
+		if h < 0 {
+			prop[i] = 1
+		}
+	}
+	pk.SetLane(1, prop)
+	pk.Rebuild()
+	pk.SetActive(laneMask(nStarts))
+	pk.GreedyDescend()
+
+	seen := make(map[string]bool, k)
+	out := make([][]qubo.Bit, 0, k)
+	x := make([]qubo.Bit, c.N)
+	for l := 0; l < nStarts && len(out) < k; l++ {
+		pk.ExtractLane(l, x)
+		key := bitKey(x)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cp := make([]qubo.Bit, c.N)
+		copy(cp, x)
+		out = append(out, cp)
+	}
+	return out
+}
+
+// greedySeedsScalar is the sequential fallback for start populations
+// wider than one lane word, and the reading reference for the packed
+// path's start ordering.
+func greedySeedsScalar(c *qubo.Compiled, k int, seed int64) [][]qubo.Bit {
 	k0 := NewKernel(c)
 	seen := make(map[string]bool, k)
 	out := make([][]qubo.Bit, 0, k)

@@ -1,0 +1,66 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExpFloat64Distribution pins the ziggurat sampler's output against
+// Exp(1): mean 1, variance 1, and the exact tail masses P(X > 3) = e^−3
+// and P(X < 0.1) = 1 − e^−0.1. A table-generation bug (wrong recurrence,
+// off-by-one layer indexing) shifts these far beyond the statistical
+// tolerances of a 2e6-draw sample.
+func TestExpFloat64Distribution(t *testing.T) {
+	r := newRNG(12345, 7)
+	const n = 2_000_000
+	var sum, sumSq float64
+	var above3, below01 int
+	for i := 0; i < n; i++ {
+		x := r.expFloat64()
+		if x < 0 || math.IsNaN(x) {
+			t.Fatalf("draw %d: expFloat64 = %v, want nonnegative", i, x)
+		}
+		sum += x
+		sumSq += x * x
+		if x > 3 {
+			above3++
+		}
+		if x < 0.1 {
+			below01++
+		}
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("mean = %v, want 1 ± 0.01", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v, want 1 ± 0.03", variance)
+	}
+	if got, want := float64(above3)/n, math.Exp(-3); math.Abs(got-want) > 0.003 {
+		t.Errorf("P(X>3) = %v, want %v ± 0.003", got, want)
+	}
+	if got, want := float64(below01)/n, 1-math.Exp(-0.1); math.Abs(got-want) > 0.003 {
+		t.Errorf("P(X<0.1) = %v, want %v ± 0.003", got, want)
+	}
+}
+
+// TestZigguratTablesMonotone sanity-checks the init-built tables: layer
+// boundaries x_i grow with i up to x_255 = zigR (zigW is x_i·2^−32, with
+// slot 0 holding the base-strip scale instead) and the ordinates f(x_i)
+// fall from 1 to f(zigR).
+func TestZigguratTablesMonotone(t *testing.T) {
+	for i := 2; i < 256; i++ {
+		if zigW[i] <= zigW[i-1] {
+			t.Fatalf("zigW not strictly increasing at %d: %v <= %v", i, zigW[i], zigW[i-1])
+		}
+	}
+	for i := 1; i < 256; i++ {
+		if zigF[i] >= zigF[i-1] {
+			t.Fatalf("zigF not strictly decreasing at %d: %v >= %v", i, zigF[i], zigF[i-1])
+		}
+	}
+	if zigF[0] != 1 {
+		t.Fatalf("zigF[0] = %v, want 1", zigF[0])
+	}
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestTTSDegenerateRates pins the edge cases the pre-fix TTS got wrong.
+// Each subtest failed against the old implementation:
+//
+//   - tiny p: Log(1−p) rounds 1−p to 1 for p ≲ 1e-16, so the repeat
+//     factor became ln(0.01)/ln(1) = −Inf, was clamped to 1, and TTS
+//     reported that a 1e-18 success rate needs a single run;
+//   - NaN rate/confidence: fell through every guard into a NaN factor
+//     and an unspecified time.Duration conversion;
+//   - overflow: factor ~4.6e12 times an hour of nanoseconds wrapped
+//     int64 into a negative duration, indistinguishable from "never".
+func TestTTSDegenerateRates(t *testing.T) {
+	t.Run("tiny success rate saturates, not one run", func(t *testing.T) {
+		got := TTS(time.Second, 1e-18, 0.99)
+		if got == time.Second {
+			t.Fatalf("TTS(1s, p=1e-18) = 1s: Log(1-p) underflow regression")
+		}
+		if got != TTSMax {
+			t.Fatalf("TTS(1s, p=1e-18) = %v, want TTSMax", got)
+		}
+	})
+	t.Run("small success rate stays finite and accurate", func(t *testing.T) {
+		// ln(0.01)/ln(1-1e-6) ≈ 4.6052e6 runs of 1ms ≈ 4605.2s.
+		got := TTS(time.Millisecond, 1e-6, 0.99)
+		want := 4605.2 * float64(time.Second)
+		if math.Abs(float64(got)-want) > 0.01*want {
+			t.Fatalf("TTS(1ms, p=1e-6) = %v, want ≈%v", got, time.Duration(want))
+		}
+	})
+	t.Run("NaN success rate is never", func(t *testing.T) {
+		if got := TTS(time.Second, math.NaN(), 0.99); got != TTSNever {
+			t.Fatalf("TTS(NaN rate) = %v, want TTSNever", got)
+		}
+	})
+	t.Run("NaN confidence is never", func(t *testing.T) {
+		if got := TTS(time.Second, 0.5, math.NaN()); got != TTSNever {
+			t.Fatalf("TTS(NaN confidence) = %v, want TTSNever", got)
+		}
+	})
+	t.Run("overflow saturates to TTSMax, not negative", func(t *testing.T) {
+		got := TTS(time.Hour, 1e-12, 0.99)
+		if got < 0 {
+			t.Fatalf("TTS(1h, p=1e-12) = %v: int64 wraparound regression", got)
+		}
+		if got != TTSMax {
+			t.Fatalf("TTS(1h, p=1e-12) = %v, want TTSMax", got)
+		}
+	})
+	t.Run("zero rate is never, distinct from saturated", func(t *testing.T) {
+		if got := TTS(time.Second, 0, 0.99); got != TTSNever {
+			t.Fatalf("TTS(p=0) = %v, want TTSNever", got)
+		}
+		if TTSNever == TTSMax {
+			t.Fatal("sentinels must be distinguishable")
+		}
+	})
+	t.Run("certain success is one run", func(t *testing.T) {
+		if got := TTS(3*time.Second, 1, 0.99); got != 3*time.Second {
+			t.Fatalf("TTS(p=1) = %v, want runTime", got)
+		}
+	})
+	t.Run("confidence clamps", func(t *testing.T) {
+		if got := TTS(time.Second, 0.5, 0); got != 0 {
+			t.Fatalf("TTS(conf=0) = %v, want 0", got)
+		}
+		got := TTS(time.Second, 0.5, 1)
+		if got <= 0 || got == TTSMax {
+			t.Fatalf("TTS(conf=1) = %v, want finite positive (clamped)", got)
+		}
+	})
+}

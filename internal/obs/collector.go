@@ -25,6 +25,11 @@ type Collector struct {
 	// Resyncs counts exact field/energy rebuilds triggered by the
 	// kernel's incremental-drift bound.
 	Resyncs *Counter
+	// Proposals counts lane proposals examined by the bit-parallel packed
+	// kernel (one per active lane per variable visited). Scalar-kernel
+	// samplers report proposals too (sweeps × variables), so the
+	// flips/proposals ratio is the population accept rate either way.
+	Proposals *Counter
 }
 
 // NewCollector registers the substrate metric families on r and returns
@@ -37,7 +42,17 @@ func NewCollector(r *Registry) *Collector {
 		Sweeps:         r.Counter("anneal_sweeps_total", "Metropolis sweeps (or sweep-equivalent scans) executed"),
 		Flips:          r.Counter("anneal_flips_total", "accepted bit flips applied to kernel state"),
 		Resyncs:        r.Counter("anneal_resyncs_total", "exact kernel resyncs triggered by the incremental-drift bound"),
+		Proposals:      r.Counter("anneal_proposals_total", "kernel flip proposals examined (one per lane per variable visited)"),
 	}
+}
+
+// RecordProposals reports kernel flip proposals examined. Packed-kernel
+// samplers call it once per 64-lane group; scalar samplers once per run.
+func (c *Collector) RecordProposals(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.Proposals.Add(float64(n))
 }
 
 // RecordRead reports one read's work: sweeps executed, the kernel's

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"qsmt/internal/anneal"
 	"qsmt/internal/obs"
 	"qsmt/internal/qubo"
 )
@@ -79,10 +80,31 @@ type SolveStats struct {
 	// a memoized component presolve instead of re-running the stage.
 	IncrementalPresolveReuses int
 
+	// KernelProposals, KernelFlips and KernelResyncs sum the substrate
+	// kernel work behind this solve across attempts and shards: lane
+	// proposals examined, accepted lane flips, and drift-bound exact
+	// rebuilds. Zero for samplers that do not run on an annealing kernel
+	// (exact, random). KernelPacked reports that at least one sample set
+	// came off the bit-parallel 64-lane packed kernel rather than the
+	// scalar reference.
+	KernelProposals int64
+	KernelFlips     int64
+	KernelResyncs   int64
+	KernelPacked    bool
+
 	// bestSet tracks whether BestEnergy holds a real sample energy yet;
 	// without it an empty first sample set would leave the zero value
 	// looking like a legitimate best of 0.
 	bestSet bool
+}
+
+// observeKernel folds one sample set's substrate kernel counters into
+// the solve totals.
+func (st *SolveStats) observeKernel(ks anneal.KernelStats) {
+	st.KernelProposals += ks.Proposals
+	st.KernelFlips += ks.Flips
+	st.KernelResyncs += ks.Resyncs
+	st.KernelPacked = st.KernelPacked || ks.Packed
 }
 
 // observeBest folds one sample-set best energy into the running minimum.
@@ -156,6 +178,15 @@ type SolverMetrics struct {
 	CacheEvictions *obs.Counter // qsmt_cache_evictions_total
 	CacheEntries   *obs.Gauge   // qsmt_cache_entries
 
+	// Substrate kernel. Lane-level work behind every annealing sampler;
+	// the accept-rate histogram divides flips by proposals per solve, the
+	// regime the packed/scalar throughput trade-off hinges on.
+	KernelProposals    *obs.Counter   // qsmt_kernel_lane_proposals_total
+	KernelFlips        *obs.Counter   // qsmt_kernel_lane_flips_total
+	KernelResyncs      *obs.Counter   // qsmt_kernel_resyncs_total
+	KernelPackedSolves *obs.Counter   // qsmt_kernel_packed_solves_total
+	KernelAcceptRate   *obs.Histogram // qsmt_kernel_accept_rate
+
 	cacheMu   sync.Mutex
 	lastCache qubo.CacheStats
 }
@@ -202,6 +233,12 @@ func NewSolverMetrics(r *obs.Registry) *SolverMetrics {
 		IncrementalParentSeeds:    r.Counter("qsmt_incremental_parent_seeds_total", "Sampled components warm-started from the parent frame's witness."),
 		IncrementalPresolveReuses: r.Counter("qsmt_incremental_presolve_reuses_total", "Re-sampled components that reused a memoized component presolve."),
 		IncrementalReuse:          r.Histogram("qsmt_incremental_reuse_ratio", "Fraction of components reused from the memo per incremental solve.", obs.FractionBuckets),
+
+		KernelProposals:    r.Counter("qsmt_kernel_lane_proposals_total", "Lane proposals examined by annealing kernels across all solves."),
+		KernelFlips:        r.Counter("qsmt_kernel_lane_flips_total", "Lane flips accepted by annealing kernels across all solves."),
+		KernelResyncs:      r.Counter("qsmt_kernel_resyncs_total", "Drift-bound exact field rebuilds run by annealing kernels."),
+		KernelPackedSolves: r.Counter("qsmt_kernel_packed_solves_total", "Solves whose samples came off the bit-parallel packed kernel."),
+		KernelAcceptRate:   r.Histogram("qsmt_kernel_accept_rate", "Accepted-flip fraction of lane proposals per solve.", obs.FractionBuckets),
 
 		CacheHits:      r.Counter("qsmt_cache_hits_total", "Compile-cache hits."),
 		CacheMisses:    r.Counter("qsmt_cache_misses_total", "Compile-cache misses."),
@@ -254,6 +291,15 @@ func (m *SolverMetrics) record(st *SolveStats, err error) {
 	}
 	if st.ShardFallback {
 		m.ShardFallbacks.Inc()
+	}
+	if st.KernelProposals > 0 {
+		m.KernelProposals.Add(float64(st.KernelProposals))
+		m.KernelFlips.Add(float64(st.KernelFlips))
+		m.KernelResyncs.Add(float64(st.KernelResyncs))
+		m.KernelAcceptRate.Observe(float64(st.KernelFlips) / float64(st.KernelProposals))
+		if st.KernelPacked {
+			m.KernelPackedSolves.Inc()
+		}
 	}
 	if st.Incremental {
 		m.IncrementalSolves.Inc()

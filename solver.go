@@ -387,6 +387,7 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 			return nil, fmt.Errorf("qsmt: sampling %s: %w", c.Name(), err)
 		}
 		st.Reads += ss.TotalReads()
+		st.observeKernel(ss.Kernel)
 		if len(ss.Samples) > 0 {
 			lastBest = ss.Best().X
 			st.observeBest(ss.Best().Energy)
@@ -533,6 +534,7 @@ func (s *Solver) enumerateContext(ctx context.Context, c Constraint, k int, st *
 			return nil, fmt.Errorf("qsmt: sampling %s: %w", c.Name(), err)
 		}
 		st.Reads += ss.TotalReads()
+		st.observeKernel(ss.Kernel)
 		if len(ss.Samples) > 0 {
 			st.observeBest(ss.Best().Energy)
 			st.MeanEnergy = ss.MeanEnergy()

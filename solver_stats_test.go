@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"qsmt/internal/anneal"
 	"qsmt/internal/obs"
 )
 
@@ -175,5 +176,72 @@ func TestPipelineResultElapsed(t *testing.T) {
 	}
 	if res.Attempts != want {
 		t.Errorf("PipelineResult.Attempts = %d, want %d (sum of stages)", res.Attempts, want)
+	}
+}
+
+// TestSolveStatsKernelCounters pins the substrate kernel surface of
+// SolveStats and the qsmt_kernel_* metric family: a default solve runs
+// on the bit-parallel packed kernel and reports its lane-level work; a
+// scalar-forced solve reports comparable work with KernelPacked false.
+func TestSolveStatsKernelCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewSolver(&Options{Metrics: NewSolverMetrics(reg), Presolve: Off})
+	res, err := s.Solve(Equality("hi"))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	st := res.Stats
+	if st.KernelProposals <= 0 {
+		t.Fatalf("KernelProposals = %d, want > 0", st.KernelProposals)
+	}
+	if st.KernelFlips <= 0 || st.KernelFlips > st.KernelProposals {
+		t.Errorf("KernelFlips = %d, want in (0, %d]", st.KernelFlips, st.KernelProposals)
+	}
+	if !st.KernelPacked {
+		t.Error("KernelPacked = false, want true for the default sampler")
+	}
+
+	m := s.opts.Metrics
+	if got := m.KernelProposals.Value(); got != float64(st.KernelProposals) {
+		t.Errorf("qsmt_kernel_lane_proposals_total = %g, want %d", got, st.KernelProposals)
+	}
+	if got := m.KernelFlips.Value(); got != float64(st.KernelFlips) {
+		t.Errorf("qsmt_kernel_lane_flips_total = %g, want %d", got, st.KernelFlips)
+	}
+	if got := m.KernelPackedSolves.Value(); got != 1 {
+		t.Errorf("qsmt_kernel_packed_solves_total = %g, want 1", got)
+	}
+	if got := m.KernelAcceptRate.Count(); got != 1 {
+		t.Errorf("qsmt_kernel_accept_rate count = %d, want 1", got)
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"qsmt_kernel_lane_proposals_total",
+		"qsmt_kernel_lane_flips_total",
+		"qsmt_kernel_resyncs_total",
+		"qsmt_kernel_packed_solves_total 1",
+		"# TYPE qsmt_kernel_accept_rate histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The scalar reference path reports the same surface, minus Packed.
+	scalar := NewSolver(&Options{Presolve: Off, Sampler: &anneal.SimulatedAnnealer{Scalar: true}})
+	sres, err := scalar.Solve(Equality("hi"))
+	if err != nil {
+		t.Fatalf("scalar Solve: %v", err)
+	}
+	if sres.Stats.KernelProposals <= 0 {
+		t.Errorf("scalar KernelProposals = %d, want > 0", sres.Stats.KernelProposals)
+	}
+	if sres.Stats.KernelPacked {
+		t.Error("scalar solve reported KernelPacked = true")
 	}
 }
