@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet test race racebatch bench benchkernel benchsmoke benchbatch benchpresolve benchincr incrsmoke fuzz
+.PHONY: check build vet test race racebatch raceservice bench benchkernel benchsmoke benchbatch benchpresolve benchincr benchservice incrsmoke fuzz
 
 ## check: the CI gate — build, vet, race-checked tests, a 1-iteration
 ## benchmark smoke pass, the presolve ablation numbers, the incremental
-## push/pop smoke suite, and a short fuzz smoke of the SMT-LIB front end
-## (includes the remote fault-injection suite in internal/remote, the
-## root-package context/failover acceptance tests, and — under -race —
-## the batch/shard/cache concurrency suite).
-check: build vet race benchsmoke benchpresolve incrsmoke fuzz
+## push/pop smoke suite, the service-layer race gate + load benchmark,
+## and a short fuzz smoke of the SMT-LIB front end (includes the remote
+## fault-injection suite in internal/remote, the root-package
+## context/failover acceptance tests, and — under -race — the
+## batch/shard/cache concurrency suite).
+check: build vet race benchsmoke benchpresolve incrsmoke raceservice benchservice fuzz
 
 build:
 	$(GO) build ./...
@@ -27,6 +28,14 @@ race:
 ## compile cache. Subset of `race`, for quick iteration on batch code.
 racebatch:
 	$(GO) test -race -run 'Batch|Shard|Cache' . ./internal/qubo ./internal/smtlib
+
+## raceservice: the focused race gate for the annealer service layer —
+## the half-open circuit breaker and probe/job failure split in the
+## Pool, the bounded fair job queue, the async job API (shedding,
+## long-poll, SSE streaming, cancel), the content-addressed model
+## cache, and the Flusher-forwarding metrics wrapper.
+raceservice:
+	$(GO) test -race -run 'HalfOpen|Probe|Launder|Queue|Job|Cache|Flusher|Stream' ./internal/remote ./internal/qubo ./cmd/annealerd
 
 ## bench: run the Table 1 and substrate benchmarks and record them as
 ## BENCH_kernel.json (benchmark name -> ns/op, allocs/op, custom
@@ -87,6 +96,14 @@ benchincr:
 	$(GO) test -run '^$$' -bench 'BenchmarkDFS' -benchtime=3x -benchmem ./internal/harness \
 		| $(GO) run ./cmd/benchjson -o BENCH_incremental.json
 	@cat BENCH_incremental.json
+
+## benchservice: the service-layer load benchmark — cmd/loadgen boots a
+## self-hosted 3-backend annealer pool behind a job-API front (bounded
+## fair queue + content-addressed model cache) and drives concurrent
+## clients through it, recording sustained job throughput, p50/p99 job
+## latency and the admission-control shed rate as BENCH_service.json.
+benchservice:
+	$(GO) run ./cmd/loadgen -duration 5s -out BENCH_service.json
 
 ## incrsmoke: the focused incremental gate — scope-leak regressions,
 ## the incremental session tests, the presolve/cache isolation audit,

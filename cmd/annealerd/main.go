@@ -9,6 +9,17 @@
 //	          [-max-concurrent N] [-sample-timeout 60s]
 //	          [-read-timeout 30s] [-write-timeout 120s]
 //	          [-backends http://a:8080,http://b:8080] [-pprof]
+//	          [-job-queue 1024] [-job-workers N] [-result-ttl 5m]
+//	          [-cache-capacity 256] [-cache-peers http://a:8080,…]
+//
+// Besides the synchronous POST /v1/sample, the daemon serves an async
+// job API (POST /v1/jobs → poll GET /v1/jobs/{id}, stream
+// /v1/jobs/{id}/stream, cancel with DELETE) over a bounded fair queue:
+// strict priority classes, round-robin fairness across clients, and
+// 429 + Retry-After admission control when the queue fills. Models can
+// be uploaded once to the content-addressed cache (PUT /v1/cache/{fp})
+// and referenced by fingerprint thereafter; replicas listed in
+// -cache-peers fill cache misses from each other.
 //
 // The daemon is hardened for production traffic: per-job reads/sweeps
 // are clamped server-side, in-flight jobs are bounded (excess requests
@@ -67,13 +78,20 @@ type config struct {
 	sampleTimeout time.Duration
 	backends      []string // non-empty switches to proxy mode
 	pprof         bool
+
+	jobQueue   int           // async job queue bound; 0 disables the job API
+	jobWorkers int           // worker pool size; 0 = max-concurrent, then 1
+	resultTTL  time.Duration // unclaimed-result retention; 0 = package default
+	cacheCap   int           // content-addressed model cache entries; 0 disables
+	cachePeers []string      // sibling replicas for cache peer fills
 }
 
 // buildHandler assembles the daemon's HTTP surface: the annealer API at
-// /v1/*, Prometheus text at /metrics, and optionally pprof. It returns
-// the handler together with the registry and (in proxy mode) the pool,
-// for tests and for shutdown-time reporting.
-func buildHandler(cfg config) (http.Handler, *obs.Registry, *remote.Pool) {
+// /v1/* (including the async job API and model cache when enabled),
+// Prometheus text at /metrics, and optionally pprof. It returns the
+// handler together with the registry, (in proxy mode) the pool, and the
+// remote.Server, whose ServeJobs the caller runs when the job API is on.
+func buildHandler(cfg config) (http.Handler, *obs.Registry, *remote.Pool, *remote.Server) {
 	reg := obs.NewRegistry()
 
 	// Register every metric family the daemon can emit up front, so one
@@ -90,6 +108,14 @@ func buildHandler(cfg config) (http.Handler, *obs.Registry, *remote.Pool) {
 		SampleTimeout: cfg.sampleTimeout,
 		Metrics:       remote.NewServerMetrics(reg),
 		Collector:     collector,
+	}
+	if cfg.jobQueue > 0 {
+		srv.Jobs = remote.NewJobQueue(cfg.jobQueue, cfg.resultTTL)
+		srv.JobWorkers = cfg.jobWorkers
+	}
+	if cfg.cacheCap > 0 {
+		srv.CAS = remote.NewModelCAS(cfg.cacheCap)
+		srv.CachePeers = cfg.cachePeers
 	}
 
 	var pool *remote.Pool
@@ -128,7 +154,7 @@ func buildHandler(cfg config) (http.Handler, *obs.Registry, *remote.Pool) {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return mux, reg, pool
+	return mux, reg, pool, srv
 }
 
 func main() {
@@ -143,6 +169,11 @@ func main() {
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining jobs on SIGINT/SIGTERM")
 		backends        = flag.String("backends", "", "comma-separated backend URLs; proxy jobs to them instead of sampling locally")
 		pprofFlag       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
+		jobQueue        = flag.Int("job-queue", remote.DefaultMaxQueued, "async job queue bound (excess submissions get 429 + Retry-After); 0 disables the job API")
+		jobWorkers      = flag.Int("job-workers", 0, "async job worker pool size; 0 = -max-concurrent, then 1")
+		resultTTL       = flag.Duration("result-ttl", remote.DefaultResultTTL, "how long unclaimed job results are retained")
+		cacheCap        = flag.Int("cache-capacity", remote.DefaultCASCapacity, "content-addressed model cache entries (fingerprint-only submission); 0 disables")
+		cachePeers      = flag.String("cache-peers", "", "comma-separated sibling replica URLs; model cache misses fill from peers before rejecting")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -156,15 +187,14 @@ func main() {
 		maxConcurrent: *maxConcurrent,
 		sampleTimeout: *sampleTimeout,
 		pprof:         *pprofFlag,
+		jobQueue:      *jobQueue,
+		jobWorkers:    *jobWorkers,
+		resultTTL:     *resultTTL,
+		cacheCap:      *cacheCap,
 	}
-	if *backends != "" {
-		for _, u := range strings.Split(*backends, ",") {
-			if u = strings.TrimSpace(u); u != "" {
-				cfg.backends = append(cfg.backends, u)
-			}
-		}
-	}
-	handler, _, pool := buildHandler(cfg)
+	cfg.backends = splitURLs(*backends)
+	cfg.cachePeers = splitURLs(*cachePeers)
+	handler, _, pool, rsrv := buildHandler(cfg)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -178,14 +208,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// The async job workers run for the daemon's lifetime; on shutdown
+	// the queue closes (new submissions get 503) and the pool drains.
+	var workersDone chan struct{}
+	jctx, jcancel := context.WithCancel(context.Background())
+	defer jcancel()
+	if rsrv.Jobs != nil {
+		workersDone = make(chan struct{})
+		go func() {
+			defer close(workersDone)
+			rsrv.ServeJobs(jctx)
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		mode := "local sampling"
 		if pool != nil {
 			mode = fmt.Sprintf("proxying %d backends", len(cfg.backends))
 		}
-		log.Printf("annealerd listening on %s (%s, max reads %d, max sweeps %d, max concurrent %d, sample timeout %v)",
-			*addr, mode, *maxReads, *maxSweeps, *maxConcurrent, *sampleTimeout)
+		log.Printf("annealerd listening on %s (%s, max reads %d, max sweeps %d, max concurrent %d, sample timeout %v, job queue %d)",
+			*addr, mode, *maxReads, *maxSweeps, *maxConcurrent, *sampleTimeout, *jobQueue)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -201,6 +244,26 @@ func main() {
 			log.Printf("annealerd shutdown: %v", err)
 			os.Exit(1)
 		}
+		if rsrv.Jobs != nil {
+			rsrv.Jobs.Close()
+			jcancel()
+			select {
+			case <-workersDone:
+			case <-sctx.Done():
+				log.Printf("annealerd: job workers did not drain in time")
+			}
+		}
 		log.Printf("annealerd stopped")
 	}
+}
+
+// splitURLs parses a comma-separated URL list, dropping empty entries.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }

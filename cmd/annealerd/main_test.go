@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -39,7 +40,7 @@ func get(t *testing.T, h http.Handler, path string) (int, string) {
 }
 
 func TestMetricsEndpointLocalMode(t *testing.T) {
-	h, _, pool := buildHandler(config{sampleTimeout: 30 * time.Second})
+	h, _, pool, _ := buildHandler(config{sampleTimeout: 30 * time.Second})
 	if pool != nil {
 		t.Fatal("local mode should not build a pool")
 	}
@@ -81,7 +82,7 @@ func TestMetricsEndpointProxyMode(t *testing.T) {
 	backend := httptest.NewServer((&remote.Server{}).Handler())
 	defer backend.Close()
 
-	h, _, pool := buildHandler(config{backends: []string{backend.URL}})
+	h, _, pool, _ := buildHandler(config{backends: []string{backend.URL}})
 	if pool == nil {
 		t.Fatal("proxy mode should build a pool")
 	}
@@ -107,13 +108,85 @@ func TestMetricsEndpointProxyMode(t *testing.T) {
 	}
 }
 
+// TestJobAPIWiredThroughDaemon drives one async job through the exact
+// handler and worker pool the daemon assembles: submit, long-poll to
+// completion, and check the job metric families report it.
+func TestJobAPIWiredThroughDaemon(t *testing.T) {
+	h, _, _, rsrv := buildHandler(config{
+		jobQueue:      8,
+		jobWorkers:    1,
+		cacheCap:      16,
+		sampleTimeout: 30 * time.Second,
+	})
+	if rsrv.Jobs == nil || rsrv.CAS == nil {
+		t.Fatal("job API / model cache not wired")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rsrv.ServeJobs(ctx)
+	}()
+	defer func() { cancel(); <-done }()
+	hts := httptest.NewServer(h)
+	defer hts.Close()
+
+	var submit remote.JobSubmitRequest
+	if err := json.Unmarshal(sampleBody(t), &submit.SampleRequest); err != nil {
+		t.Fatal(err)
+	}
+	submit.Priority = "interactive"
+	body, err := json.Marshal(submit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/jobs = %d: %s", resp.StatusCode, raw)
+	}
+	var st remote.JobStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || st.ID == "" {
+		t.Fatalf("submit reply: %+v, %v", st, err)
+	}
+
+	poll, err := http.Get(hts.URL + "/v1/jobs/" + st.ID + "?wait=20s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer poll.Body.Close()
+	if err := json.NewDecoder(poll.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Result == nil || len(st.Result.Samples) == 0 {
+		t.Fatalf("job after long-poll = %+v, want done with samples", st)
+	}
+
+	_, text := get(t, h, "/metrics")
+	for _, want := range []string{
+		`annealerd_jobs_submitted_total{priority="interactive"} 1`,
+		`annealerd_jobs_completed_total{outcome="done"} 1`,
+		"annealerd_jobs_shed_total 0",
+		"annealerd_job_queue_depth 0",
+		`annealerd_http_requests_total{path="/v1/jobs",code="202"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
 func TestPprofGatedByFlag(t *testing.T) {
-	withPprof, _, _ := buildHandler(config{pprof: true})
+	withPprof, _, _, _ := buildHandler(config{pprof: true})
 	if code, _ := get(t, withPprof, "/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Errorf("with -pprof: /debug/pprof/cmdline = %d, want 200", code)
 	}
 
-	without, _, _ := buildHandler(config{})
+	without, _, _, _ := buildHandler(config{})
 	if code, _ := get(t, without, "/debug/pprof/"); code == http.StatusOK {
 		t.Error("without -pprof: /debug/pprof/ should not be served")
 	}

@@ -3,7 +3,10 @@ package qubo
 import (
 	"container/list"
 	"encoding/binary"
+	"fmt"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -43,6 +46,46 @@ func (f *fnvPair) word(w uint64) {
 		f.h1 = (f.h1 ^ uint64(c)) * fnvPrime
 		f.h2 = (f.h2 ^ uint64(c)) * fnvPrime
 	}
+}
+
+// String renders the fingerprint in its wire form,
+// "qf1-<n>-<linear>-<quad>-<h1>-<h2>" with the hashes in hex. The "qf1"
+// prefix versions the format so a future hash change cannot silently
+// alias old keys. The form is URL-path-safe, so it can key a
+// content-addressed cache endpoint directly.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("qf1-%d-%d-%d-%016x-%016x", f.N, f.Linear, f.Quad, f.H1, f.H2)
+}
+
+// ParseFingerprint parses the String form back into a Fingerprint. Only
+// the canonical rendering is accepted: ParseFingerprint(f.String()) == f,
+// and any string that String could not have produced is rejected.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 6 || parts[0] != "qf1" {
+		return Fingerprint{}, fmt.Errorf("qubo: malformed fingerprint %q", s)
+	}
+	var f Fingerprint
+	var err error
+	if f.N, err = strconv.Atoi(parts[1]); err != nil {
+		return Fingerprint{}, fmt.Errorf("qubo: malformed fingerprint %q", s)
+	}
+	if f.Linear, err = strconv.Atoi(parts[2]); err != nil {
+		return Fingerprint{}, fmt.Errorf("qubo: malformed fingerprint %q", s)
+	}
+	if f.Quad, err = strconv.Atoi(parts[3]); err != nil {
+		return Fingerprint{}, fmt.Errorf("qubo: malformed fingerprint %q", s)
+	}
+	if f.H1, err = strconv.ParseUint(parts[4], 16, 64); err != nil {
+		return Fingerprint{}, fmt.Errorf("qubo: malformed fingerprint %q", s)
+	}
+	if f.H2, err = strconv.ParseUint(parts[5], 16, 64); err != nil {
+		return Fingerprint{}, fmt.Errorf("qubo: malformed fingerprint %q", s)
+	}
+	if f.String() != s {
+		return Fingerprint{}, fmt.Errorf("qubo: non-canonical fingerprint %q", s)
+	}
+	return f, nil
 }
 
 // FingerprintOf computes the canonical fingerprint of m.
@@ -109,7 +152,11 @@ const DefaultCacheCapacity = 256
 // return reports whether the result came from the cache. Compilation of
 // a missing entry happens outside the lock, so a slow compile does not
 // stall unrelated lookups; concurrent misses on the same model may
-// compile twice and keep one result.
+// compile twice and keep one result. A lookup is counted exactly once —
+// as a hit when it returns a cached entry (including the loser of a
+// concurrent compile race, which discards its own work and returns the
+// winner's entry), as a miss only when its own compilation is kept — so
+// hits+misses always equals completed lookups.
 func (c *Cache) Compile(m *Model) (*Compiled, bool) {
 	if c == nil {
 		return m.Compile(), false
@@ -123,7 +170,6 @@ func (c *Cache) Compile(m *Model) (*Compiled, bool) {
 		c.mu.Unlock()
 		return compiled, true
 	}
-	c.misses++
 	c.mu.Unlock()
 
 	compiled := m.Compile()
@@ -132,8 +178,17 @@ func (c *Cache) Compile(m *Model) (*Compiled, bool) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[fp]; ok { // a concurrent miss beat us to it
 		c.ll.MoveToFront(el)
+		c.hits++
 		return el.Value.(*cacheEntry).c, true
 	}
+	c.misses++
+	c.insertLocked(fp, compiled)
+	return compiled, false
+}
+
+// insertLocked adds an entry and enforces the capacity bound; callers
+// hold c.mu.
+func (c *Cache) insertLocked(fp Fingerprint, compiled *Compiled) {
 	c.items[fp] = c.ll.PushFront(&cacheEntry{fp: fp, c: compiled})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
@@ -141,7 +196,42 @@ func (c *Cache) Compile(m *Model) (*Compiled, bool) {
 		delete(c.items, oldest.Value.(*cacheEntry).fp)
 		c.evictions++
 	}
-	return compiled, false
+}
+
+// Lookup returns the cached compilation for fp, if present, touching its
+// LRU position. Unlike Compile it cannot fill the entry — it is the read
+// side of a content-addressed cache: a service asks whether any prior
+// job already compiled this fingerprint. Lookups are not counted in
+// hit/miss stats (they are presence probes, not compilations avoided).
+func (c *Cache) Lookup(fp Fingerprint) (*Compiled, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[fp]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).c, true
+}
+
+// Insert seeds the cache with an externally produced compilation under
+// fp — the write side of a content-addressed cache, used when a replica
+// fetches a peer's compiled model. The caller owns the fp↔compiled
+// correspondence; an existing entry is left in place.
+func (c *Cache) Insert(fp Fingerprint, compiled *Compiled) {
+	if c == nil || compiled == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.insertLocked(fp, compiled)
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.

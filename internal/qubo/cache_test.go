@@ -157,3 +157,116 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Fatalf("entries = %d, want 4", st.Entries)
 	}
 }
+
+func TestFingerprintStringRoundTrip(t *testing.T) {
+	m := New(7)
+	m.AddLinear(2, -1.5)
+	m.AddQuadratic(0, 6, 2)
+	m.AddOffset(0.25)
+	fp := FingerprintOf(m)
+	s := fp.String()
+	back, err := ParseFingerprint(s)
+	if err != nil {
+		t.Fatalf("ParseFingerprint(%q): %v", s, err)
+	}
+	if back != fp {
+		t.Fatalf("round trip changed fingerprint: %+v != %+v", back, fp)
+	}
+	for _, bad := range []string{
+		"", "qf1", "qf0-7-1-1-0-0", "qf1-7-1-1-zz-0",
+		"qf1-7-1-1-0-0", // hashes not zero-padded to 16 hex digits
+		s + "-extra", "qf1--1-1-" + s[len(s)-33:],
+	} {
+		if _, err := ParseFingerprint(bad); err == nil {
+			t.Errorf("ParseFingerprint(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestCacheConcurrentMissAccounting is the regression test for the
+// concurrent-miss stats bug: when several goroutines miss on the same
+// model at once, the losers of the compile race used to count a miss on
+// the way in and then return the winner's entry as a hit without
+// counting it, so the miss counter over-counted: misses exceeded kept
+// compilations and disagreed with the returned from-cache flags. A
+// model big enough that compiling outlasts the scheduler's preemption
+// quantum keeps every racer inside the unlocked compile window, even
+// on a single-CPU machine.
+func TestCacheConcurrentMissAccounting(t *testing.T) {
+	const n = 30000
+	big := New(n)
+	for i := 0; i < n; i++ {
+		big.AddLinear(i, float64(i%7)-3)
+		big.AddQuadratic(i, (i+1)%n, 1)
+		big.AddQuadratic(i, (i+37)%n, -0.5)
+	}
+	for round := 0; round < 4; round++ {
+		c := NewCache(8)
+		const workers = 8
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				compiled, _ := c.Compile(big)
+				if compiled.N != n {
+					t.Errorf("bad compiled N = %d", compiled.N)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		st := c.Stats()
+		if st.Hits+st.Misses != workers {
+			t.Fatalf("round %d: hits(%d)+misses(%d) = %d, want %d lookups",
+				round, st.Hits, st.Misses, st.Hits+st.Misses, workers)
+		}
+		if st.Misses != 1 {
+			t.Fatalf("round %d: misses = %d, want exactly 1 kept compilation", round, st.Misses)
+		}
+		if st.Entries != 1 {
+			t.Fatalf("round %d: entries = %d, want 1", round, st.Entries)
+		}
+	}
+}
+
+func TestCacheLookupInsert(t *testing.T) {
+	c := NewCache(2)
+	m := New(3)
+	m.AddQuadratic(0, 2, -1)
+	fp := FingerprintOf(m)
+	if _, ok := c.Lookup(fp); ok {
+		t.Fatal("Lookup hit an empty cache")
+	}
+	compiled := m.Compile()
+	c.Insert(fp, compiled)
+	got, ok := c.Lookup(fp)
+	if !ok || got != compiled {
+		t.Fatalf("Lookup after Insert = (%p, %v), want (%p, true)", got, ok, compiled)
+	}
+	// Insert of an existing key keeps the first entry.
+	c.Insert(fp, m.Compile())
+	if got2, _ := c.Lookup(fp); got2 != compiled {
+		t.Fatal("duplicate Insert replaced the existing entry")
+	}
+	// Lookup/Insert respect the capacity bound.
+	for i := 0; i < 4; i++ {
+		other := New(1)
+		other.AddLinear(0, float64(i+1))
+		c.Insert(FingerprintOf(other), other.Compile())
+	}
+	if st := c.Stats(); st.Entries > st.Capacity {
+		t.Fatalf("Insert exceeded capacity: %+v", st)
+	}
+	// Presence probes leave hit/miss stats alone.
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Lookup/Insert moved compile stats: %+v", st)
+	}
+	var nilCache *Cache
+	if _, ok := nilCache.Lookup(fp); ok {
+		t.Fatal("nil cache Lookup hit")
+	}
+	nilCache.Insert(fp, compiled) // must not panic
+}

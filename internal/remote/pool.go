@@ -22,9 +22,16 @@ const (
 // health-gated failover: jobs rotate round-robin over the backends, a
 // failed job fails over to the next backend, and a backend that fails
 // FailureThreshold consecutive jobs has its circuit opened — it is
-// sidelined for Cooldown before a trial job may close the circuit
-// again. Pool satisfies the solver's Sampler and SamplerContext
-// contracts, so a qsmt.Solver can be pointed at a whole fleet.
+// sidelined for Cooldown, after which the circuit turns half-open and
+// admits exactly one trial job (success closes the circuit; failure
+// re-opens it for another Cooldown, and the concurrent jobs that
+// arrived during the trial fail over instead of flooding the still
+// recovering backend). Health-probe outcomes (CheckHealth) are tracked
+// separately from sampling outcomes, so a backend whose /v1/health
+// answers 200 while /v1/sample fails still trips its breaker; either
+// failure stream can open the circuit on its own. Pool satisfies the
+// solver's Sampler and SamplerContext contracts, so a qsmt.Solver can
+// be pointed at a whole fleet.
 //
 // A Pool is safe for concurrent use.
 type Pool struct {
@@ -52,11 +59,23 @@ type Pool struct {
 	failovers atomic.Int64
 }
 
-// breakerState is one backend's circuit.
+// breakerState is one backend's circuit. The circuit is closed while
+// openUntil is zero, open until openUntil passes, and half-open after
+// that: half-open admits a single trial job (probing marks one in
+// flight) whose outcome decides between closing and re-opening.
+// Sampling-job failures and health-probe failures are counted in
+// separate streams — a healthy /v1/health must not launder failures on
+// /v1/sample — and either stream reaching the threshold opens the
+// circuit.
 type breakerState struct {
-	consecutiveFailures int
-	openUntil           time.Time
+	jobFailures   int       // consecutive sampling-job failures
+	probeFailures int       // consecutive health-probe failures
+	openUntil     time.Time // zero = closed
+	probing       bool      // half-open trial job in flight
 }
+
+// closed reports whether the circuit is fully closed.
+func (st *breakerState) closed() bool { return st.openUntil.IsZero() }
 
 // NewPool builds a pool over backend base URLs with default clients
 // (retries disabled per backend — the pool's failover replaces them;
@@ -97,10 +116,25 @@ func (p *Pool) ensureStates() {
 	}
 }
 
-// available reports whether idx's circuit admits a job now; callers
-// hold p.mu.
-func (p *Pool) available(idx int) bool {
-	return !p.clock().Before(p.states[idx].openUntil)
+// tryAdmit reports whether idx's circuit admits a job now; callers hold
+// p.mu. Closed circuits admit freely. Open circuits reject. A circuit
+// whose cooldown has elapsed is half-open: it admits exactly one trial
+// job at a time — the first caller to arrive wins the probing slot and
+// every other concurrent job is rejected until the trial's outcome is
+// recorded, so a recovering backend sees one job, not the whole backlog.
+func (p *Pool) tryAdmit(idx int) bool {
+	st := &p.states[idx]
+	if st.closed() {
+		return true
+	}
+	if p.clock().Before(st.openUntil) {
+		return false // open
+	}
+	if st.probing {
+		return false // half-open, trial already in flight
+	}
+	st.probing = true
+	return true
 }
 
 // SetMetrics attaches a metrics sink and seeds the per-backend series,
@@ -114,25 +148,77 @@ func (p *Pool) SetMetrics(m *PoolMetrics) {
 	}
 }
 
+// recordSuccess notes a completed sampling job: real work on the real
+// endpoint is the strongest health signal, so it fully closes the
+// circuit and clears both failure streams (including a half-open
+// trial's probing slot).
 func (p *Pool) recordSuccess(idx int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ensureStates()
 	p.states[idx] = breakerState{}
-	p.Metrics.setCircuit(p.Backends[idx].BaseURL, 0, false)
+	p.publishCircuit(idx)
 }
 
+// recordFailure notes a failed sampling job. A failure observed while
+// the circuit is not closed — the half-open trial itself, or a
+// straggler from before the circuit opened — re-opens it immediately
+// for another cooldown; otherwise the job-failure count grows toward
+// the threshold.
 func (p *Pool) recordFailure(idx int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ensureStates()
 	st := &p.states[idx]
-	st.consecutiveFailures++
-	if st.consecutiveFailures >= p.threshold() {
+	st.jobFailures++
+	st.probing = false
+	if !st.closed() || st.jobFailures >= p.threshold() {
 		st.openUntil = p.clock().Add(p.cooldown())
 	}
-	p.Metrics.setCircuit(p.Backends[idx].BaseURL,
-		st.consecutiveFailures, p.clock().Before(st.openUntil))
+	p.publishCircuit(idx)
+}
+
+// recordProbeSuccess notes a healthy /v1/health reply. It clears only
+// the probe-failure stream: a 200 on the health endpoint says nothing
+// about the sampling path, so consecutive sampling failures keep
+// counting toward — and an already-open circuit keeps sidelining — the
+// backend until a real job succeeds.
+func (p *Pool) recordProbeSuccess(idx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureStates()
+	p.states[idx].probeFailures = 0
+	p.publishCircuit(idx)
+}
+
+// recordProbeFailure notes a failed /v1/health probe; enough of them
+// open the circuit so the backend is sidelined before it ever receives
+// a job, and keep an open circuit open while the backend stays down.
+func (p *Pool) recordProbeFailure(idx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureStates()
+	st := &p.states[idx]
+	st.probeFailures++
+	if st.probeFailures >= p.threshold() {
+		st.openUntil = p.clock().Add(p.cooldown())
+		st.probing = false
+	}
+	p.publishCircuit(idx)
+}
+
+// publishCircuit pushes idx's breaker state to the metrics sink; callers
+// hold p.mu. The failure gauge reports whichever stream is closer to
+// (or past) the threshold; the open gauge reports 1 until the circuit
+// fully closes — a half-open circuit is still rejecting all but its one
+// trial job.
+func (p *Pool) publishCircuit(idx int) {
+	st := &p.states[idx]
+	failures := st.jobFailures
+	if st.probeFailures > failures {
+		failures = st.probeFailures
+	}
+	p.Metrics.setCircuit(p.Backends[idx].BaseURL, failures, !st.closed())
 }
 
 // Failovers reports how many times a job moved to another backend after
@@ -142,8 +228,10 @@ func (p *Pool) Failovers() int64 { return p.failovers.Load() }
 // BackendStatus is one backend's circuit snapshot.
 type BackendStatus struct {
 	URL                 string
-	ConsecutiveFailures int
-	Open                bool // circuit currently rejecting jobs
+	ConsecutiveFailures int  // consecutive sampling-job failures
+	ProbeFailures       int  // consecutive health-probe failures
+	Open                bool // circuit rejecting all jobs (cooldown running)
+	HalfOpen            bool // cooldown elapsed; admitting a single trial job
 }
 
 // Stats snapshots the pool's failover count and per-backend circuits.
@@ -159,10 +247,13 @@ func (p *Pool) Stats() PoolStats {
 	p.ensureStates()
 	st := PoolStats{Failovers: p.failovers.Load()}
 	for i, b := range p.Backends {
+		bs := &p.states[i]
 		st.Backends = append(st.Backends, BackendStatus{
 			URL:                 b.BaseURL,
-			ConsecutiveFailures: p.states[i].consecutiveFailures,
-			Open:                p.clock().Before(p.states[i].openUntil),
+			ConsecutiveFailures: bs.jobFailures,
+			ProbeFailures:       bs.probeFailures,
+			Open:                !bs.closed() && p.clock().Before(bs.openUntil),
+			HalfOpen:            !bs.closed() && !p.clock().Before(bs.openUntil),
 		})
 	}
 	return st
@@ -199,7 +290,8 @@ func (p *Pool) SampleJobContext(ctx context.Context, compiled *qubo.Compiled, jo
 	for off := 0; off < len(p.Backends); off++ {
 		idx := (start + off) % len(p.Backends)
 		p.mu.Lock()
-		ok := p.available(idx)
+		p.ensureStates()
+		ok := p.tryAdmit(idx)
 		p.mu.Unlock()
 		if !ok {
 			continue
@@ -253,12 +345,20 @@ func (s *JobSampler) SampleContext(ctx context.Context, compiled *qubo.Compiled)
 }
 
 // CheckHealth probes every backend's /v1/health under ctx and feeds the
-// outcomes into the circuit breakers, so unhealthy backends are
-// sidelined before they ever receive a job. It returns one entry per
-// backend URL (nil = healthy). Backends are probed concurrently: a hung
-// backend costs one ctx deadline in total, not one per backend after it
-// in Backends order.
+// outcomes into the circuit breakers' probe stream, so unhealthy
+// backends are sidelined before they ever receive a job. Probe outcomes
+// are deliberately segregated from sampling outcomes: a healthy probe
+// clears only the probe-failure count, never the sampling-failure count
+// and never an open circuit — a backend that answers /v1/health 200
+// while failing /v1/sample would otherwise have its breaker reset by
+// every periodic health sweep and keep receiving jobs forever. It
+// returns one entry per backend URL (nil = healthy). Backends are
+// probed concurrently: a hung backend costs one ctx deadline in total,
+// not one per backend after it in Backends order.
 func (p *Pool) CheckHealth(ctx context.Context) map[string]error {
+	p.mu.Lock()
+	p.ensureStates()
+	p.mu.Unlock()
 	out := make(map[string]error, len(p.Backends))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -268,9 +368,9 @@ func (p *Pool) CheckHealth(ctx context.Context) map[string]error {
 			defer wg.Done()
 			_, err := b.HealthContext(ctx)
 			if err == nil {
-				p.recordSuccess(i)
+				p.recordProbeSuccess(i)
 			} else {
-				p.recordFailure(i)
+				p.recordProbeFailure(i)
 			}
 			mu.Lock()
 			out[b.BaseURL] = err

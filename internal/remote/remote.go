@@ -45,12 +45,19 @@ import (
 	"qsmt/internal/qubo"
 )
 
-// SampleRequest is the wire form of a sampling job.
+// SampleRequest is the wire form of a sampling job. A job names its
+// model either inline (QUBO, the qubo.WriteTo text) or by content
+// address (Fingerprint, the qubo.Fingerprint wire string of a model the
+// service already holds in its compile cache — see the /v1/cache
+// endpoints). Fingerprint-only submissions that miss the cache are
+// rejected with 412 Precondition Failed; the client uploads the model
+// and retries.
 type SampleRequest struct {
-	QUBO   string `json:"qubo"`             // qubo.WriteTo text
-	Reads  int    `json:"reads,omitempty"`  // 0 = server default
-	Sweeps int    `json:"sweeps,omitempty"` // 0 = server default
-	Seed   int64  `json:"seed,omitempty"`   // 0 = server default
+	QUBO        string `json:"qubo,omitempty"`        // qubo.WriteTo text
+	Fingerprint string `json:"fingerprint,omitempty"` // qubo.Fingerprint.String()
+	Reads       int    `json:"reads,omitempty"`       // 0 = server default
+	Sweeps      int    `json:"sweeps,omitempty"`      // 0 = server default
+	Seed        int64  `json:"seed,omitempty"`        // 0 = server default
 }
 
 // WireSample is one returned read.
@@ -125,8 +132,28 @@ type Server struct {
 	// their own collectors.
 	Collector *obs.Collector
 
+	// Jobs, when non-nil, enables the async job API (POST /v1/jobs,
+	// GET /v1/jobs/{id}, …) backed by this queue. Run ServeJobs to
+	// actually execute queued jobs.
+	Jobs *JobQueue
+	// JobWorkers is how many jobs ServeJobs executes concurrently.
+	// 0 selects MaxConcurrent, or 1 if that is unset too.
+	JobWorkers int
+	// CAS, when non-nil, enables the content-addressed model cache
+	// (PUT/GET/HEAD /v1/cache/{fp}) and fingerprint-only submissions.
+	CAS *ModelCAS
+	// CachePeers lists sibling replicas' base URLs; a fingerprint-only
+	// submission that misses the local CAS tries each peer's cache
+	// before answering 412, so pool replicas reuse one upload.
+	CachePeers []string
+	// PeerClient performs peer cache fetches; nil selects a client with
+	// a short timeout.
+	PeerClient *http.Client
+
 	semOnce sync.Once
 	sem     chan struct{}
+
+	expiredSeen atomic.Uint64 // queue expiries already published to Metrics
 }
 
 // semaphore lazily builds the concurrency limiter (nil = unlimited).
@@ -140,11 +167,23 @@ func (s *Server) semaphore() chan struct{} {
 }
 
 // Handler returns the HTTP handler for the service. With Metrics set,
-// every request is counted and timed.
+// every request is counted and timed. The job API routes appear only
+// when Jobs is set, and the cache routes only when CAS is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/sample", s.handleSample)
 	mux.HandleFunc("/v1/health", s.handleHealth)
+	if s.Jobs != nil {
+		mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	}
+	if s.CAS != nil {
+		mux.HandleFunc("PUT /v1/cache/{fp}", s.handleCachePut)
+		mux.HandleFunc("GET /v1/cache/{fp}", s.handleCacheGet)
+		mux.HandleFunc("HEAD /v1/cache/{fp}", s.handleCacheGet)
+	}
 	if s.Metrics == nil {
 		return mux
 	}
@@ -195,35 +234,98 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
 		return
 	}
+	if se := validateRequest(req); se != nil {
+		writeStatusError(w, se)
+		return
+	}
+	compiled, se := s.resolveModel(r.Context(), req)
+	if se != nil {
+		writeStatusError(w, se)
+		return
+	}
+	resp, se := s.runSample(r.Context(), req, compiled)
+	if se != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nobody is reading the reply
+		}
+		writeStatusError(w, se)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// validateRequest checks the knobs every submission path shares.
+func validateRequest(req SampleRequest) *StatusError {
 	if req.Reads < 0 || req.Sweeps < 0 {
-		writeError(w, http.StatusBadRequest, "reads and sweeps must be non-negative")
-		return
+		return &StatusError{Code: http.StatusBadRequest, Message: "reads and sweeps must be non-negative"}
 	}
-	model, err := qubo.Read(strings.NewReader(req.QUBO))
+	if req.QUBO == "" && req.Fingerprint == "" {
+		return &StatusError{Code: http.StatusBadRequest, Message: "request names no model: set qubo or fingerprint"}
+	}
+	return nil
+}
+
+// resolveModel turns a request's model reference into a compiled QUBO:
+// inline text is parsed (and inserted into the CAS when one is
+// configured, so later fingerprint-only submissions hit), while a
+// fingerprint-only request is answered from the CAS — locally, then
+// from each configured peer replica — or rejected with 412 so the
+// client knows to upload the model.
+func (s *Server) resolveModel(ctx context.Context, req SampleRequest) (*qubo.Compiled, *StatusError) {
+	if req.QUBO != "" {
+		model, err := qubo.Read(strings.NewReader(req.QUBO))
+		if err != nil {
+			return nil, &StatusError{Code: http.StatusBadRequest, Message: "malformed QUBO: " + err.Error()}
+		}
+		compiled := model.Compile()
+		if s.CAS != nil {
+			s.CAS.put(qubo.FingerprintOf(model), req.QUBO, compiled)
+		}
+		return compiled, nil
+	}
+	fp, err := qubo.ParseFingerprint(req.Fingerprint)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "malformed QUBO: "+err.Error())
-		return
+		return nil, &StatusError{Code: http.StatusBadRequest, Message: "malformed fingerprint: " + err.Error()}
 	}
-	ctx := r.Context()
+	if s.CAS == nil {
+		return nil, &StatusError{Code: http.StatusPreconditionFailed, Message: "no model cache configured; submit the model inline"}
+	}
+	if _, compiled, ok := s.CAS.get(fp); ok {
+		s.Metrics.casHit()
+		return compiled, nil
+	}
+	s.Metrics.casMiss()
+	if compiled := s.fillFromPeers(ctx, fp); compiled != nil {
+		s.Metrics.casPeerFill()
+		return compiled, nil
+	}
+	return nil, &StatusError{Code: http.StatusPreconditionFailed,
+		Message: "model " + req.Fingerprint + " not cached; upload it to /v1/cache/" + req.Fingerprint + " and retry"}
+}
+
+// runSample executes one sampling job against the compiled model,
+// honoring the server's sampling deadline. Failures come back as
+// *StatusError so the sync handler and the async job workers report
+// identical statuses.
+func (s *Server) runSample(ctx context.Context, req SampleRequest, compiled *qubo.Compiled) (*SampleResponse, *StatusError) {
 	if s.SampleTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.SampleTimeout)
 		defer cancel()
 	}
-	ss, err := anneal.SampleWithContext(ctx, s.sampler(req), model.Compile())
+	ss, err := anneal.SampleWithContext(ctx, s.sampler(req), compiled)
 	if err != nil {
 		switch {
-		case r.Context().Err() != nil:
-			return // client gone; nobody is reading the reply
+		case errors.Is(err, context.Canceled):
+			return nil, &StatusError{Code: http.StatusRequestTimeout, Message: "sampling canceled"}
 		case errors.Is(err, context.DeadlineExceeded):
 			s.Metrics.shedDeadline()
-			writeError(w, http.StatusServiceUnavailable, "sampling deadline exceeded")
+			return nil, &StatusError{Code: http.StatusServiceUnavailable, Message: "sampling deadline exceeded"}
 		default:
-			writeError(w, http.StatusInternalServerError, "sampling: "+err.Error())
+			return nil, &StatusError{Code: http.StatusInternalServerError, Message: "sampling: " + err.Error()}
 		}
-		return
 	}
-	resp := SampleResponse{Samples: make([]WireSample, 0, len(ss.Samples))}
+	resp := &SampleResponse{Samples: make([]WireSample, 0, len(ss.Samples))}
 	for _, sm := range ss.Samples {
 		resp.Samples = append(resp.Samples, WireSample{
 			X:           bitsToString(sm.X),
@@ -231,7 +333,11 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			Occurrences: sm.Occurrences,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
+}
+
+func writeStatusError(w http.ResponseWriter, se *StatusError) {
+	writeError(w, se.Code, se.Message)
 }
 
 func (s *Server) sampler(req SampleRequest) interface {
@@ -311,6 +417,9 @@ var ErrResponseTooLarge = errors.New("remote: response exceeds size limit")
 type StatusError struct {
 	Code    int
 	Message string // server's error envelope, when present
+	// RetryAfter is the server's Retry-After hint on 429 replies
+	// (0 when absent); resilient submitters wait at least this long.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -353,6 +462,10 @@ type Client struct {
 	Reads      int           // per-job reads (0 = server default)
 	Sweeps     int           // per-job sweeps
 	Seed       int64         // per-job seed
+	// ClientID names this client to the job API's fairness scheduler
+	// (the X-Client-ID header); empty means the server buckets by
+	// remote host.
+	ClientID string
 
 	// MaxRetries bounds extra attempts after the first on transient
 	// failures. 0 selects DefaultMaxRetries; negative disables retries.
@@ -458,10 +571,10 @@ func (c *Client) SampleJobContext(ctx context.Context, compiled *qubo.Compiled, 
 	}
 }
 
-// encodeRequest reconstructs the serializable model from the compiled
-// view and marshals the wire request; zero job fields fall back to the
-// client's configured knobs.
-func (c *Client) encodeRequest(compiled *qubo.Compiled, job Job) ([]byte, error) {
+// modelFromCompiled reconstructs the serializable model from the
+// compiled view (also used by the job client to fingerprint and upload
+// models for content-addressed submission).
+func modelFromCompiled(compiled *qubo.Compiled) *qubo.Model {
 	model := qubo.New(compiled.N)
 	model.AddOffset(compiled.Offset)
 	for i, h := range compiled.Linear {
@@ -476,9 +589,15 @@ func (c *Client) encodeRequest(compiled *qubo.Compiled, job Job) ([]byte, error)
 			}
 		}
 	}
+	return model
+}
+
+// sampleRequest assembles the wire request for one job; zero job fields
+// fall back to the client's configured knobs.
+func (c *Client) sampleRequest(compiled *qubo.Compiled, job Job) (SampleRequest, error) {
 	var quboText bytes.Buffer
-	if _, err := model.WriteTo(&quboText); err != nil {
-		return nil, fmt.Errorf("remote: serializing QUBO: %w", err)
+	if _, err := modelFromCompiled(compiled).WriteTo(&quboText); err != nil {
+		return SampleRequest{}, fmt.Errorf("remote: serializing QUBO: %w", err)
 	}
 	reads, sweeps, seed := job.Reads, job.Sweeps, job.Seed
 	if reads == 0 {
@@ -490,9 +609,18 @@ func (c *Client) encodeRequest(compiled *qubo.Compiled, job Job) ([]byte, error)
 	if seed == 0 {
 		seed = c.Seed
 	}
-	return json.Marshal(SampleRequest{
+	return SampleRequest{
 		QUBO: quboText.String(), Reads: reads, Sweeps: sweeps, Seed: seed,
-	})
+	}, nil
+}
+
+// encodeRequest marshals the wire request for the sync sampling path.
+func (c *Client) encodeRequest(compiled *qubo.Compiled, job Job) ([]byte, error) {
+	req, err := c.sampleRequest(compiled, job)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(req)
 }
 
 // doSample performs one request attempt.
@@ -528,8 +656,15 @@ func (c *Client) doSample(ctx context.Context, reqBody []byte, compiled *qubo.Co
 	if err := json.Unmarshal(body, &sr); err != nil {
 		return nil, fmt.Errorf("remote: malformed response: %w", err)
 	}
-	raw := make([]anneal.Sample, 0, len(sr.Samples))
-	for _, ws := range sr.Samples {
+	return decodeSamples(sr.Samples, compiled)
+}
+
+// decodeSamples turns wire samples back into a local SampleSet, used by
+// both the sync path and job-result claiming. Energies are re-evaluated
+// locally: never trust remote energy labels.
+func decodeSamples(samples []WireSample, compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	raw := make([]anneal.Sample, 0, len(samples))
+	for _, ws := range samples {
 		x, err := stringToBits(ws.X)
 		if err != nil {
 			return nil, err
@@ -541,7 +676,6 @@ func (c *Client) doSample(ctx context.Context, reqBody []byte, compiled *qubo.Co
 		if occ <= 0 {
 			occ = 1
 		}
-		// Re-evaluate locally: never trust remote energy labels.
 		raw = append(raw, anneal.Sample{X: x, Energy: compiled.Energy(x), Occurrences: occ})
 	}
 	if len(raw) == 0 {
