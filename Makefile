@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet test race racebatch raceservice bench benchkernel benchsmoke benchbatch benchpresolve benchincr benchservice incrsmoke fuzz
+.PHONY: check build vet test race racebatch raceservice bench benchkernel benchsmoke benchbatch benchpresolve benchincr benchservice benchopt incrsmoke optsmoke fuzz
 
 ## check: the CI gate — build, vet, race-checked tests, a 1-iteration
 ## benchmark smoke pass, the presolve ablation numbers, the incremental
-## push/pop smoke suite, the service-layer race gate + load benchmark,
-## and a short fuzz smoke of the SMT-LIB front end (includes the remote
-## fault-injection suite in internal/remote, the root-package
-## context/failover acceptance tests, and — under -race — the
-## batch/shard/cache concurrency suite).
-check: build vet race benchsmoke benchpresolve incrsmoke raceservice benchservice fuzz
+## push/pop smoke suite, the optimize-mode smoke suite, the
+## service-layer race gate + load benchmark, and a short fuzz smoke of
+## the SMT-LIB front end (includes the remote fault-injection suite in
+## internal/remote, the root-package context/failover acceptance tests,
+## and — under -race — the batch/shard/cache concurrency suite).
+check: build vet race benchsmoke benchpresolve incrsmoke optsmoke raceservice benchservice fuzz
 
 build:
 	$(GO) build ./...
@@ -104,6 +104,24 @@ benchincr:
 ## latency and the admission-control shed rate as BENCH_service.json.
 benchservice:
 	$(GO) run ./cmd/loadgen -duration 5s -out BENCH_service.json
+
+## benchopt: the optimize-mode acceptance numbers — representative
+## MaxSAT/OMT instances (shortest string, fewest edits, weighted soft
+## mix) solved cold (presolve + warm starts off) vs warm (the
+## defaults), recorded as BENCH_opt.json. Each row also reports the
+## achieved theory objective so a landscape regression (optimal drifting
+## upward) shows up in the artifact, not just the timings.
+benchopt:
+	$(GO) test -run '^$$' -bench 'BenchmarkOptimize' -benchtime=3x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_opt.json
+	@cat BENCH_opt.json
+
+## optsmoke: the focused optimize gate — the brute-force differential
+## suite, hard-constraint inviolability under adversarial weights, the
+## job-service optimize path, and the SMT-LIB assert-soft/minimize/
+## get-objectives front end.
+optsmoke:
+	$(GO) test -run 'Optimize|Lex|Soft|Minimize|Objectives' -count=1 . ./internal/smtlib
 
 ## incrsmoke: the focused incremental gate — scope-leak regressions,
 ## the incremental session tests, the presolve/cache isolation audit,

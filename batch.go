@@ -152,6 +152,128 @@ type shardPlan struct {
 	seeds    [][]qubo.Bit   // warm-start states for sampled shards
 }
 
+// planShards classifies the component shards of a model: coupler-free
+// shards solve closed-form, small shards enumerate exactly, the rest
+// are compiled for the sampler (with warm-start seeds when supported).
+// Shared by the sat path (solveSharded) and the optimize path
+// (optimizeSharded).
+func (s *Solver) planShards(shards []qubo.Shard, st *SolveStats) []shardPlan {
+	plans := make([]shardPlan, len(shards))
+	for i, sh := range shards {
+		if sh.Model.NumQuadratic() == 0 {
+			plans[i] = shardPlan{shard: sh, trivial: true}
+			st.ExactShards++
+			continue
+		}
+		compiled := s.compileModel(sh.Model, st)
+		exact := s.opts.ExactShardVars > 0 && compiled.N <= s.opts.ExactShardVars
+		if exact {
+			st.ExactShards++
+		}
+		plans[i] = shardPlan{shard: sh, compiled: compiled, exact: exact}
+		if !exact && supportsWarmStart(s.samplerFor(0)) {
+			plans[i].seeds = s.warmSeeds(compiled)
+		}
+	}
+	return plans
+}
+
+// sampleShards samples every non-trivial shard concurrently; each
+// sampling call individually acquires a batch-gate slot (when one is
+// installed), so shard fan-out from many batched constraints still
+// respects the global worker bound. The returned error names the
+// failing shard.
+func (s *Solver) sampleShards(ctx context.Context, plans []shardPlan, attempt int, st *SolveStats) ([]*anneal.SampleSet, error) {
+	sets := make([]*anneal.SampleSet, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	for i := range plans {
+		p := &plans[i]
+		if p.trivial {
+			sets[i] = solveLinearShard(p.shard.Model, s.opts.Seed, attempt, i)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *shardPlan) {
+			defer wg.Done()
+			var sampler Sampler
+			if p.exact {
+				sampler = &anneal.ExactSolver{MaxStates: s.opts.CandidatesPerAttempt}
+			} else {
+				sampler = s.samplerFor(attempt)
+				// Stat counters are updated after wg.Wait() (below)
+				// to keep the goroutines write-free on st.
+				sampler, _ = warmSampler(sampler, p.seeds)
+			}
+			sets[i], errs[i] = s.sample(ctx, sampler, p.compiled)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d/%d: %w", i, len(plans), err)
+		}
+	}
+	for i := range plans {
+		if len(plans[i].seeds) == 0 {
+			continue
+		}
+		st.WarmSeeded++
+		if ss := sets[i]; ss.Len() > 0 && ss.Best().Warm {
+			st.WarmHits++
+		}
+	}
+	return sets, nil
+}
+
+// aggregateShardSets folds per-shard sample statistics into st and
+// returns the deepest usable candidate rank. Energies are additive over
+// components (plus the parent offset, which the shards do not carry);
+// ground fractions multiply because the shards are sampled
+// independently. maxLen is -1 when any shard's set came back empty.
+func aggregateShardSets(model *qubo.Model, sets []*anneal.SampleSet, st *SolveStats) (maxLen int) {
+	best, mean, gf := model.Offset(), model.Offset(), 1.0
+	for _, ss := range sets {
+		st.Reads += ss.TotalReads()
+		st.observeKernel(ss.Kernel)
+		if ss.Len() == 0 {
+			return -1
+		}
+		if ss.Len() > maxLen {
+			maxLen = ss.Len()
+		}
+		best += ss.Best().Energy
+		mean += ss.MeanEnergy()
+		gf *= ss.GroundFraction(0)
+	}
+	if maxLen > 0 {
+		st.observeBest(best)
+		st.MeanEnergy = mean
+		st.GroundFraction = gf
+	}
+	return maxLen
+}
+
+// mergeShardCandidate scatters the k-th best sample of every shard
+// (clamped to each shard's sample count) into one reduced-space
+// assignment and its exact total energy; merged candidate 0 is the
+// global best the attempt found.
+func mergeShardCandidate(model *qubo.Model, plans []shardPlan, sets []*anneal.SampleSet, k int) ([]qubo.Bit, float64) {
+	x := make([]qubo.Bit, model.N())
+	energy := model.Offset()
+	for i := range plans {
+		ss := sets[i]
+		idx := k
+		if idx >= ss.Len() {
+			idx = ss.Len() - 1
+		}
+		smp := ss.Samples[idx]
+		plans[i].shard.Scatter(x, smp.X)
+		energy += smp.Energy
+	}
+	return x, energy
+}
+
 // solveSharded attempts the component decomposition of model — the
 // (possibly presolve-reduced) working model, whose samples red lifts
 // back to the fullN-variable space. handled is false when the
@@ -167,26 +289,7 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 		return nil, nil, false
 	}
 	st.Shards = len(shards)
-	plans := make([]shardPlan, len(shards))
-	sampled := 0
-	for i, sh := range shards {
-		if sh.Model.NumQuadratic() == 0 {
-			plans[i] = shardPlan{shard: sh, trivial: true}
-			st.ExactShards++
-			continue
-		}
-		compiled := s.compileModel(sh.Model, st)
-		exact := s.opts.ExactShardVars > 0 && compiled.N <= s.opts.ExactShardVars
-		if exact {
-			st.ExactShards++
-		} else {
-			sampled++
-		}
-		plans[i] = shardPlan{shard: sh, compiled: compiled, exact: exact}
-		if !exact && supportsWarmStart(s.samplerFor(0)) {
-			plans[i].seeds = s.warmSeeds(compiled)
-		}
-	}
+	plans := s.planShards(shards, st)
 	st.Compile = time.Since(start) - st.Presolve
 
 	var lastCheck error
@@ -197,105 +300,31 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 		st.Attempts = attempt + 1
 		st.Sampler = samplerName(s.samplerFor(attempt))
 
-		// Sample every non-trivial shard concurrently; each sampling call
-		// individually acquires a batch-gate slot (when one is installed),
-		// so shard fan-out from many batched constraints still respects
-		// the global worker bound.
 		phase := time.Now()
-		sets := make([]*anneal.SampleSet, len(plans))
-		errs := make([]error, len(plans))
-		var wg sync.WaitGroup
-		for i := range plans {
-			p := &plans[i]
-			if p.trivial {
-				sets[i] = solveLinearShard(p.shard.Model, s.opts.Seed, attempt, i)
-				continue
-			}
-			wg.Add(1)
-			go func(i int, p *shardPlan) {
-				defer wg.Done()
-				var sampler Sampler
-				if p.exact {
-					sampler = &anneal.ExactSolver{MaxStates: s.opts.CandidatesPerAttempt}
-				} else {
-					sampler = s.samplerFor(attempt)
-					// Stat counters are updated after wg.Wait() (below)
-					// to keep the goroutines write-free on st.
-					sampler, _ = warmSampler(sampler, p.seeds)
-				}
-				sets[i], errs[i] = s.sample(ctx, sampler, p.compiled)
-			}(i, p)
-		}
-		wg.Wait()
+		sets, err := s.sampleShards(ctx, plans, attempt, st)
 		st.Sample += time.Since(phase)
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("qsmt: sampling %s (shard %d/%d): %w", c.Name(), i, len(plans), err), true
-			}
-		}
-		for i := range plans {
-			if len(plans[i].seeds) == 0 {
-				continue
-			}
-			st.WarmSeeded++
-			if ss := sets[i]; ss.Len() > 0 && ss.Best().Warm {
-				st.WarmHits++
-			}
+		if err != nil {
+			return nil, fmt.Errorf("qsmt: sampling %s: %w", c.Name(), err), true
 		}
 
-		// Aggregate sample statistics across shards. Energies are
-		// additive over components (plus the parent offset, which the
-		// shards do not carry); ground fractions multiply because the
-		// shards are sampled independently.
-		best, mean, gf := model.Offset(), model.Offset(), 1.0
-		maxLen := 0
-		for _, ss := range sets {
-			st.Reads += ss.TotalReads()
-			st.observeKernel(ss.Kernel)
-			if ss.Len() == 0 {
-				maxLen = -1
-				break
-			}
-			if ss.Len() > maxLen && maxLen >= 0 {
-				maxLen = ss.Len()
-			}
-			best += ss.Best().Energy
-			mean += ss.MeanEnergy()
-			gf *= ss.GroundFraction(0)
-		}
+		maxLen := aggregateShardSets(model, sets, st)
 		if maxLen <= 0 {
 			// A (custom) sampler returned an empty set for some shard; no
 			// candidate can be merged this attempt.
 			lastCheck = fmt.Errorf("qsmt: empty sample set for a shard of %s", c.Name())
 			continue
 		}
-		st.observeBest(best)
-		st.MeanEnergy = mean
-		st.GroundFraction = gf
 
-		// Merge the k-th best sample of every shard (clamped to each
-		// shard's sample count) into the k-th reduced-space candidate,
-		// then lift it through the presolve reduction to the full
-		// variable space; merged candidate 0 is the global best the
-		// attempt found.
+		// Merge the k-th best sample of every shard into the k-th
+		// reduced-space candidate, then lift it through the presolve
+		// reduction to the full variable space.
 		limit := s.opts.CandidatesPerAttempt
 		if limit > maxLen {
 			limit = maxLen
 		}
 		phase = time.Now()
 		for k := 0; k < limit; k++ {
-			x := make([]qubo.Bit, model.N())
-			energy := model.Offset()
-			for i := range plans {
-				ss := sets[i]
-				idx := k
-				if idx >= ss.Len() {
-					idx = ss.Len() - 1
-				}
-				smp := ss.Samples[idx]
-				plans[i].shard.Scatter(x, smp.X)
-				energy += smp.Energy
-			}
+			x, energy := mergeShardCandidate(model, plans, sets, k)
 			w, ok, fatal, checkErr := examineCandidate(c, liftBits(red, x), st)
 			if fatal != nil {
 				st.DecodeVerify += time.Since(phase)
@@ -322,7 +351,6 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 		// With no sampled shards the attempt is deterministic up to
 		// free-variable tie-breaking; further attempts still reshuffle
 		// those, so the retry loop keeps going (it is cheap here).
-		_ = sampled
 	}
 	if lastCheck != nil {
 		return nil, fmt.Errorf("%w (last failure: %v)", ErrNoModel, lastCheck), true

@@ -1,0 +1,75 @@
+package qsmt
+
+// Optimize-mode benchmarks: representative OMT instances (shortest
+// string under a structural constraint, fewest edits from a hint, and a
+// weighted MaxSAT mix) solved cold (presolve + warm starts off) and
+// warm (the defaults). `make benchopt` records the pairs as
+// BENCH_opt.json so the optimize path has diffable before/after
+// numbers like the sat path's BENCH_presolve.json.
+
+import (
+	"testing"
+
+	"qsmt/internal/anneal"
+)
+
+func optBenchCases() []struct {
+	name string
+	hard []Constraint
+	soft []SoftConstraint
+} {
+	return []struct {
+		name string
+		hard []Constraint
+		soft []SoftConstraint
+	}{
+		{
+			name: "ShortestPrefix5",
+			hard: []Constraint{PrefixOf("ab", 5)},
+			soft: []SoftConstraint{Soft(MinLength(5), 1)},
+		},
+		{
+			name: "MinEditsSuffix5",
+			hard: []Constraint{SuffixOf("z", 5)},
+			soft: []SoftConstraint{Soft(MinEditsFrom("abcde"), 1)},
+		},
+		{
+			name: "WeightedMaxSAT4",
+			hard: []Constraint{CharAt('a', 0, 4)},
+			soft: []SoftConstraint{
+				Soft(SuffixOf("d", 4), 3),
+				Soft(CharAt('b', 1, 4), 1),
+				Soft(MinLength(4), 0.5),
+			},
+		},
+	}
+}
+
+func benchOptimizeRow(b *testing.B, hard []Constraint, soft []SoftConstraint, warm bool) {
+	b.Helper()
+	opts := &Options{
+		Sampler: &anneal.SimulatedAnnealer{Reads: 64, Sweeps: 1000, Seed: 1},
+	}
+	if !warm {
+		opts.Presolve = Off
+		opts.WarmStart = Off
+	}
+	s := NewSolver(opts)
+	b.ReportAllocs()
+	var obj float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Optimize(hard, soft)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj = res.Objective
+	}
+	b.ReportMetric(obj, "objective")
+}
+
+func BenchmarkOptimize(b *testing.B) {
+	for _, tc := range optBenchCases() {
+		b.Run(tc.name+"_warm", func(b *testing.B) { benchOptimizeRow(b, tc.hard, tc.soft, true) })
+		b.Run(tc.name+"_cold", func(b *testing.B) { benchOptimizeRow(b, tc.hard, tc.soft, false) })
+	}
+}

@@ -10,6 +10,14 @@
 //
 // With no file argument (and without -i) the script is read from
 // standard input.
+//
+// Beyond plain QF_S solving, scripts may carry optimization directives:
+// (assert-soft term :weight w) adds a weighted soft constraint,
+// (minimize (str.len x)) asks for the shortest witness under a length
+// bound ((= (str.len x) n) or (<= (str.len x) n)), and
+// (get-objectives) reports the achieved objective values after a sat
+// check-sat. Soft-carrying problems solve through the MaxSAT/OMT mode:
+// hard constraints stay inviolable, soft terms grade the witness.
 package main
 
 import (

@@ -2,6 +2,7 @@ package anneal
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -462,6 +463,19 @@ func TestSamplerStringForms(t *testing.T) {
 	ss := &SampleSet{}
 	if ss.String() != "SampleSet(empty)" {
 		t.Errorf("String = %q", ss.String())
+	}
+}
+
+// Regression: String must be total on the nil receiver too — error
+// paths hand a nil *SampleSet (alongside a non-nil error) to %v
+// logging, which dereferenced Samples and panicked inside fmt.
+func TestSampleSetStringNil(t *testing.T) {
+	var ss *SampleSet
+	if got := ss.String(); got != "SampleSet(empty)" {
+		t.Errorf("nil String = %q, want SampleSet(empty)", got)
+	}
+	if got := fmt.Sprintf("result: %v", ss); got != "result: SampleSet(empty)" {
+		t.Errorf("fmt rendering = %q", got)
 	}
 }
 

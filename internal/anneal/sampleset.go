@@ -157,9 +157,11 @@ func bitKey(x []Bit) string {
 	return string(b)
 }
 
-// String summarizes the set.
+// String summarizes the set. It is total: nil and empty sets — the
+// shapes error paths hand to %v logging — render as "SampleSet(empty)"
+// instead of panicking inside fmt.
 func (ss *SampleSet) String() string {
-	if len(ss.Samples) == 0 {
+	if ss == nil || len(ss.Samples) == 0 {
 		return "SampleSet(empty)"
 	}
 	return fmt.Sprintf("SampleSet(%d distinct, best E=%g, reads=%d)",

@@ -1,0 +1,259 @@
+package core
+
+// This file defines the objective side of the MaxSAT/OMT mode: soft
+// constraints whose QUBO terms grade solutions instead of gating them.
+// The encodings follow Bian et al.'s weighted MaxSAT-to-Ising scheme —
+// each objective is an ordinary penalty model whose ground energy equals
+// the theory-level objective value, so it can be merged onto a hard
+// model at a chosen weight and minimized by the same annealer.
+//
+// An Objective extends Constraint with enough metadata for the optimize
+// loop to (a) place its variables inside a combined model that may be
+// larger than the hard model (PrimaryVars), (b) scale hard penalties so
+// no soft bundle can buy a hard violation (Span), and (c) report the
+// exact theory value of a decoded witness (Value) rather than the QUBO
+// surrogate energy.
+
+import (
+	"fmt"
+
+	"qsmt/internal/ascii7"
+	"qsmt/internal/qubo"
+)
+
+// Objective is a soft constraint with a graded, theory-level value.
+// Its BuildModel covers PrimaryVars() shared string bits first; any
+// further variables are private auxiliaries that the optimizer remaps
+// into the combined model's tail.
+type Objective interface {
+	Constraint
+	// PrimaryVars is the number of leading model variables shared with
+	// the hard model's string bits; NumVars() − PrimaryVars() are
+	// auxiliary.
+	PrimaryVars() int
+	// Span bounds the theory objective value over all witnesses
+	// (Value ∈ [0, Span]). Lexicographic weight stacking uses it.
+	Span() float64
+	// Value returns the theory objective value of a witness.
+	Value(w Witness) (float64, error)
+}
+
+// MinEdits is the fewest-edits-from-a-hint objective (SMT-LIB
+// `(minimize ...)` over a Hamming-style character distance): its value
+// on a witness of len(Hint) characters is the number of positions where
+// the witness differs from Hint.
+//
+// Encoding: one auxiliary "agreement" variable z_p per position, at
+// index 7n+p. Per position the model adds offset +1 and field −1 on
+// z_p; each hint bit links z_p to the string bit x_i so that any
+// disagreeing bit makes z_p = 1 cost ≥ +1:
+//
+//	hint bit 1:  +2·z_p·(1−x_i)  →  +2 z_p − 2 z_p x_i
+//	hint bit 0:  +2·z_p·x_i
+//
+// With k disagreeing bits the position contributes 1 + min(0, 2k−1),
+// i.e. 0 when the character matches (z_p = 1 pays −1) and exactly 1
+// when it differs (z_p = 0).
+//
+// On top of the gadget, every character bit carries a small tie-break
+// field tieBreak·(bit disagrees with hint). Without it, a position with
+// z_p = 0 leaves all seven bits at zero field — a flat 2⁷-state plateau
+// the annealer random-walks instead of descending, which in practice
+// strands runs one or two edits above the optimum. The field makes
+// moving toward the hint strictly downhill everywhere, vanishes on the
+// all-agree ground state (so the ground energy is still exactly the
+// edit count), and at tieBreak ≪ 1 never flips the per-position
+// argmin.
+type MinEdits struct {
+	Hint string
+}
+
+// tieBreak is the per-bit disagreement field strength: strong enough to
+// break the z_p = 0 plateaus, an order of magnitude below the per-edit
+// unit cost so it cannot trade against real edits (7·tieBreak < 1).
+const tieBreak = 1.0 / 16
+
+// Name implements Constraint.
+func (c *MinEdits) Name() string { return "minedits" }
+
+// NumVars implements Constraint: 7 bits per character plus one
+// agreement auxiliary per position.
+func (c *MinEdits) NumVars() int { return ascii7.NumVars(len(c.Hint)) + len(c.Hint) }
+
+// PrimaryVars implements Objective.
+func (c *MinEdits) PrimaryVars() int { return ascii7.NumVars(len(c.Hint)) }
+
+// Span implements Objective: every position can differ.
+func (c *MinEdits) Span() float64 { return float64(len(c.Hint)) }
+
+// BuildModel implements Constraint.
+func (c *MinEdits) BuildModel() (*qubo.Model, error) {
+	if err := requireASCII(c.Name(), "hint", c.Hint); err != nil {
+		return nil, err
+	}
+	n := len(c.Hint)
+	m := qubo.New(c.NumVars())
+	aux := ascii7.NumVars(n)
+	for pos := 0; pos < n; pos++ {
+		z := aux + pos
+		m.AddOffset(1)
+		m.AddLinear(z, -1)
+		for b := 0; b < ascii7.BitsPerChar; b++ {
+			i := ascii7.BitIndex(pos, b)
+			if ascii7.CharBit(c.Hint[pos], b) == 1 {
+				m.AddLinear(z, 2)
+				m.AddQuadratic(z, i, -2)
+				m.AddOffset(tieBreak)
+				m.AddLinear(i, -tieBreak)
+			} else {
+				m.AddQuadratic(z, i, 2)
+				m.AddLinear(i, tieBreak)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Decode implements Constraint: the string lives in the primary prefix.
+func (c *MinEdits) Decode(x []Bit) (Witness, error) {
+	if err := requireVars(x, c.NumVars()); err != nil {
+		return Witness{}, err
+	}
+	return decodeString(x[:c.PrimaryVars()])
+}
+
+// Check implements Constraint: any witness of the hint's length is
+// admissible — the objective grades, it does not gate.
+func (c *MinEdits) Check(w Witness) error {
+	if w.Kind != WitnessString {
+		return fmt.Errorf("%w: minedits expects a string witness", ErrCheckFailed)
+	}
+	if len(w.Str) != len(c.Hint) {
+		return fmt.Errorf("%w: got length %d, want %d", ErrCheckFailed, len(w.Str), len(c.Hint))
+	}
+	return nil
+}
+
+// Value implements Objective: the character edit distance from Hint.
+func (c *MinEdits) Value(w Witness) (float64, error) {
+	if err := c.Check(w); err != nil {
+		return 0, err
+	}
+	edits := 0
+	for i := 0; i < len(c.Hint); i++ {
+		if w.Str[i] != c.Hint[i] {
+			edits++
+		}
+	}
+	return float64(edits), nil
+}
+
+// MinLen is the shortest-string objective (`(minimize (str.len x))`)
+// over a fixed N-character QUBO frame: unused tail positions are driven
+// to NUL, and the reported value is the length of the witness after
+// trailing NULs are trimmed. It reuses the MinEdits gadget against an
+// all-NUL hint — each non-NUL character costs exactly 1 — so its
+// surrogate counts non-NUL characters, which equals the trimmed length
+// whenever the annealer packs content to the front (interior NULs only
+// ever lower the surrogate below the reported value, never above).
+type MinLen struct {
+	N int // the frame length (the hard model's character budget)
+}
+
+// Name implements Constraint.
+func (c *MinLen) Name() string { return "minlength" }
+
+func (c *MinLen) hint() *MinEdits { return &MinEdits{Hint: string(make([]byte, c.N))} }
+
+// NumVars implements Constraint.
+func (c *MinLen) NumVars() int { return c.hint().NumVars() }
+
+// PrimaryVars implements Objective.
+func (c *MinLen) PrimaryVars() int { return ascii7.NumVars(c.N) }
+
+// Span implements Objective.
+func (c *MinLen) Span() float64 { return float64(c.N) }
+
+// BuildModel implements Constraint.
+func (c *MinLen) BuildModel() (*qubo.Model, error) {
+	if c.N < 0 {
+		return nil, fmt.Errorf("core: %s: negative frame length %d", c.Name(), c.N)
+	}
+	return c.hint().BuildModel()
+}
+
+// Decode implements Constraint.
+func (c *MinLen) Decode(x []Bit) (Witness, error) { return c.hint().Decode(x) }
+
+// Check implements Constraint.
+func (c *MinLen) Check(w Witness) error {
+	if w.Kind != WitnessString {
+		return fmt.Errorf("%w: minlength expects a string witness", ErrCheckFailed)
+	}
+	if len(w.Str) != c.N {
+		return fmt.Errorf("%w: got length %d, want frame %d", ErrCheckFailed, len(w.Str), c.N)
+	}
+	return nil
+}
+
+// Value implements Objective: the length after trimming trailing NULs.
+func (c *MinLen) Value(w Witness) (float64, error) {
+	if err := c.Check(w); err != nil {
+		return 0, err
+	}
+	return float64(len(TrimPadding(w.Str))), nil
+}
+
+// AnyString is the free n-character frame: its model carries no terms
+// at all, and its Check accepts any string of exactly N characters, NUL
+// padding included. The optimizer uses it as the hard frame when a
+// variable's only hard constraint is a length bound — unlike
+// AnyPrintable, whose printability requirement (and style bias) would
+// fight the NUL padding a length objective drives unused positions to.
+type AnyString struct {
+	N int
+}
+
+// Name implements Constraint.
+func (c *AnyString) Name() string { return "anystring" }
+
+// NumVars implements Constraint.
+func (c *AnyString) NumVars() int { return ascii7.NumVars(c.N) }
+
+// BuildModel implements Constraint: an empty model — every assignment
+// is a ground state.
+func (c *AnyString) BuildModel() (*qubo.Model, error) {
+	if c.N < 0 {
+		return nil, fmt.Errorf("core: %s: negative length %d", c.Name(), c.N)
+	}
+	return qubo.New(c.NumVars()), nil
+}
+
+// Decode implements Constraint.
+func (c *AnyString) Decode(x []Bit) (Witness, error) {
+	if err := requireVars(x, c.NumVars()); err != nil {
+		return Witness{}, err
+	}
+	return decodeString(x)
+}
+
+// Check implements Constraint: only the frame length is enforced.
+func (c *AnyString) Check(w Witness) error {
+	if w.Kind != WitnessString {
+		return fmt.Errorf("%w: anystring expects a string witness", ErrCheckFailed)
+	}
+	if len(w.Str) != c.N {
+		return fmt.Errorf("%w: got length %d, want %d", ErrCheckFailed, len(w.Str), c.N)
+	}
+	return nil
+}
+
+// TrimPadding strips the trailing NUL padding a MinLen frame leaves on
+// unused positions, recovering the effective string.
+func TrimPadding(s string) string {
+	end := len(s)
+	for end > 0 && s[end-1] == 0 {
+		end--
+	}
+	return s[:end]
+}

@@ -53,6 +53,12 @@ func Samplers(seed int64) *Series {
 				s.Add(c.Name(), sp.name, "error: "+err.Error(), "", elapsed)
 				continue
 			}
+			if ss.Len() == 0 {
+				// A sampler returning success with zero reads (a remote
+				// backend bug shape) must not panic the harness in Best.
+				s.Add(c.Name(), sp.name, "error: empty sample set", "", elapsed)
+				continue
+			}
 			solved := false
 			for _, sample := range ss.Samples {
 				if w, derr := c.Decode(sample.X); derr == nil && c.Check(w) == nil {

@@ -100,7 +100,7 @@ func TimeToSolution(kinds []ConstraintKind, lengths []int, sweeps, trials int, s
 					Seed: seed + int64(trial)*7919 + int64(n),
 				}
 				ss, err := sa.Sample(compiled)
-				if err != nil {
+				if err != nil || ss.Len() == 0 {
 					continue
 				}
 				if sampleSolves(c, ss.Best()) {

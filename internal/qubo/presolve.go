@@ -168,12 +168,13 @@ func (r *Reduction) LiftInto(full, x []Bit) {
 // map-backed adjacency that supports O(1) coupler deletion as variables
 // are eliminated.
 type presolver struct {
-	h      []float64
-	adj    []map[int]float64
-	alive  []bool
-	offset float64
-	steps  []liftStep
-	stats  PresolveStats
+	h         []float64
+	adj       []map[int]float64
+	alive     []bool
+	offset    float64
+	steps     []liftStep
+	stats     PresolveStats
+	protected []bool // never eliminate these (optimize objective mass)
 }
 
 // Presolve reduces a model to a fixed point of the three elimination
@@ -181,11 +182,30 @@ type presolver struct {
 // run is deterministic: rules are tried in ascending variable order and
 // merges scan neighbors in ascending index order.
 func Presolve(m *Model) *Reduction {
+	return PresolveProtected(m, nil)
+}
+
+// PresolveProtected is Presolve with a protection mask: a variable i with
+// protected[i] set is never *eliminated* (no fixing, pendant folding or
+// merging fires on it), though unprotected neighbors may still fold their
+// coefficients onto it. The optimize path protects every variable
+// carrying objective (soft-constraint) mass so the sampler keeps the
+// whole objective landscape to explore — a persistency fix that is
+// strictly downhill for the weighted sum could otherwise freeze the very
+// trade-off the objective is meant to grade. The exact replay identity
+// E_full(Lift(x)) = E_reduced(x) is unchanged, so lifted assignments
+// replay the objective value exactly. A nil mask means no protection;
+// otherwise len(protected) must equal m.N().
+func PresolveProtected(m *Model, protected []bool) *Reduction {
+	if protected != nil && len(protected) != m.n {
+		panic(fmt.Sprintf("qubo: protection mask has %d entries, model has %d variables", len(protected), m.n))
+	}
 	p := &presolver{
-		h:      make([]float64, m.n),
-		adj:    make([]map[int]float64, m.n),
-		alive:  make([]bool, m.n),
-		offset: m.offset,
+		h:         make([]float64, m.n),
+		adj:       make([]map[int]float64, m.n),
+		alive:     make([]bool, m.n),
+		offset:    m.offset,
+		protected: protected,
 	}
 	copy(p.h, m.diag)
 	for i := range p.alive {
@@ -203,6 +223,9 @@ func Presolve(m *Model) *Reduction {
 		changed := false
 		for i := 0; i < m.n; i++ {
 			if !p.alive[i] {
+				continue
+			}
+			if p.protected != nil && p.protected[i] {
 				continue
 			}
 			if p.tryEliminate(i) {

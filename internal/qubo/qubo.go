@@ -184,6 +184,23 @@ func (m *Model) Merge(other *Model, weight float64) {
 	m.offset += weight * other.offset
 }
 
+// MergeMapped adds every coefficient of other, scaled by weight, into m
+// with other's variable i landing on m's variable idx(i). It is how an
+// objective model over a subset of the combined optimize space (primary
+// string bits plus remapped auxiliary variables) is layered onto a hard
+// model of a different size. idx must be injective into [0, m.N()).
+func (m *Model) MergeMapped(other *Model, weight float64, idx func(int) int) {
+	for i, v := range other.diag {
+		if v != 0 {
+			m.AddLinear(idx(i), weight*v)
+		}
+	}
+	for k, v := range other.quad {
+		m.AddQuadratic(idx(k.I), idx(k.J), weight*v)
+	}
+	m.offset += weight * other.offset
+}
+
 // Dense materializes the full symmetric-free upper-triangular matrix with
 // diagonal entries. Intended for printing and small models only; the
 // result is N×N.

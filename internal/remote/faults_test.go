@@ -347,6 +347,53 @@ func TestServerConcurrencyLimit429(t *testing.T) {
 	}
 }
 
+// emptySetSampler is the lying-backend shape: it reports success but
+// hands back a well-formed sample set with zero reads. A backend bug of
+// this shape must surface as a 502 at the service seam, not as a panic
+// in whatever downstream code calls Best().
+type emptySetSampler struct{}
+
+func (emptySetSampler) Sample(*qubo.Compiled) (*anneal.SampleSet, error) {
+	return &anneal.SampleSet{}, nil
+}
+
+func TestServerEmptySampleSet502Sync(t *testing.T) {
+	srv := httptest.NewServer((&Server{
+		NewSampler: func(req SampleRequest) interface {
+			Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+		} {
+			return emptySetSampler{}
+		},
+	}).Handler())
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL, MaxRetries: -1}
+	_, err := client.Sample(twoVarModel())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadGateway {
+		t.Fatalf("empty-set backend err = %v, want StatusError 502", err)
+	}
+}
+
+func TestJobEmptySampleSet502(t *testing.T) {
+	srv := &Server{
+		Jobs: NewJobQueue(8, time.Minute),
+		NewSampler: func(req SampleRequest) interface {
+			Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+		} {
+			return emptySetSampler{}
+		},
+	}
+	hts := startJobServer(t, srv)
+	client := &Client{BaseURL: hts.URL, MaxRetries: -1}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := client.SampleJob(ctx, twoVarModel(), Job{}, PriorityInteractive)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadGateway {
+		t.Fatalf("empty-set job err = %v, want StatusError 502 (sync and async paths must agree)", err)
+	}
+}
+
 // blockingSampler signals entry and waits for release.
 type blockingSampler struct{ enter, release chan struct{} }
 

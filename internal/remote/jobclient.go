@@ -71,9 +71,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, o
 		if json.Unmarshal(raw, &er) == nil {
 			se.Message = er.Error
 		}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			se.RetryAfter = time.Duration(secs) * time.Second
-		}
+		se.RetryAfter = parseRetryAfter(resp.Header)
 		return se
 	}
 	if out == nil {
@@ -249,9 +247,12 @@ func (c *Client) SampleJob(ctx context.Context, compiled *qubo.Compiled, job Job
 		}
 		c.retries.Add(1)
 		var se *StatusError
-		if errors.As(err, &se) && se.RetryAfter > backoff {
+		if errors.As(err, &se) && se.RetryAfter > 0 {
 			// The service told us when the queue should have drained;
-			// sleeping less just earns another 429.
+			// its estimate beats blind exponential backoff in both
+			// directions — a 250ms hint resubmits long before the first
+			// backoff step would, and a 30s hint stops us burning
+			// attempts into a queue that cannot have drained yet.
 			if err := sleepFor(ctx, se.RetryAfter); err != nil {
 				return nil, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
 			}
@@ -276,6 +277,33 @@ func (c *Client) SampleJob(ctx context.Context, compiled *qubo.Compiled, job Job
 	default:
 		return nil, ErrJobCanceled
 	}
+}
+
+// parseRetryAfter extracts the server's backoff hint from a non-2xx
+// reply. Retry-After-Ms (this service's exact millisecond-resolution
+// hint) wins when present; otherwise the standard Retry-After header is
+// accepted in both RFC 9110 forms — integer seconds and HTTP-date.
+// Absent, malformed, or non-positive hints yield 0 (no hint).
+func parseRetryAfter(h http.Header) time.Duration {
+	if ms, err := strconv.ParseInt(h.Get("Retry-After-Ms"), 10, 64); err == nil && ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // sleepFor sleeps d or returns early with the context's error.

@@ -117,7 +117,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.Metrics.jobShed()
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.Jobs.RetryAfter()/time.Second)))
+		ra := s.Jobs.RetryAfter()
+		w.Header().Set("Retry-After", retryAfterSeconds(ra))
+		w.Header().Set("Retry-After-Ms", strconv.FormatInt(ra.Milliseconds(), 10))
 		writeError(w, http.StatusTooManyRequests, "job queue full")
 		return
 	case errors.Is(err, ErrQueueClosed):
@@ -132,6 +134,21 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	st, _ := s.Jobs.Get(id)
 	w.Header().Set("Location", "/v1/jobs/"+id)
 	writeJSON(w, http.StatusAccepted, wireStatus(st))
+}
+
+// retryAfterSeconds renders a backoff hint in the integer-seconds form
+// RFC 9110 allows for Retry-After, rounding UP with a floor of 1. The
+// old `d / time.Second` truncation turned every sub-second estimate
+// into "0", which clients discard as "no hint" — so precisely when the
+// queue drains fastest, shed clients fell back to blind exponential
+// backoff. The exact estimate travels alongside in Retry-After-Ms for
+// clients that understand it.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

@@ -638,7 +638,11 @@ func (q *JobQueue) Stats() QueueStats {
 // RetryAfter estimates how long a rejected submitter should wait before
 // the queue has likely drained enough to admit it: the queue depth
 // times the observed spacing between recent completions, clamped to
-// [1s, 60s]. With no throughput history yet it answers 1s.
+// [10ms, 60s]. With no throughput history yet it answers 1s. The
+// estimate keeps sub-second resolution — a fast queue really does drain
+// in a few hundred milliseconds, and rounding that up to a second makes
+// every shed client wait an order of magnitude too long; rendering the
+// hint into a wire format is the HTTP layer's problem.
 func (q *JobQueue) RetryAfter() time.Duration {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -654,11 +658,11 @@ func (q *JobQueue) RetryAfter() time.Duration {
 	oldest := q.completions[(q.completed-uint64(n))%uint64(len(q.completions))]
 	spacing := newest.Sub(oldest) / time.Duration(n-1)
 	est := time.Duration(q.queued) * spacing
-	if est < time.Second {
-		return time.Second
+	if est < 10*time.Millisecond {
+		return 10 * time.Millisecond
 	}
 	if est > time.Minute {
 		return time.Minute
 	}
-	return est.Round(time.Second)
+	return est
 }

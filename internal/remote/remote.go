@@ -325,6 +325,15 @@ func (s *Server) runSample(ctx context.Context, req SampleRequest, compiled *qub
 			return nil, &StatusError{Code: http.StatusInternalServerError, Message: "sampling: " + err.Error()}
 		}
 	}
+	if ss == nil || len(ss.Samples) == 0 {
+		// A sampler that errors out is handled above; one that returns
+		// success with zero samples is a backend bug. Reporting it as a
+		// 502 here — the one seam both the sync handler and the async
+		// job workers share — keeps the two paths' verdicts identical
+		// and stops a well-formed-but-empty 200 from reaching solver
+		// code that expects at least one read.
+		return nil, &StatusError{Code: http.StatusBadGateway, Message: "sampler produced no samples"}
+	}
 	resp := &SampleResponse{Samples: make([]WireSample, 0, len(ss.Samples))}
 	for _, sm := range ss.Samples {
 		resp.Samples = append(resp.Samples, WireSample{
@@ -565,6 +574,15 @@ func (c *Client) SampleJobContext(ctx context.Context, compiled *qubo.Compiled, 
 			return nil, lastErr
 		}
 		c.retries.Add(1)
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > 0 {
+			// Honor the service's drain estimate exactly, as the job
+			// path does: sub-second hints included.
+			if err := sleepFor(ctx, se.RetryAfter); err != nil {
+				return nil, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			continue
+		}
 		if err := sleepBackoff(ctx, backoff, maxBackoff, attempt); err != nil {
 			return nil, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
 		}
@@ -645,7 +663,7 @@ func (c *Client) doSample(ctx context.Context, reqBody []byte, compiled *qubo.Co
 		return nil, fmt.Errorf("%w (%d bytes)", ErrResponseTooLarge, limit)
 	}
 	if resp.StatusCode != http.StatusOK {
-		se := &StatusError{Code: resp.StatusCode}
+		se := &StatusError{Code: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header)}
 		var er errorResponse
 		if json.Unmarshal(body, &er) == nil {
 			se.Message = er.Error

@@ -21,6 +21,19 @@ type Problem struct {
 	// leaves a variable's assertion group untouched leaves its key — and
 	// therefore its memoized verdict — untouched.
 	Asserts []*Node
+	// Soft holds the compiled optimization directives for this variable
+	// — (minimize ...) objectives first, then (assert-soft ...) terms at
+	// their weights. A non-empty Soft routes the problem through
+	// Solver.Optimize instead of Solve/Run.
+	Soft []qsmt.SoftConstraint
+	// Objectives holds the (minimize ...) source terms in source order,
+	// for (get-objectives) rendering; a str.len objective's value is the
+	// length of the (trimmed) model string.
+	Objectives []*Node
+	// Trim is set when a str.len objective is present: the witness's
+	// trailing NUL padding (the minimizer's encoding of unused frame
+	// positions) is trimmed from the reported model value.
+	Trim bool
 }
 
 // Compilation is the result of compiling a script's assertions.
@@ -63,12 +76,30 @@ func Compile(sc *Script) (*Compilation, error) {
 			return nil, posErr(a, fmt.Sprintf("assertion relates variables %v; multi-variable constraints are not supported", vars))
 		}
 	}
+	perVarSoft := map[string][]SoftAssert{}
+	for _, s := range sc.Softs {
+		vars := mentionedVars(s.Term, sc.Decls)
+		if len(vars) != 1 {
+			return nil, posErr(s.Term, "assert-soft terms must mention exactly one declared variable")
+		}
+		perVarSoft[vars[0]] = append(perVarSoft[vars[0]], s)
+	}
+	perVarObj := map[string][]*Node{}
+	for _, o := range sc.Objectives {
+		vars := mentionedVars(o, sc.Decls)
+		if len(vars) != 1 {
+			return nil, posErr(o, "minimize terms must mention exactly one declared variable")
+		}
+		perVarObj[vars[0]] = append(perVarObj[vars[0]], o)
+	}
 	for _, d := range sc.Decls {
 		asserts := perVar[d.Name]
-		if len(asserts) == 0 {
+		softs := perVarSoft[d.Name]
+		objs := perVarObj[d.Name]
+		if len(asserts) == 0 && len(softs) == 0 && len(objs) == 0 {
 			continue // unconstrained variable: any value models it
 		}
-		p, err := compileVar(d, asserts)
+		p, err := compileVar(d, asserts, softs, objs)
 		if err != nil {
 			return nil, err
 		}
@@ -78,14 +109,24 @@ func Compile(sc *Script) (*Compilation, error) {
 	return comp, nil
 }
 
-// compileVar compiles the assertions about one variable.
-func compileVar(d Decl, asserts []*Node) (Problem, error) {
+// compileVar compiles the assertions about one variable, plus any
+// optimization directives (assert-soft terms and minimize objectives)
+// attached to it.
+func compileVar(d Decl, asserts []*Node, softs []SoftAssert, objs []*Node) (Problem, error) {
 	if d.Sort == SortInt {
+		if len(softs) > 0 || len(objs) > 0 {
+			return Problem{}, fmt.Errorf("smtlib: optimization directives are not supported on Int variable %s", d.Name)
+		}
 		return compileIntVar(d, asserts)
 	}
+	optimizing := len(softs) > 0 || len(objs) > 0
 
-	// Split off the length constraint, if any.
+	// Split off the length constraint, if any. When a minimize objective
+	// is present, a (<= (str.len x) n) budget also fixes the QUBO frame
+	// length — the objective drives unused tail positions to NUL padding
+	// and the reported value is the trimmed length.
 	length := -1
+	budget := -1
 	var rest []*Node
 	for _, a := range asserts {
 		if n, ok := matchLength(a, d.Name); ok {
@@ -95,18 +136,42 @@ func compileVar(d Decl, asserts []*Node) (Problem, error) {
 			length = n
 			continue
 		}
+		if n, ok := matchLengthLE(a, d.Name); ok && len(objs) > 0 {
+			if budget < 0 || n < budget {
+				budget = n
+			}
+			continue
+		}
 		rest = append(rest, a)
 	}
+	if length >= 0 && budget >= 0 && length > budget {
+		return Problem{}, fmt.Errorf("smtlib: length %d for %s exceeds its (<= (str.len %s) %d) budget", length, d.Name, d.Name, budget)
+	}
+	frame := length
+	if frame < 0 {
+		frame = budget
+	}
+
 	if len(rest) == 0 {
-		if length < 0 {
+		if frame < 0 {
+			if optimizing {
+				return Problem{}, fmt.Errorf("smtlib: optimization on %s requires a length bound ((= (str.len %s) n) or (<= (str.len %s) n))", d.Name, d.Name, d.Name)
+			}
 			return Problem{}, fmt.Errorf("smtlib: no usable constraint for %s", d.Name)
 		}
-		// Only a length: generate any printable string of that length.
-		return Problem{
+		// Only a length: generate any printable string of that length —
+		// unless an objective will drive unused positions to NUL padding,
+		// which needs the NUL-tolerant free frame.
+		gen := anyString(frame)
+		if optimizing {
+			gen = &core.AnyString{N: frame}
+		}
+		return finishOptProblem(Problem{
 			Var: d.Name, Sort: d.Sort,
-			Pipeline: qsmt.NewPipeline(anyString(length)),
-		}, nil
+			Pipeline: qsmt.NewPipeline(gen),
+		}, d, frame, softs, objs)
 	}
+	length = frame
 
 	// Structural constraints (they fix a property of x rather than
 	// defining it by a ground term) can be combined: several of them
@@ -147,7 +212,7 @@ func compileVar(d Decl, asserts []*Node) (Problem, error) {
 			// and cannot be merged additively with them.
 			return Problem{}, posErr(rest[0], fmt.Sprintf("negative constraints on %s cannot be combined with other constraint forms", d.Name))
 		}
-		return Problem{Var: d.Name, Sort: d.Sort, Pipeline: qsmt.NewPipeline(qsmt.AvoidChars(avoid, length))}, nil
+		return finishOptProblem(Problem{Var: d.Name, Sort: d.Sort, Pipeline: qsmt.NewPipeline(qsmt.AvoidChars(avoid, length))}, d, length, softs, objs)
 	}
 	switch {
 	case len(definitions) > 1:
@@ -159,12 +224,73 @@ func compileVar(d Decl, asserts []*Node) (Problem, error) {
 		if err != nil {
 			return Problem{}, err
 		}
-		return Problem{Var: d.Name, Sort: d.Sort, Pipeline: pl}, nil
+		return finishOptProblem(Problem{Var: d.Name, Sort: d.Sort, Pipeline: pl}, d, length, softs, objs)
 	case len(structural) == 1:
-		return Problem{Var: d.Name, Sort: d.Sort, Pipeline: qsmt.NewPipeline(structural[0])}, nil
+		return finishOptProblem(Problem{Var: d.Name, Sort: d.Sort, Pipeline: qsmt.NewPipeline(structural[0])}, d, length, softs, objs)
 	default:
-		return Problem{Var: d.Name, Sort: d.Sort, Pipeline: qsmt.NewPipeline(qsmt.And(structural...))}, nil
+		return finishOptProblem(Problem{Var: d.Name, Sort: d.Sort, Pipeline: qsmt.NewPipeline(qsmt.And(structural...))}, d, length, softs, objs)
 	}
+}
+
+// finishOptProblem attaches a variable's optimization directives to its
+// compiled problem: each (minimize (str.len x)) becomes a MinLength
+// objective over the frame, and each assert-soft term compiles to a
+// weighted soft constraint against the same frame. Soft-carrying
+// problems must be single-stage — Solver.Optimize grades one combined
+// QUBO, and a multi-stage pipeline has no single hard model to combine
+// with.
+func finishOptProblem(p Problem, d Decl, length int, softs []SoftAssert, objs []*Node) (Problem, error) {
+	if len(softs) == 0 && len(objs) == 0 {
+		return p, nil
+	}
+	for _, o := range objs {
+		if !matchStrLen(o, d.Name) {
+			return Problem{}, posErr(o, fmt.Sprintf("unsupported minimize term %s; only (minimize (str.len %s)) is supported", o, d.Name))
+		}
+		if length < 0 {
+			return Problem{}, posErr(o, fmt.Sprintf("minimize (str.len %s) requires a length bound ((= (str.len %s) n) or (<= (str.len %s) n))", d.Name, d.Name, d.Name))
+		}
+		p.Objectives = append(p.Objectives, o)
+		p.Trim = true
+		if length > 0 {
+			p.Soft = append(p.Soft, qsmt.Soft(qsmt.MinLength(length), 1))
+		}
+		// length == 0 leaves nothing to minimize; the objective still
+		// reports its (trivially zero) value through get-objectives.
+	}
+	for _, s := range softs {
+		c, err := compileSoftTerm(s.Term, d.Name, length)
+		if err != nil {
+			return Problem{}, err
+		}
+		p.Soft = append(p.Soft, qsmt.Soft(c, s.Weight))
+	}
+	if len(p.Soft) > 0 && p.Pipeline != nil && p.Pipeline.Len() != 1 {
+		return Problem{}, fmt.Errorf("smtlib: optimization directives on %s require a single-stage problem; its definition compiles to %d pipeline stages", d.Name, p.Pipeline.Len())
+	}
+	return p, nil
+}
+
+// compileSoftTerm lowers one assert-soft term to a constraint: the
+// structural forms matchStructural recognizes, or a single-stage ground
+// definition like (= x "lit").
+func compileSoftTerm(a *Node, name string, length int) (qsmt.Constraint, error) {
+	if c, ok, err := matchStructural(a, name, length); err != nil {
+		return nil, err
+	} else if ok {
+		return c, nil
+	}
+	if term, ok := matchDefinition(a, name); ok {
+		pl, err := compileGroundPipeline(term)
+		if err != nil {
+			return nil, err
+		}
+		if pl.Len() != 1 {
+			return nil, posErr(a, "soft definitions must be single-stage (a literal or one operation)")
+		}
+		return pl.Generator(), nil
+	}
+	return nil, posErr(a, fmt.Sprintf("unsupported soft constraint form for %s: %s", name, a))
 }
 
 // matchNotContainsChar recognizes (not (str.contains x "c")) with a
@@ -462,6 +588,34 @@ func matchLength(a *Node, name string) (int, bool) {
 		return n, true
 	}
 	return try(r, l)
+}
+
+// matchLengthLE recognizes the length-budget forms (<= (str.len x) n)
+// and (>= n (str.len x)). Budgets only matter to the optimizer (the sat
+// path needs an exact frame), so callers gate on a minimize objective
+// being present.
+func matchLengthLE(a *Node, name string) (int, bool) {
+	head := a.Head()
+	if (head != "<=" && head != ">=") || len(a.Args()) != 2 {
+		return 0, false
+	}
+	l, r := a.Args()[0], a.Args()[1]
+	if head == ">=" {
+		l, r = r, l
+	}
+	if l.Head() != "str.len" || len(l.Args()) != 1 || !l.Args()[0].IsSymbol(name) {
+		return 0, false
+	}
+	n, err := r.Int()
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// matchStrLen recognizes (str.len x).
+func matchStrLen(a *Node, name string) bool {
+	return a.Head() == "str.len" && len(a.Args()) == 1 && a.Args()[0].IsSymbol(name)
 }
 
 // matchPalindrome recognizes (= x (str.rev x)) in either orientation.

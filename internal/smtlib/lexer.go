@@ -177,6 +177,22 @@ func (lx *lexer) next() (Token, error) {
 				}
 				sb.WriteByte(lx.advance())
 			}
+			// SMT-LIB decimals — digits '.' digits, as in ":weight 2.5"
+			// on assert-soft — lex as one numeral token; contexts that
+			// need an integer reject the dot when they parse the text.
+			if c, ok := lx.peek(); ok && c == '.' {
+				sb.WriteByte(lx.advance())
+				if d, ok := lx.peek(); !ok || d < '0' || d > '9' {
+					return Token{}, lx.errorf("malformed decimal")
+				}
+				for {
+					c, ok := lx.peek()
+					if !ok || c < '0' || c > '9' {
+						break
+					}
+					sb.WriteByte(lx.advance())
+				}
+			}
 			// A numeral followed by symbol chars is really a symbol
 			// (e.g. "2x"); SMT-LIB forbids it, we report it.
 			if c, ok := lx.peek(); ok && isSymbolChar(c) {

@@ -1,0 +1,188 @@
+package smtlib
+
+// Front-end tests for the optimization surface: (assert-soft ...
+// :weight w), (minimize (str.len x)), and (get-objectives), from parse
+// through compile to end-to-end interpreter runs.
+
+import (
+	"strings"
+	"testing"
+
+	"qsmt"
+)
+
+func optInterp(seed int64) (*Interpreter, *strings.Builder) {
+	var out strings.Builder
+	return NewInterpreter(qsmt.NewSolver(&qsmt.Options{Seed: seed}), &out), &out
+}
+
+func TestParseAssertSoft(t *testing.T) {
+	s, err := ParseScript(`
+		(declare-const x String)
+		(assert-soft (str.prefixof "ab" x))
+		(assert-soft (str.suffixof "cd" x) :weight 2.5)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Softs) != 2 {
+		t.Fatalf("Softs = %d, want 2", len(s.Softs))
+	}
+	if s.Softs[0].Weight != 1 {
+		t.Errorf("default weight = %v, want 1", s.Softs[0].Weight)
+	}
+	if s.Softs[1].Weight != 2.5 {
+		t.Errorf("explicit weight = %v, want 2.5", s.Softs[1].Weight)
+	}
+}
+
+func TestParseAssertSoftRejectsBadWeight(t *testing.T) {
+	for _, src := range []string{
+		`(assert-soft (str.prefixof "a" x) :weight 0)`,
+		`(assert-soft (str.prefixof "a" x) :weight -2)`,
+		`(assert-soft (str.prefixof "a" x) :weight banana)`,
+		`(assert-soft (str.prefixof "a" x) :wait 2)`,
+	} {
+		if _, err := ParseScript(`(declare-const x String)` + src); err == nil {
+			t.Errorf("parse accepted %s", src)
+		}
+	}
+}
+
+func TestParseMinimizeAndGetObjectives(t *testing.T) {
+	s, err := ParseScript(`
+		(declare-const x String)
+		(minimize (str.len x))
+		(get-objectives)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Objectives) != 1 {
+		t.Fatalf("Objectives = %d, want 1", len(s.Objectives))
+	}
+	found := false
+	for _, cmd := range s.Commands {
+		if cmd.Kind == CmdGetObjectives {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("get-objectives command not recorded")
+	}
+}
+
+func TestCompileRejectsNonLenObjective(t *testing.T) {
+	s, err := ParseScript(`
+		(declare-const x String)
+		(assert (= (str.len x) 3))
+		(minimize (str.to_int x))
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(s); err == nil {
+		t.Error("compile accepted a non-str.len objective")
+	}
+}
+
+func TestExecuteMinimizeUnderPrefix(t *testing.T) {
+	it, out := optInterp(11)
+	err := it.Execute(`
+		(set-logic QF_S)
+		(declare-const x String)
+		(assert (str.prefixof "ab" x))
+		(assert (<= (str.len x) 5))
+		(minimize (str.len x))
+		(check-sat)
+		(get-model)
+		(get-objectives)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := it.Model()["x"]; v.Str != "ab" {
+		t.Fatalf("x = %q, want the shortest prefix-satisfying string \"ab\"", v.Str)
+	}
+	text := out.String()
+	if !strings.Contains(text, "(objectives") || !strings.Contains(text, "((str.len x) 2)") {
+		t.Errorf("objectives report missing or wrong:\n%s", text)
+	}
+}
+
+func TestExecuteMinimizeBudgetOnly(t *testing.T) {
+	// No structural constraint at all: the shortest string under a pure
+	// length budget is the empty string.
+	it, out := optInterp(13)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (<= (str.len x) 4))
+		(minimize (str.len x))
+		(check-sat)
+		(get-objectives)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := it.Model()["x"]; v.Str != "" {
+		t.Fatalf("x = %q, want \"\"", v.Str)
+	}
+	if !strings.Contains(out.String(), "((str.len x) 0)") {
+		t.Errorf("objectives report:\n%s", out.String())
+	}
+}
+
+func TestExecuteAssertSoft(t *testing.T) {
+	it, _ := optInterp(17)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (= (str.len x) 4))
+		(assert-soft (str.prefixof "ab" x) :weight 2)
+		(assert-soft (str.suffixof "cd" x))
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := it.Model()["x"]; v.Str != "abcd" {
+		t.Errorf("x = %q, want \"abcd\" (both softs satisfiable)", v.Str)
+	}
+}
+
+func TestGetObjectivesBeforeCheckSatErrors(t *testing.T) {
+	it, _ := optInterp(19)
+	err := it.Execute(`
+		(declare-const x String)
+		(minimize (str.len x))
+		(get-objectives)
+	`)
+	if err == nil || !strings.Contains(err.Error(), "before check-sat") {
+		t.Errorf("err = %v, want get-objectives-before-check-sat", err)
+	}
+}
+
+func TestPushPopScopesSoftDirectives(t *testing.T) {
+	it, _ := optInterp(23)
+	err := it.Execute(`
+		(declare-const x String)
+		(assert (= (str.len x) 2))
+		(push 1)
+		(assert-soft (str.prefixof "zq" x) :weight 5)
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := it.Model()["x"]; v.Str != "zq" {
+		t.Fatalf("inside frame: x = %q, want \"zq\"", v.Str)
+	}
+	// After pop the soft is gone: the solve must take the plain sat
+	// path again (any 2-char string), not re-apply the popped soft.
+	if err := it.Execute(`(pop 1)(check-sat)`); err != nil {
+		t.Fatal(err)
+	}
+	v := it.Model()["x"]
+	if len(v.Str) != 2 {
+		t.Fatalf("after pop: x = %q, want any 2-char string", v.Str)
+	}
+}

@@ -82,20 +82,32 @@ type Interpreter struct {
 	renderMemo map[*Node]string
 
 	// Live assertion state (push/pop-scoped).
-	decls   []Decl
-	asserts []*Node
-	defines []Item // define-fun items (name, sort, expanded body)
-	frames  []frame
+	decls      []Decl
+	asserts    []*Node
+	defines    []Item // define-fun items (name, sort, expanded body)
+	softs      []SoftAssert
+	objectives []*Node
+	frames     []frame
 
 	status Status
 	model  map[string]Value
 	ran    bool
+	// objReport holds the (minimize ...) objectives active at the last
+	// check-sat with their achieved values, for (get-objectives).
+	objReport []objEntry
+}
+
+// objEntry is one reported objective: the minimize term and its value
+// under the current model.
+type objEntry struct {
+	term  *Node
+	value int
 }
 
 // frame records the state sizes at a push, restored by the matching pop.
-// All three live-state slices are covered: forgetting one (nDefines was
+// All five live-state slices are covered: forgetting one (nDefines was
 // missing for several releases) leaks scoped items past their pop.
-type frame struct{ nDecls, nAsserts, nDefines int }
+type frame struct{ nDecls, nAsserts, nDefines, nSofts, nObjectives int }
 
 // NewInterpreter returns an interpreter writing command responses to out.
 // A nil solver selects qsmt defaults.
@@ -131,6 +143,10 @@ func (it *Interpreter) Execute(src string) error {
 			it.asserts = append(it.asserts, item.Assert)
 		case ItemDefine:
 			it.defines = append(it.defines, item)
+		case ItemSoft:
+			it.softs = append(it.softs, SoftAssert{Term: item.Assert, Weight: item.Weight})
+		case ItemMinimize:
+			it.objectives = append(it.objectives, item.Assert)
 		case ItemCommand:
 			done, err := it.runCommand(item.Cmd)
 			if err != nil {
@@ -175,9 +191,16 @@ func (it *Interpreter) runCommand(cmd Command) (done bool, err error) {
 		}
 	case CmdGetInfo:
 		it.printInfo(cmd.Arg)
+	case CmdGetObjectives:
+		if err := it.printObjectives(); err != nil {
+			return false, err
+		}
 	case CmdPush:
 		for k := 0; k < cmd.N; k++ {
-			it.frames = append(it.frames, frame{nDecls: len(it.decls), nAsserts: len(it.asserts), nDefines: len(it.defines)})
+			it.frames = append(it.frames, frame{
+				nDecls: len(it.decls), nAsserts: len(it.asserts), nDefines: len(it.defines),
+				nSofts: len(it.softs), nObjectives: len(it.objectives),
+			})
 		}
 	case CmdPop:
 		// Validate before unwinding anything, so an over-deep pop is
@@ -192,6 +215,8 @@ func (it *Interpreter) runCommand(cmd Command) (done bool, err error) {
 			it.decls = it.decls[:f.nDecls]
 			it.asserts = it.asserts[:f.nAsserts]
 			it.defines = it.defines[:f.nDefines]
+			it.softs = it.softs[:f.nSofts]
+			it.objectives = it.objectives[:f.nObjectives]
 		}
 	case CmdExit:
 		return true, nil
@@ -208,7 +233,8 @@ func (it *Interpreter) Model() map[string]Value { return it.model }
 func (it *Interpreter) checkSat() error {
 	it.ran = true
 	it.model = map[string]Value{}
-	snapshot := &Script{Decls: it.decls, Asserts: it.asserts}
+	it.objReport = nil
+	snapshot := &Script{Decls: it.decls, Asserts: it.asserts, Softs: it.softs, Objectives: it.objectives}
 	comp, err := Compile(snapshot)
 	if err != nil {
 		return err
@@ -224,6 +250,14 @@ func (it *Interpreter) checkSat() error {
 	results := make([]solved, len(comp.Problems))
 	solveOne := func(i int) {
 		p := comp.Problems[i]
+		if len(p.Soft) > 0 {
+			// Soft-carrying problems route through the optimizer; they
+			// bypass the incremental memo (a verdict cached without the
+			// objective would be wrong to reuse, and an objective value
+			// is not a verdict).
+			results[i].val, results[i].err = it.solveOptimize(p)
+			return
+		}
 		if it.Incremental {
 			results[i].val, results[i].err = it.solveIncremental(p)
 			return
@@ -252,6 +286,10 @@ func (it *Interpreter) checkSat() error {
 		var cs []qsmt.Constraint
 		for i, p := range comp.Problems {
 			switch {
+			case len(p.Soft) > 0:
+				// Optimize problems have no batch path; solve them
+				// individually via solveOne's optimizer route.
+				rest = append(rest, i)
 			case p.Single != nil:
 				batchIdx = append(batchIdx, i)
 				cs = append(cs, p.Single)
@@ -308,6 +346,11 @@ func (it *Interpreter) checkSat() error {
 			return it.classify(results[i].err)
 		}
 		it.model[p.Var] = results[i].val
+		// Objective values report against the (already trimmed) model
+		// string: a str.len objective's value is its length.
+		for _, term := range p.Objectives {
+			it.objReport = append(it.objReport, objEntry{term: term, value: len(results[i].val.Str)})
+		}
 	}
 	// define-fun macros evaluate to concrete values for the model.
 	for _, def := range it.defines {
@@ -330,6 +373,46 @@ func (it *Interpreter) checkSat() error {
 		}
 	}
 	it.status = StatusSat
+	return nil
+}
+
+// solveOptimize solves a soft-carrying problem through the MaxSAT/OMT
+// mode: the (single-stage) hard pipeline's generator is the hard
+// constraint, the compiled directives are the weighted soft objective.
+// A str.len objective's NUL frame padding is trimmed from the reported
+// model value.
+func (it *Interpreter) solveOptimize(p Problem) (Value, error) {
+	if p.Pipeline == nil || p.Pipeline.Len() != 1 {
+		return Value{}, fmt.Errorf("smtlib: optimization directives on %s require a single-stage problem", p.Var)
+	}
+	res, err := it.Solver.Optimize([]qsmt.Constraint{p.Pipeline.Generator()}, p.Soft)
+	if err != nil {
+		return Value{}, err
+	}
+	str := res.Witness.Str
+	if p.Trim {
+		str = qsmt.TrimPadding(str)
+	}
+	return Value{Sort: SortString, Str: str}, nil
+}
+
+// printObjectives answers (get-objectives) in the z3 style:
+//
+//	(objectives
+//	 ((str.len x) 2)
+//	)
+func (it *Interpreter) printObjectives() error {
+	if !it.ran {
+		return errors.New("smtlib: get-objectives before check-sat")
+	}
+	if it.status != StatusSat {
+		return fmt.Errorf("smtlib: get-objectives after %s", it.status)
+	}
+	fmt.Fprintln(it.Out, "(objectives")
+	for _, e := range it.objReport {
+		fmt.Fprintf(it.Out, " (%s %d)\n", e.term, e.value)
+	}
+	fmt.Fprintln(it.Out, ")")
 	return nil
 }
 

@@ -2,6 +2,7 @@ package smtlib
 
 import (
 	"fmt"
+	"strconv"
 )
 
 // Sort is a variable sort. The front end supports the two sorts the
@@ -38,6 +39,7 @@ const (
 	CmdGetModel
 	CmdGetValue
 	CmdGetInfo
+	CmdGetObjectives
 	CmdEcho
 	CmdExit
 	CmdPush
@@ -62,15 +64,25 @@ const (
 	ItemAssert
 	ItemCommand
 	ItemDefine
+	ItemSoft
+	ItemMinimize
 )
 
 // Item is one script element in source order; the interpreter executes
 // Items so push/pop scoping interleaves correctly with assertions.
 type Item struct {
 	Kind   ItemKind
-	Decl   Decl  // ItemDecl and ItemDefine (name + sort)
-	Assert *Node // ItemAssert term, or ItemDefine body
+	Decl   Decl    // ItemDecl and ItemDefine (name + sort)
+	Assert *Node   // ItemAssert term, ItemDefine body, ItemSoft/ItemMinimize term
+	Weight float64 // ItemSoft weight (from :weight, default 1)
 	Cmd    Command
+}
+
+// SoftAssert is one (assert-soft term :weight w) directive: a constraint
+// the solver should satisfy when possible, violated at cost Weight.
+type SoftAssert struct {
+	Term   *Node
+	Weight float64
 }
 
 // Script is a parsed SMT-LIB script. Decls/Asserts/Commands are the
@@ -83,6 +95,12 @@ type Script struct {
 	Asserts  []*Node
 	Commands []Command
 	Items    []Item
+	// Softs and Objectives are the optimization directives: weighted
+	// (assert-soft ...) terms and (minimize ...) objective terms, in
+	// source order. Like Asserts, these are the flattened views; Items
+	// carries the same entries in scope-aware order.
+	Softs      []SoftAssert
+	Objectives []*Node
 
 	// defs holds define-fun macros, already expanded against earlier
 	// defines. Macro expansion happens at parse time, so defines are
@@ -213,6 +231,42 @@ func ParseScript(src string) (*Script, error) {
 			term := applyDefs(args[0], sc.defs)
 			sc.Asserts = append(sc.Asserts, term)
 			sc.Items = append(sc.Items, Item{Kind: ItemAssert, Assert: term})
+		case "assert-soft":
+			// (assert-soft term) or (assert-soft term :weight w): a
+			// weighted soft assertion, violated at cost w (default 1).
+			if len(args) == 0 {
+				return nil, posErr(n, "assert-soft expects a term")
+			}
+			weight := 1.0
+			switch len(args) {
+			case 1:
+			case 3:
+				if args[1].Kind != NodeKeyword || args[1].Atom != "weight" {
+					return nil, posErr(args[1], "assert-soft supports only the :weight attribute")
+				}
+				w, err := parseWeight(args[2])
+				if err != nil {
+					return nil, err
+				}
+				weight = w
+			default:
+				return nil, posErr(n, "assert-soft expects (assert-soft term) or (assert-soft term :weight w)")
+			}
+			term := applyDefs(args[0], sc.defs)
+			sc.Softs = append(sc.Softs, SoftAssert{Term: term, Weight: weight})
+			sc.Items = append(sc.Items, Item{Kind: ItemSoft, Assert: term, Weight: weight})
+		case "minimize":
+			if len(args) != 1 {
+				return nil, posErr(n, "minimize expects one term")
+			}
+			term := applyDefs(args[0], sc.defs)
+			sc.Objectives = append(sc.Objectives, term)
+			sc.Items = append(sc.Items, Item{Kind: ItemMinimize, Assert: term})
+		case "get-objectives":
+			if len(args) != 0 {
+				return nil, posErr(n, "get-objectives expects no arguments")
+			}
+			addCmd(Command{Kind: CmdGetObjectives, Node: n})
 		case "check-sat":
 			addCmd(Command{Kind: CmdCheckSat, Node: n})
 		case "check-sat-assuming":
@@ -293,6 +347,19 @@ func (s *Script) declare(nameNode, sortNode *Node) error {
 	s.Decls = append(s.Decls, d)
 	s.Items = append(s.Items, Item{Kind: ItemDecl, Decl: d})
 	return nil
+}
+
+// parseWeight parses an assert-soft :weight value: a positive numeral
+// (or a decimal rendered as a symbol, which the lexer tolerates).
+func parseWeight(n *Node) (float64, error) {
+	if n.Kind != NodeNumeral && n.Kind != NodeSymbol {
+		return 0, posErr(n, ":weight expects a positive number")
+	}
+	w, err := strconv.ParseFloat(n.Atom, 64)
+	if err != nil || w <= 0 {
+		return 0, posErr(n, ":weight expects a positive number")
+	}
+	return w, nil
 }
 
 func posErr(n *Node, msg string) error {

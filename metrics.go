@@ -92,10 +92,26 @@ type SolveStats struct {
 	KernelResyncs   int64
 	KernelPacked    bool
 
+	// Optimize-mode fields, populated by Solver.Optimize only. SoftTerms
+	// is the number of soft constraints layered onto the hard model;
+	// HardWeight is the penalty multiplier M applied to the hard model;
+	// ObjectiveImprovements counts incumbent replacements across the
+	// candidate scans. Objective/ObjectiveBound/ObjectiveOptimal mirror
+	// the Result fields of the same names.
+	SoftTerms             int
+	HardWeight            float64
+	ObjectiveImprovements int
+	Objective             float64
+	ObjectiveBound        float64
+	ObjectiveOptimal      bool
+
 	// bestSet tracks whether BestEnergy holds a real sample energy yet;
 	// without it an empty first sample set would leave the zero value
 	// looking like a legitimate best of 0.
 	bestSet bool
+	// objectiveSet guards the objective gauge the same way bestSet
+	// guards the energy gauges.
+	objectiveSet bool
 }
 
 // observeKernel folds one sample set's substrate kernel counters into
@@ -178,6 +194,19 @@ type SolverMetrics struct {
 	CacheEvictions *obs.Counter // qsmt_cache_evictions_total
 	CacheEntries   *obs.Gauge   // qsmt_cache_entries
 
+	// Optimize (MaxSAT/OMT) mode. Recorded per Solver.Optimize call on
+	// top of the regular solve families; OptOptimal/OptSolves is the
+	// proved-optimal rate, OptObjective tracks the most recent weighted
+	// optimum.
+	OptSolves       *obs.Counter   // qsmt_opt_solves_total
+	OptFailures     *obs.Counter   // qsmt_opt_failures_total
+	OptSoftTerms    *obs.Counter   // qsmt_opt_soft_terms_total
+	OptImprovements *obs.Counter   // qsmt_opt_incumbent_improvements_total
+	OptOptimal      *obs.Counter   // qsmt_opt_optimal_total
+	OptObjective    *obs.Gauge     // qsmt_opt_objective
+	OptGap          *obs.Histogram // qsmt_opt_bound_gap
+	OptHardWeight   *obs.Gauge     // qsmt_opt_hard_weight
+
 	// Substrate kernel. Lane-level work behind every annealing sampler;
 	// the accept-rate histogram divides flips by proposals per solve, the
 	// regime the packed/scalar throughput trade-off hinges on.
@@ -244,6 +273,15 @@ func NewSolverMetrics(r *obs.Registry) *SolverMetrics {
 		CacheMisses:    r.Counter("qsmt_cache_misses_total", "Compile-cache misses."),
 		CacheEvictions: r.Counter("qsmt_cache_evictions_total", "Compile-cache LRU evictions."),
 		CacheEntries:   r.Gauge("qsmt_cache_entries", "Compiled models currently cached."),
+
+		OptSolves:       r.Counter("qsmt_opt_solves_total", "Optimize calls that returned a feasible incumbent."),
+		OptFailures:     r.Counter("qsmt_opt_failures_total", "Optimize calls that returned an error."),
+		OptSoftTerms:    r.Counter("qsmt_opt_soft_terms_total", "Soft constraints layered across all Optimize calls."),
+		OptImprovements: r.Counter("qsmt_opt_incumbent_improvements_total", "Incumbent replacements across Optimize candidate scans."),
+		OptOptimal:      r.Counter("qsmt_opt_optimal_total", "Optimize calls whose incumbent reached the proven lower bound."),
+		OptObjective:    r.Gauge("qsmt_opt_objective", "Weighted theory objective of the most recent Optimize result."),
+		OptGap:          r.Histogram("qsmt_opt_bound_gap", "Objective minus proven lower bound per successful Optimize call.", obs.DefaultLatencyBuckets),
+		OptHardWeight:   r.Gauge("qsmt_opt_hard_weight", "Hard-penalty multiplier M of the most recent Optimize call."),
 	}
 }
 
@@ -299,6 +337,23 @@ func (m *SolverMetrics) record(st *SolveStats, err error) {
 		m.KernelAcceptRate.Observe(float64(st.KernelFlips) / float64(st.KernelProposals))
 		if st.KernelPacked {
 			m.KernelPackedSolves.Inc()
+		}
+	}
+	if st.SoftTerms > 0 {
+		if err == nil {
+			m.OptSolves.Inc()
+		} else {
+			m.OptFailures.Inc()
+		}
+		m.OptSoftTerms.Add(float64(st.SoftTerms))
+		m.OptImprovements.Add(float64(st.ObjectiveImprovements))
+		m.OptHardWeight.Set(st.HardWeight)
+		if st.objectiveSet {
+			m.OptObjective.Set(st.Objective)
+			m.OptGap.Observe(st.Objective - st.ObjectiveBound)
+			if st.ObjectiveOptimal {
+				m.OptOptimal.Inc()
+			}
 		}
 	}
 	if st.Incremental {

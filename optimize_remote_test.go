@@ -1,0 +1,66 @@
+package qsmt
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+	"qsmt/internal/remote"
+)
+
+// jobPathSampler routes every sampler call through the async job API
+// (submit → wait → claim), so an Optimize run exercises POST /v1/jobs
+// end to end rather than the one-shot sync endpoint.
+type jobPathSampler struct {
+	client *remote.Client
+	job    remote.Job
+}
+
+func (s jobPathSampler) Sample(m *qubo.Compiled) (*anneal.SampleSet, error) {
+	return s.client.SampleJob(context.Background(), m, s.job, remote.PriorityInteractive)
+}
+
+// TestOptimizeThroughJobService runs the optimize mode over the full
+// service stack: combined hard+soft QUBO → content-addressed job
+// submission → remote annealer worker → wire samples → decode → grade.
+func TestOptimizeThroughJobService(t *testing.T) {
+	srv := &remote.Server{
+		Jobs: remote.NewJobQueue(16, time.Minute),
+		CAS:  remote.NewModelCAS(16),
+	}
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeJobs(ctx)
+	}()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	solver := NewSolver(&Options{
+		Sampler: jobPathSampler{
+			client: &remote.Client{BaseURL: hts.URL},
+			job:    remote.Job{Reads: 64, Sweeps: 1200, Seed: 51},
+		},
+	})
+	res, err := solver.Optimize(
+		[]Constraint{PrefixOf("a", 2)},
+		[]SoftConstraint{Soft(MinLength(2), 1)},
+	)
+	if err != nil {
+		t.Fatalf("Optimize over the job service: %v", err)
+	}
+	if got := TrimPadding(res.Witness.Str); got != "a" {
+		t.Errorf("witness = %q (objective %v), want \"a\"", got, res.Objective)
+	}
+	if res.Objective != 1 {
+		t.Errorf("objective = %v, want 1 (one non-NUL char)", res.Objective)
+	}
+}

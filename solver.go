@@ -125,6 +125,16 @@ type Options struct {
 	// (remote clients, custom samplers) are used unchanged. Off restores
 	// today's behavior bit for bit. Never applies to Enumerate.
 	WarmStart Toggle
+	// HardWeight overrides the automatic weight-gap scaling of
+	// Solver.Optimize: the multiplier M applied to every hard-constraint
+	// penalty before soft objective terms are layered on. 0 (the
+	// default) derives M from the soft bundle's total energy span and
+	// the hard model's minimum violation granularity so that no
+	// combination of soft rewards can buy a hard violation. Set it only
+	// when the automatic bound is provably looser than your encoding
+	// needs (it grows coefficient ratios, which costs annealer
+	// resolution).
+	HardWeight float64
 }
 
 // warmSeedCount is how many warm-start states the solver derives per
@@ -204,6 +214,18 @@ type Result struct {
 	Shards   int           // independent shards solved (1 = whole model)
 	Elapsed  time.Duration // wall-clock time across all attempts
 	Stats    SolveStats    // phase timings and sample-quality detail
+
+	// Optimize-mode fields (zero on plain Solve results). Objective is
+	// the weighted theory objective Σ wᵢ·valueᵢ of the returned witness;
+	// ObjectiveValues holds the per-soft-constraint theory values in
+	// submission order (an Objective's graded value, or 0/1 violation for
+	// a plain soft constraint). ObjectiveBound is the proven lower bound;
+	// ObjectiveOptimal reports that the incumbent reached it, i.e. the
+	// result is proved optimal rather than best-found-feasible.
+	Objective        float64
+	ObjectiveValues  []float64
+	ObjectiveBound   float64
+	ObjectiveOptimal bool
 }
 
 // ErrNoModel reports that the solver exhausted its verify-retry budget
@@ -259,11 +281,19 @@ func examineCandidate(c Constraint, x []qubo.Bit, st *SolveStats) (w Witness, ok
 // eliminated nothing, so downstream behavior — compile-cache keys
 // included — is bit-identical to a presolve-free solve).
 func (s *Solver) presolve(model *qubo.Model, st *SolveStats) (*qubo.Model, *qubo.Reduction) {
+	return s.presolveProtected(model, nil, st)
+}
+
+// presolveProtected is presolve with a protection mask: the optimize
+// path passes the set of variables carrying objective mass so fixing
+// and folding only fire on variables the objective does not grade (see
+// qubo.PresolveProtected).
+func (s *Solver) presolveProtected(model *qubo.Model, protected []bool, st *SolveStats) (*qubo.Model, *qubo.Reduction) {
 	if !s.opts.Presolve.enabled(true) {
 		return model, nil
 	}
 	phase := time.Now()
-	r := qubo.Presolve(model)
+	r := qubo.PresolveProtected(model, protected)
 	st.Presolve += time.Since(phase)
 	st.PresolveRounds += r.Stats.Rounds
 	st.PresolveEliminated += r.Eliminated()
@@ -388,14 +418,20 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 		}
 		st.Reads += ss.TotalReads()
 		st.observeKernel(ss.Kernel)
-		if len(ss.Samples) > 0 {
-			lastBest = ss.Best().X
-			st.observeBest(ss.Best().Energy)
-			st.MeanEnergy = ss.MeanEnergy()
-			st.GroundFraction = ss.GroundFraction(0)
-			if warmed && ss.Best().Warm {
-				st.WarmHits++
-			}
+		if len(ss.Samples) == 0 {
+			// A (custom or remote) sampler returned a well-formed but
+			// empty set: nothing to decode this attempt. Record the
+			// failure so exhausting the retry budget reports the cause
+			// instead of a bare ErrNoModel.
+			lastCheck = fmt.Errorf("qsmt: sampler returned an empty sample set for %s", c.Name())
+			continue
+		}
+		lastBest = ss.Best().X
+		st.observeBest(ss.Best().Energy)
+		st.MeanEnergy = ss.MeanEnergy()
+		st.GroundFraction = ss.GroundFraction(0)
+		if warmed && ss.Best().Warm {
+			st.WarmHits++
 		}
 		limit := s.opts.CandidatesPerAttempt
 		if limit > len(ss.Samples) {
