@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race racebatch raceservice bench benchkernel benchsmoke benchbatch benchpresolve benchincr benchservice benchopt incrsmoke optsmoke fuzz
+.PHONY: check build vet test race racebatch raceservice bench benchkernel benchsmoke benchbatch benchpresolve benchincr benchservice benchopt benchportfolio incrsmoke optsmoke portfoliosmoke fuzz
 
-## check: the CI gate — build, vet, race-checked tests, a 1-iteration
-## benchmark smoke pass, the presolve ablation numbers, the incremental
-## push/pop smoke suite, the optimize-mode smoke suite, the
-## service-layer race gate + load benchmark, and a short fuzz smoke of
-## the SMT-LIB front end (includes the remote fault-injection suite in
-## internal/remote, the root-package context/failover acceptance tests,
-## and — under -race — the batch/shard/cache concurrency suite).
-check: build vet race benchsmoke benchpresolve incrsmoke optsmoke raceservice benchservice fuzz
+## check: the CI gate — build, vet (the whole module, including the new
+## portfolio scheduler), race-checked tests, a 1-iteration benchmark
+## smoke pass, the presolve ablation numbers, the incremental push/pop
+## smoke suite, the optimize-mode smoke suite, the portfolio race gate,
+## the service-layer race gate + load benchmark, and a short fuzz smoke
+## of the SMT-LIB front end (includes the remote fault-injection suite
+## in internal/remote, the root-package context/failover acceptance
+## tests, and — under -race — the batch/shard/cache concurrency suite).
+check: build vet race benchsmoke benchpresolve incrsmoke optsmoke portfoliosmoke raceservice benchservice fuzz
 
 build:
 	$(GO) build ./...
@@ -115,6 +116,27 @@ benchopt:
 	$(GO) test -run '^$$' -bench 'BenchmarkOptimize' -benchtime=3x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_opt.json
 	@cat BENCH_opt.json
+
+## benchportfolio: the portfolio-scheduler acceptance numbers — every
+## sampled shard of the 32-constraint batch workload solved by one
+## fixed sequential annealer run vs by the portfolio race, recorded as
+## BENCH_portfolio.json. Reports p50/p99 per mode, per-arm win counts,
+## the adaptive controller's saved reads, and the p99 ratio as
+## x_p99_speedup; acceptance is x_p99_speedup >= 3.
+benchportfolio:
+	$(GO) test -run '^$$' -bench 'BenchmarkPortfolio' -benchtime=3x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_portfolio.json
+	@cat BENCH_portfolio.json
+
+## portfoliosmoke: the focused portfolio gate — race/cancellation
+## semantics and the goroutine-leak teardown audit in
+## internal/portfolio, the portfolio-vs-sequential differential suite
+## in the root package, the singleflight compile-cache coalescing
+## tests, and the job-queue cross-request coalescing suite, all
+## under -race.
+portfoliosmoke:
+	$(GO) test -race -run 'Portfolio|Race|Adaptive|NaiveLowerBound|BuildArms|Coalesc|Singleflight' \
+		. ./internal/portfolio ./internal/qubo ./internal/remote
 
 ## optsmoke: the focused optimize gate — the brute-force differential
 ## suite, hard-constraint inviolability under adversarial weights, the

@@ -9,6 +9,7 @@ import (
 	"context"
 
 	"qsmt/internal/anneal"
+	"qsmt/internal/portfolio"
 	"qsmt/internal/qubo"
 )
 
@@ -186,6 +187,11 @@ func (s *Solver) planShards(shards []qubo.Shard, st *SolveStats) []shardPlan {
 func (s *Solver) sampleShards(ctx context.Context, plans []shardPlan, attempt int, st *SolveStats) ([]*anneal.SampleSet, error) {
 	sets := make([]*anneal.SampleSet, len(plans))
 	errs := make([]error, len(plans))
+	racing := s.portfolioShards()
+	var outcomes []*portfolio.Outcome
+	if racing {
+		outcomes = make([]*portfolio.Outcome, len(plans))
+	}
 	var wg sync.WaitGroup
 	for i := range plans {
 		p := &plans[i]
@@ -196,13 +202,23 @@ func (s *Solver) sampleShards(ctx context.Context, plans []shardPlan, attempt in
 		wg.Add(1)
 		go func(i int, p *shardPlan) {
 			defer wg.Done()
+			// Stat counters are updated after wg.Wait() (below) to keep
+			// the goroutines write-free on st.
+			if racing && !p.exact {
+				o, err := s.racePortfolio(ctx, p.compiled, p.seeds, attempt, i)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				outcomes[i] = o
+				sets[i] = o.Set
+				return
+			}
 			var sampler Sampler
 			if p.exact {
 				sampler = &anneal.ExactSolver{MaxStates: s.opts.CandidatesPerAttempt}
 			} else {
 				sampler = s.samplerFor(attempt)
-				// Stat counters are updated after wg.Wait() (below)
-				// to keep the goroutines write-free on st.
 				sampler, _ = warmSampler(sampler, p.seeds)
 			}
 			sets[i], errs[i] = s.sample(ctx, sampler, p.compiled)
@@ -212,6 +228,11 @@ func (s *Solver) sampleShards(ctx context.Context, plans []shardPlan, attempt in
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d/%d: %w", i, len(plans), err)
+		}
+	}
+	for _, o := range outcomes {
+		if o != nil {
+			st.observePortfolio(o)
 		}
 	}
 	for i := range plans {
@@ -224,6 +245,15 @@ func (s *Solver) sampleShards(ctx context.Context, plans []shardPlan, attempt in
 		}
 	}
 	return sets, nil
+}
+
+// shardSamplerName names the sampling tier a sharded attempt runs on:
+// the portfolio scheduler when racing, else the configured sampler.
+func (s *Solver) shardSamplerName(attempt int) string {
+	if s.portfolioShards() {
+		return "portfolio"
+	}
+	return samplerName(s.samplerFor(attempt))
 }
 
 // aggregateShardSets folds per-shard sample statistics into st and
@@ -298,7 +328,7 @@ func (s *Solver) solveSharded(ctx context.Context, c Constraint, model *qubo.Mod
 			return nil, fmt.Errorf("qsmt: solving %s: %w", c.Name(), err), true
 		}
 		st.Attempts = attempt + 1
-		st.Sampler = samplerName(s.samplerFor(attempt))
+		st.Sampler = s.shardSamplerName(attempt)
 
 		phase := time.Now()
 		sets, err := s.sampleShards(ctx, plans, attempt, st)

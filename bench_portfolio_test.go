@@ -1,0 +1,114 @@
+package qsmt
+
+// The portfolio acceptance benchmark: every sampled shard of the
+// 32-constraint batch workload solved by one fixed sequential annealer
+// run versus by the portfolio race. The figure of merit is tail
+// latency — a race settles as soon as its fastest adequate arm returns,
+// so easy shards stop paying the full annealing budget and the p99
+// collapses. `make benchportfolio` records the numbers (p50/p99 per
+// mode, the p99 ratio as x_p99_speedup, per-arm win counts, and the
+// adaptive controller's saved reads) as BENCH_portfolio.json.
+// Acceptance: x_p99_speedup >= 3.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/portfolio"
+	"qsmt/internal/qubo"
+)
+
+// portfolioBenchShards compiles the sampled (coupler-carrying) shards
+// of the standard 32-constraint workload — the same shard population
+// SolveBatch races in production.
+func portfolioBenchShards(b *testing.B) []*qubo.Compiled {
+	b.Helper()
+	var shards []*qubo.Compiled
+	for _, c := range benchConstraints() {
+		m, err := c.BuildModel()
+		if err != nil {
+			b.Fatalf("%s: BuildModel: %v", c.Name(), err)
+		}
+		for _, sh := range qubo.Components(m) {
+			if sh.Model.NumQuadratic() > 0 {
+				shards = append(shards, sh.Model.Compile())
+			}
+		}
+	}
+	if len(shards) == 0 {
+		b.Fatal("no sampled shards in the bench workload")
+	}
+	return shards
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func BenchmarkPortfolioShardP99(b *testing.B) {
+	shards := portfolioBenchShards(b)
+	seq := &anneal.SimulatedAnnealer{Reads: 64, Sweeps: 1000, Seed: 29}
+	ctx := context.Background()
+
+	var seqLat, portLat []time.Duration
+	var armWins [portfolio.NumArmKinds]int
+	readsSaved, proven := 0, 0
+
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for si, c := range shards {
+			start := time.Now()
+			ss, err := seq.SampleContext(ctx, c)
+			seqLat = append(seqLat, time.Since(start))
+			if err != nil || ss.Len() == 0 {
+				b.Fatalf("shard %d: sequential sample: %v", si, err)
+			}
+
+			arms, _ := portfolio.BuildArms(portfolio.Config{
+				Compiled: c,
+				Reads:    64,
+				Sweeps:   1000,
+				Seed:     29 + int64(si)*7_368_787,
+			})
+			start = time.Now()
+			o, err := portfolio.Race(ctx, arms)
+			portLat = append(portLat, time.Since(start))
+			if err != nil || o.Set.Len() == 0 {
+				b.Fatalf("shard %d: portfolio race: %v", si, err)
+			}
+			armWins[o.Winner]++
+			readsSaved += o.ReadsSaved
+			if o.Proven {
+				proven++
+			}
+		}
+	}
+
+	sort.Slice(seqLat, func(i, j int) bool { return seqLat[i] < seqLat[j] })
+	sort.Slice(portLat, func(i, j int) bool { return portLat[i] < portLat[j] })
+	seqP99 := percentile(seqLat, 0.99)
+	portP99 := percentile(portLat, 0.99)
+	b.ReportMetric(float64(percentile(seqLat, 0.50).Microseconds())/1e3, "seq_p50_ms")
+	b.ReportMetric(float64(seqP99.Microseconds())/1e3, "seq_p99_ms")
+	b.ReportMetric(float64(percentile(portLat, 0.50).Microseconds())/1e3, "port_p50_ms")
+	b.ReportMetric(float64(portP99.Microseconds())/1e3, "port_p99_ms")
+	if portP99 > 0 {
+		b.ReportMetric(float64(seqP99)/float64(portP99), "x_p99_speedup")
+	}
+	races := len(portLat)
+	for k, w := range armWins {
+		if w > 0 {
+			b.ReportMetric(float64(w), fmt.Sprintf("wins_%s", portfolio.KindName(portfolio.ArmKind(k))))
+		}
+	}
+	b.ReportMetric(float64(readsSaved)/float64(races), "reads_saved_per_race")
+	b.ReportMetric(float64(proven)/float64(races), "proven_fraction")
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qsmt/internal/anneal"
+	"qsmt/internal/portfolio"
 	"qsmt/internal/qubo"
 )
 
@@ -144,7 +145,7 @@ func (is *IncrementalSession) solve(ctx context.Context, key string, c Constrain
 			return nil, fmt.Errorf("qsmt: solving %s: %w", c.Name(), err)
 		}
 		st.Attempts = attempt + 1
-		st.Sampler = samplerName(s.samplerFor(attempt))
+		st.Sampler = s.shardSamplerName(attempt)
 
 		// Resolve every component: memo hits are free; misses (and every
 		// component on a retry attempt, since a retry means the memoized
@@ -275,22 +276,41 @@ func (is *IncrementalSession) solveComponent(ctx context.Context, sh qubo.Shard,
 		st.Compile += time.Since(phase)
 	}
 
-	var sampler Sampler
+	var ss *anneal.SampleSet
+	var err error
 	warmed := false
 	if s.opts.ExactShardVars > 0 && compiled.N <= s.opts.ExactShardVars {
 		st.ExactShards++
-		sampler = &anneal.ExactSolver{MaxStates: s.opts.CandidatesPerAttempt}
+		phase := time.Now()
+		ss, err = s.sample(ctx, &anneal.ExactSolver{MaxStates: s.opts.CandidatesPerAttempt}, compiled)
+		st.Sample += time.Since(phase)
+	} else if s.portfolioShards() {
+		// Race the portfolio arms on the component; the session's parent
+		// witness rides along as a warm-start seed like any other.
+		seeds := is.componentSeeds(compiled, red, sh, parent, st)
+		if len(seeds) > 0 {
+			warmed = true
+			st.WarmSeeded++
+		}
+		phase := time.Now()
+		var o *portfolio.Outcome
+		o, err = s.racePortfolio(ctx, compiled, seeds, attempt, ordinal)
+		st.Sample += time.Since(phase)
+		if err == nil {
+			st.observePortfolio(o)
+			ss = o.Set
+		}
 	} else {
-		sampler = s.samplerFor(attempt)
+		sampler := Sampler(s.samplerFor(attempt))
 		if ws, ok := warmSampler(sampler, is.componentSeeds(compiled, red, sh, parent, st)); ok {
 			sampler = ws
 			warmed = true
 			st.WarmSeeded++
 		}
+		phase := time.Now()
+		ss, err = s.sample(ctx, sampler, compiled)
+		st.Sample += time.Since(phase)
 	}
-	phase := time.Now()
-	ss, err := s.sample(ctx, sampler, compiled)
-	st.Sample += time.Since(phase)
 	if err != nil {
 		return nil, err
 	}

@@ -13,12 +13,12 @@ func TestWarmReadCount(t *testing.T) {
 		frac          float64
 		want          int
 	}{
-		{0, 64, 0, 0},    // no states → no warm reads
-		{3, 64, 0, 32},   // default fraction
+		{0, 64, 0, 0},  // no states → no warm reads
+		{3, 64, 0, 32}, // default fraction
 		{3, 64, 0.25, 16},
-		{3, 64, -1, 0},   // negative disables
-		{3, 64, 2, 64},   // clamped to reads
-		{3, 4, 0.01, 1},  // states present → at least one warm read
+		{3, 64, -1, 0},  // negative disables
+		{3, 64, 2, 64},  // clamped to reads
+		{3, 4, 0.01, 1}, // states present → at least one warm read
 		{1, 1, 0.5, 1},
 	}
 	for _, tc := range cases {

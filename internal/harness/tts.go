@@ -1,78 +1,39 @@
 package harness
 
 import (
-	"math"
 	"time"
 
 	"qsmt/internal/anneal"
 	"qsmt/internal/core"
+	"qsmt/internal/tts"
 )
+
+// The time-to-solution statistic itself lives in internal/tts so the
+// online portfolio scheduler (reached from the root package, which this
+// package imports) can share it without an import cycle. The aliases
+// below keep the harness API — and every experiment script written
+// against it — unchanged.
 
 // TTSNever is the sentinel TTS returns when the configuration can never
 // reach the requested confidence: zero (or unmeasurable) success rate.
 // It is negative so naive comparisons treat it as "not a real duration";
 // callers should compare against it explicitly.
-const TTSNever = time.Duration(-1)
+const TTSNever = tts.Never
 
 // TTSMax is the saturation sentinel for finite but astronomically large
 // time-to-solution values whose nanosecond count does not fit in a
 // time.Duration. A result of TTSMax means "longer than ~292 years", not
 // "never".
-const TTSMax = time.Duration(math.MaxInt64)
+const TTSMax = tts.Max
 
 // TTS computes the time-to-solution at the given confidence: the
 // expected wall-clock to see at least one success with probability
 // `confidence`, given independent runs of duration runTime that each
 // succeed with probability successRate. This is the standard figure of
-// merit for annealers (usually quoted as TTS(0.99)):
-//
-//	TTS(p) = t_run · ln(1−p) / ln(1−p_s)   (continuous form, floored at 1 run)
-//
-// Edge cases are pinned rather than left to float fallout:
-//
-//   - successRate ≥ 1 returns runTime (one run suffices);
-//   - successRate ≤ 0 or NaN returns TTSNever (no number of runs helps);
-//   - confidence ≤ 0 returns 0 (an empty requirement is already met),
-//     NaN returns TTSNever, and confidence ≥ 1 is clamped just below 1
-//     (certainty needs infinitely many runs under this model);
-//   - the repeat factor uses Log1p(−successRate), not Log(1−successRate):
-//     for successRate below ~1e-16 the latter rounds 1−p to 1 and yields
-//     ln(1) = 0, collapsing the factor to ±Inf instead of the correct
-//     ~|ln(1−confidence)|/p;
-//   - results whose nanosecond count overflows int64 saturate to TTSMax
-//     instead of wrapping negative.
+// merit for annealers (usually quoted as TTS(0.99)). See
+// internal/tts.TTS for the formula and the pinned edge cases.
 func TTS(runTime time.Duration, successRate, confidence float64) time.Duration {
-	if math.IsNaN(successRate) || math.IsNaN(confidence) {
-		return TTSNever
-	}
-	if successRate >= 1 {
-		return runTime
-	}
-	if successRate <= 0 {
-		return TTSNever
-	}
-	if confidence <= 0 {
-		return 0
-	}
-	if confidence >= 1 {
-		confidence = 0.999999
-	}
-	factor := math.Log(1-confidence) / math.Log1p(-successRate)
-	if factor < 1 {
-		factor = 1
-	}
-	if ns := float64(runTime) * factor; ns >= math.MaxInt64 {
-		return TTSMax
-	} else if ns < 0 {
-		// Negative runTime scaled by a positive factor; keep the sign but
-		// saturate symmetrically.
-		if ns <= math.MinInt64 {
-			return -TTSMax
-		}
-		return time.Duration(ns)
-	} else {
-		return time.Duration(ns)
-	}
+	return tts.TTS(runTime, successRate, confidence)
 }
 
 // TimeToSolution (Ext-F) estimates TTS(0.99) per constraint family and

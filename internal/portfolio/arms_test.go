@@ -1,0 +1,211 @@
+package portfolio
+
+// Tests for arm construction, the naive lower bound, and the adaptive
+// read controller's stopping rules.
+
+import (
+	"context"
+	"testing"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+)
+
+// kinds collects the arm kinds present in a built slate.
+func kinds(arms []Arm) map[ArmKind]Arm {
+	out := make(map[ArmKind]Arm, len(arms))
+	for _, a := range arms {
+		out[a.Kind] = a
+	}
+	return out
+}
+
+func TestBuildArmsComposition(t *testing.T) {
+	small := testShard(12, 1)
+	large := testShard(40, 2)
+
+	t.Run("small shard gets a definitive exact arm", func(t *testing.T) {
+		arms, _ := BuildArms(Config{Compiled: small})
+		k := kinds(arms)
+		ex, ok := k[ArmExact]
+		if !ok || !ex.Definitive {
+			t.Fatalf("12-var shard: exact arm present=%v definitive=%v, want both", ok, ex.Definitive)
+		}
+	})
+
+	t.Run("large shard drops the exact arm", func(t *testing.T) {
+		arms, _ := BuildArms(Config{Compiled: large})
+		if _, ok := kinds(arms)[ArmExact]; ok {
+			t.Fatal("40-var shard grew an exact arm beyond DefaultMaxExactVars")
+		}
+	})
+
+	t.Run("warm arm only with seeds", func(t *testing.T) {
+		arms, _ := BuildArms(Config{Compiled: large})
+		if _, ok := kinds(arms)[ArmWarmSA]; ok {
+			t.Fatal("warm arm present without seeds")
+		}
+		seed := make([]qubo.Bit, large.N)
+		arms, _ = BuildArms(Config{Compiled: large, Seeds: [][]qubo.Bit{seed}})
+		if _, ok := kinds(arms)[ArmWarmSA]; !ok {
+			t.Fatal("warm arm missing despite seeds")
+		}
+	})
+
+	t.Run("NoBackups drops tempering and scalar arms", func(t *testing.T) {
+		arms, _ := BuildArms(Config{Compiled: large, NoBackups: true})
+		k := kinds(arms)
+		if _, ok := k[ArmTempering]; ok {
+			t.Fatal("NoBackups left the tempering arm")
+		}
+		if _, ok := k[ArmScalarSA]; ok {
+			t.Fatal("NoBackups left the scalar arm")
+		}
+		if _, ok := k[ArmColdSA]; !ok {
+			t.Fatal("NoBackups must keep the cold adaptive arm")
+		}
+	})
+
+	t.Run("descent arm is advisory with a stagger ladder", func(t *testing.T) {
+		arms, bound := BuildArms(Config{Compiled: large})
+		k := kinds(arms)
+		d, ok := k[ArmDescent]
+		if !ok || !d.Advisory {
+			t.Fatalf("descent present=%v advisory=%v, want both", ok, d.Advisory)
+		}
+		if got := NaiveLowerBound(large); got != bound {
+			t.Fatalf("BuildArms bound %v != NaiveLowerBound %v", bound, got)
+		}
+		if k[ArmTempering].Delay <= 0 || k[ArmScalarSA].Delay <= k[ArmTempering].Delay {
+			t.Fatalf("backup stagger not increasing: pt=%v scalar=%v",
+				k[ArmTempering].Delay, k[ArmScalarSA].Delay)
+		}
+	})
+}
+
+// TestNaiveLowerBoundIsSound checks the bound against exhaustive ground
+// truth on a spread of small random shards: E(x) ≥ bound for the true
+// minimum, always.
+func TestNaiveLowerBoundIsSound(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		c := testShard(14, seed)
+		lb := NaiveLowerBound(c)
+		ss, err := (&anneal.ExactSolver{MaxStates: 1}).SampleContext(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := ss.Best().Energy
+		if lb > min+boundTol(min) {
+			t.Fatalf("seed %d: naive bound %v exceeds exact minimum %v", seed, lb, min)
+		}
+	}
+}
+
+// TestAdaptiveSampleBoundStop: when the lower bound is attainable and
+// the first chunk finds it, the controller must stop early, mark the
+// incumbent proven, and report saved reads.
+func TestAdaptiveSampleBoundStop(t *testing.T) {
+	// All-negative linear model: minimum is all-ones with energy -n,
+	// which equals the naive bound and which any SA chunk finds at once.
+	n := 16
+	m := qubo.New(n)
+	for i := 0; i < n; i++ {
+		m.AddLinear(i, -1)
+	}
+	c := m.Compile()
+	bound := NaiveLowerBound(c)
+
+	var tl Telemetry
+	ss, err := AdaptiveSample(context.Background(), c, AdaptiveConfig{
+		Reads: 64, Sweeps: 1000, Seed: 7,
+		Bound: bound, HasBound: true,
+	}, &tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Best().Energy != float64(-n) {
+		t.Fatalf("best energy %v, want %d", ss.Best().Energy, -n)
+	}
+	if !tl.Proven {
+		t.Fatal("bound-hitting incumbent not marked proven")
+	}
+	if !tl.EarlyStopped || tl.ReadsSaved <= 0 {
+		t.Fatalf("early stop not taken: earlyStopped=%v readsSaved=%d", tl.EarlyStopped, tl.ReadsSaved)
+	}
+}
+
+// TestAdaptiveSampleHitTargetStop: without a usable bound, repeated
+// confirmation of the incumbent triggers rule 2 on an easy landscape.
+func TestAdaptiveSampleHitTargetStop(t *testing.T) {
+	n := 10
+	m := qubo.New(n)
+	for i := 0; i < n; i++ {
+		m.AddLinear(i, -2)
+		if i+1 < n {
+			m.AddQuadratic(i, i+1, 1)
+		}
+	}
+	c := m.Compile()
+
+	var tl Telemetry
+	ss, err := AdaptiveSample(context.Background(), c, AdaptiveConfig{
+		Reads: 64, Sweeps: 1000, Seed: 11,
+		HitTarget: 2, // first chunk's 8 reads all land on the optimum
+	}, &tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Len() == 0 {
+		t.Fatal("empty sample set")
+	}
+	if !tl.EarlyStopped || tl.ReadsSaved <= 0 {
+		t.Fatalf("hit-target stop not taken: earlyStopped=%v readsSaved=%d", tl.EarlyStopped, tl.ReadsSaved)
+	}
+	if tl.Proven {
+		t.Fatal("rule-2 stop must not claim a proof")
+	}
+}
+
+// TestAdaptiveSampleBudgetInvariants: whatever path the controller
+// takes on a hard landscape, accounting stays consistent and results
+// are reproducible for a fixed seed.
+func TestAdaptiveSampleBudgetInvariants(t *testing.T) {
+	c := testShard(28, 5)
+	run := func() (*anneal.SampleSet, Telemetry) {
+		var tl Telemetry
+		ss, err := AdaptiveSample(context.Background(), c, AdaptiveConfig{
+			Reads: 48, Sweeps: 600, Seed: 3,
+			HitTarget: 1 << 30, // rule 2 unreachable; rules 1/3 may still fire
+		}, &tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss, tl
+	}
+	ss1, tl1 := run()
+	ss2, tl2 := run()
+	if ss1.Len() == 0 {
+		t.Fatal("empty sample set")
+	}
+	if tl1.ReadsSaved < 0 || tl1.ReadsSaved >= 48 {
+		t.Fatalf("ReadsSaved %d out of [0,48)", tl1.ReadsSaved)
+	}
+	if tl1.EarlyStopped != (tl1.ReadsSaved > 0) {
+		t.Fatalf("EarlyStopped=%v inconsistent with ReadsSaved=%d", tl1.EarlyStopped, tl1.ReadsSaved)
+	}
+	if ss1.Best().Energy != ss2.Best().Energy || tl1 != tl2 {
+		t.Fatalf("adaptive sampling not deterministic for a fixed seed: %v/%+v vs %v/%+v",
+			ss1.Best().Energy, tl1, ss2.Best().Energy, tl2)
+	}
+}
+
+// TestAdaptiveSampleCancellation: a canceled context aborts between
+// chunks with the context error.
+func TestAdaptiveSampleCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var tl Telemetry
+	if _, err := AdaptiveSample(ctx, testShard(24, 9), AdaptiveConfig{Reads: 32, Sweeps: 400}, &tl); err == nil {
+		t.Fatal("AdaptiveSample under canceled context returned nil error")
+	}
+}

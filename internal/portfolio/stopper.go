@@ -1,0 +1,213 @@
+package portfolio
+
+// stopper.go is the adaptive read controller: instead of one fixed
+// Reads×Sweeps annealing call, the adaptive arm anneals in chunks along
+// a doubling sweep ladder and decides after every chunk whether more
+// reads can still improve the expected time-to-solution. The total
+// ladder budget equals the fixed budget it replaces (⅛+⅛+¼+½ = 1×), so
+// the worst case costs what the sequential tier costs, while easy
+// shards — the overwhelming majority after presolve — stop after the
+// first ⅛ chunk.
+//
+// Stopping rules, checked after each chunk (R reads seen so far, H of
+// them at the incumbent energy, R_stale reads since the incumbent last
+// improved):
+//
+//  1. bound hit: the incumbent reached the shard's proven lower bound —
+//     the sample is a certified optimum, nothing can improve it.
+//  2. incumbent confirmed: H ≥ HitTarget. Re-finding the same minimum
+//     from HitTarget independent restarts means the per-read hit
+//     probability p̂ = H/R is large, so TTS(t_read, p̂, conf) has already
+//     been paid; additional reads overwhelmingly re-find the incumbent.
+//  3. diminishing returns (sequential-probability-style): with no
+//     improvement in R_stale reads, the rule of three bounds the
+//     per-read improvement probability at p⁺ ≤ 3/R_stale (95% upper
+//     confidence limit). If the expected time to see one improvement at
+//     that rate — tts.TTS(t_read, p⁺, ½), the median wait — exceeds the
+//     time the remaining ladder can spend, the remaining budget cannot
+//     be expected to improve the incumbent and the arm stops.
+//
+// Rules 2 and 3 can stop an arm that has NOT found a true ground state;
+// that is safe because the portfolio only feeds candidates into the
+// solver's existing decode→check→retry loop — a wrong incumbent fails
+// verification and the next attempt re-races with fresh seeds, so
+// early stopping can cost attempts, never verdicts (pinned by the
+// differential suite).
+
+import (
+	"context"
+	"time"
+
+	"qsmt/internal/anneal"
+	"qsmt/internal/qubo"
+	"qsmt/internal/tts"
+)
+
+// AdaptiveConfig parameterizes one adaptive annealing arm.
+type AdaptiveConfig struct {
+	// Reads and Sweeps are the fixed budget being adapted — the
+	// sequential tier's per-shard sampler configuration.
+	Reads  int
+	Sweeps int
+	// Seed is the arm's root seed; each chunk derives its own stream.
+	Seed int64
+	// Seeds, when non-nil, warm-starts the first chunk (greedy-descent
+	// and baseline-propagation states, as the sequential warm path).
+	Seeds [][]qubo.Bit
+	// Bound is the shard's proven lower energy bound; HasBound gates it.
+	// An incumbent reaching Bound certifies optimality (rule 1).
+	Bound    float64
+	HasBound bool
+	// HitTarget is the incumbent-confirmation count for rule 2.
+	// Default 8.
+	HitTarget int
+	// Scalar forces the scalar reference kernel for every chunk.
+	Scalar bool
+}
+
+// adaptiveLadder is the per-chunk share of the sweep budget, in eighths.
+// The shares sum to 8: the full ladder costs exactly the fixed budget.
+var adaptiveLadder = [...]int{1, 1, 2, 4}
+
+// boundTol returns the comparison tolerance for "reached the bound":
+// penalty-model energies are sums of small integers scaled by weights,
+// so a relative epsilon on the bound's magnitude absorbs float drift.
+func boundTol(bound float64) float64 {
+	if bound < 0 {
+		bound = -bound
+	}
+	return 1e-9 * (1 + bound)
+}
+
+// chunkSeedStride decorrelates chunk RNG streams; any odd constant far
+// from the solver's retry stride works.
+const chunkSeedStride = 0x51ed2701
+
+// AdaptiveSample runs the chunked annealing ladder on c, stopping when
+// the rules above fire, and returns the aggregated sample set across
+// all chunks (incumbent-first, exact energies). Telemetry records
+// whether the controller stopped early and how much budget it saved.
+func AdaptiveSample(ctx context.Context, c *qubo.Compiled, cfg AdaptiveConfig, t *Telemetry) (*anneal.SampleSet, error) {
+	reads, sweeps := cfg.Reads, cfg.Sweeps
+	if reads <= 0 {
+		reads = 64
+	}
+	if sweeps <= 0 {
+		sweeps = 1000
+	}
+	hitTarget := cfg.HitTarget
+	if hitTarget <= 0 {
+		hitTarget = 8
+	}
+
+	var (
+		raw          []anneal.Sample
+		kernel       anneal.KernelStats
+		incumbent    float64
+		haveInc      bool
+		hits         int // reads at the incumbent energy
+		totalReads   int
+		staleReads   int // reads since the incumbent last improved
+		spentEighths int
+	)
+	start := time.Now()
+	for chunk, share := range adaptiveLadder {
+		// share is in eighths of the budget: sweeps × share / 8.
+		chunkSweeps := sweeps * share / 8
+		if chunkSweeps < 1 {
+			chunkSweeps = 1
+		}
+		sa := &anneal.SimulatedAnnealer{
+			Reads:  reads,
+			Sweeps: chunkSweeps,
+			Seed:   cfg.Seed + int64(chunk)*chunkSeedStride,
+			Scalar: cfg.Scalar,
+		}
+		if chunk == 0 && len(cfg.Seeds) > 0 {
+			sa.InitialStates = cfg.Seeds
+		}
+		ss, err := sa.SampleContext(ctx, c)
+		if err != nil {
+			return nil, err
+		}
+		kernel.Proposals += ss.Kernel.Proposals
+		kernel.Flips += ss.Kernel.Flips
+		kernel.Resyncs += ss.Kernel.Resyncs
+		kernel.Packed = kernel.Packed || ss.Kernel.Packed
+		raw = append(raw, ss.Samples...)
+		spentEighths += share
+
+		// Fold the chunk into the incumbent statistics. Chunk sample sets
+		// are energy-sorted, so Best is the chunk minimum.
+		chunkReads := ss.TotalReads()
+		totalReads += chunkReads
+		best := ss.Best().Energy
+		tol := boundTol(best)
+		switch {
+		case !haveInc || best < incumbent-tol:
+			// New incumbent: hit counting restarts with this chunk's hits.
+			incumbent = best
+			haveInc = true
+			hits = chunkHits(ss, incumbent)
+			staleReads = 0
+		default:
+			if best <= incumbent+tol {
+				hits += chunkHits(ss, incumbent)
+			}
+			staleReads += chunkReads
+		}
+
+		last := chunk == len(adaptiveLadder)-1
+		if last {
+			break
+		}
+		// Rule 1: certified optimum.
+		if cfg.HasBound && incumbent <= cfg.Bound+boundTol(cfg.Bound) {
+			t.Proven = true
+			t.EarlyStopped = true
+			break
+		}
+		// Rule 2: incumbent confirmed by independent restarts.
+		if hits >= hitTarget {
+			t.EarlyStopped = true
+			break
+		}
+		// Rule 3: diminishing returns. Compare the median wait for one
+		// improvement (rule-of-three upper rate) against the remaining
+		// ladder's wall-clock at the observed per-eighth pace.
+		if staleReads > 0 {
+			perEighth := time.Since(start) / time.Duration(spentEighths)
+			remaining := time.Duration(8-spentEighths) * perEighth
+			perRead := time.Since(start) / time.Duration(totalReads)
+			wait := tts.TTS(perRead, 3/float64(staleReads), 0.5)
+			if wait == tts.Never || (wait != tts.Max && wait > remaining && remaining > 0) {
+				t.EarlyStopped = true
+				break
+			}
+		}
+	}
+	if t.EarlyStopped {
+		t.ReadsSaved = reads * (8 - spentEighths) / 8
+	}
+	if cfg.HasBound && haveInc && incumbent <= cfg.Bound+boundTol(cfg.Bound) {
+		t.Proven = true
+	}
+
+	out := anneal.Aggregate(raw)
+	out.Kernel = kernel
+	return out, nil
+}
+
+// chunkHits counts the reads of ss at energy inc (within tolerance).
+func chunkHits(ss *anneal.SampleSet, inc float64) int {
+	tol := boundTol(inc)
+	n := 0
+	for _, s := range ss.Samples {
+		if s.Energy <= inc+tol {
+			n += s.Occurrences
+		} else {
+			break // energy-sorted
+		}
+	}
+	return n
+}

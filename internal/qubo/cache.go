@@ -120,13 +120,22 @@ type Cache struct {
 	capacity int
 	ll       *list.List // front = most recently used; values are *cacheEntry
 	items    map[Fingerprint]*list.Element
+	inflight map[Fingerprint]*compileCall
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, coalesced uint64
 }
 
 type cacheEntry struct {
 	fp Fingerprint
 	c  *Compiled
+}
+
+// compileCall is one in-flight compilation that concurrent misses on
+// the same fingerprint coalesce onto: the owner compiles, publishes the
+// result, and closes done; followers block on done and share it.
+type compileCall struct {
+	done chan struct{}
+	c    *Compiled
 }
 
 // NewCache returns a cache holding at most capacity compiled models;
@@ -139,6 +148,7 @@ func NewCache(capacity int) *Cache {
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[Fingerprint]*list.Element, capacity),
+		inflight: make(map[Fingerprint]*compileCall),
 	}
 }
 
@@ -151,12 +161,14 @@ const DefaultCacheCapacity = 256
 // an identical model (by fingerprint) was compiled before. The second
 // return reports whether the result came from the cache. Compilation of
 // a missing entry happens outside the lock, so a slow compile does not
-// stall unrelated lookups; concurrent misses on the same model may
-// compile twice and keep one result. A lookup is counted exactly once —
-// as a hit when it returns a cached entry (including the loser of a
-// concurrent compile race, which discards its own work and returns the
-// winner's entry), as a miss only when its own compilation is kept — so
-// hits+misses always equals completed lookups.
+// stall unrelated lookups, and concurrent misses on the same model are
+// coalesced singleflight-style: the first caller compiles, everyone
+// else blocks on its completion and shares the one *Compiled, so an
+// identical model is compiled at most once no matter how many solves
+// race on it. A lookup is counted exactly once — as a hit when it
+// returns a cached or coalesced entry, as a miss only when its own
+// compilation is kept — so hits+misses always equals completed lookups;
+// coalesced waits are additionally counted in CacheStats.Coalesced.
 func (c *Cache) Compile(m *Model) (*Compiled, bool) {
 	if c == nil {
 		return m.Compile(), false
@@ -170,19 +182,28 @@ func (c *Cache) Compile(m *Model) (*Compiled, bool) {
 		c.mu.Unlock()
 		return compiled, true
 	}
+	if call, ok := c.inflight[fp]; ok {
+		// Someone else is compiling this exact model right now: wait
+		// for their result instead of duplicating the work.
+		c.coalesced++
+		c.hits++
+		c.mu.Unlock()
+		<-call.done
+		return call.c, true
+	}
+	call := &compileCall{done: make(chan struct{})}
+	c.inflight[fp] = call
 	c.mu.Unlock()
 
 	compiled := m.Compile()
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[fp]; ok { // a concurrent miss beat us to it
-		c.ll.MoveToFront(el)
-		c.hits++
-		return el.Value.(*cacheEntry).c, true
-	}
+	call.c = compiled
+	delete(c.inflight, fp)
 	c.misses++
 	c.insertLocked(fp, compiled)
+	c.mu.Unlock()
+	close(call.done)
 	return compiled, false
 }
 
@@ -235,10 +256,13 @@ func (c *Cache) Insert(fp Fingerprint, compiled *Compiled) {
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
+// Coalesced counts the subset of Hits that were served by waiting on a
+// concurrent in-flight compilation rather than by a completed entry.
 type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	Coalesced uint64
 	Entries   int
 	Capacity  int
 }
@@ -254,6 +278,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Coalesced: c.coalesced,
 		Entries:   c.ll.Len(),
 		Capacity:  c.capacity,
 	}

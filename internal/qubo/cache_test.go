@@ -270,3 +270,55 @@ func TestCacheLookupInsert(t *testing.T) {
 	}
 	nilCache.Insert(fp, compiled) // must not panic
 }
+
+// TestCacheSingleflightCoalescing pins the singleflight contract:
+// concurrent misses on one model compile it exactly once, every caller
+// shares the one *Compiled, and the waits are visible as Coalesced.
+// The model is large enough that the owner is still compiling when the
+// followers look up, so the in-flight wait path actually runs.
+func TestCacheSingleflightCoalescing(t *testing.T) {
+	const n = 30000
+	big := New(n)
+	for i := 0; i < n; i++ {
+		big.AddLinear(i, float64(i%5)-2)
+		big.AddQuadratic(i, (i+1)%n, 0.5)
+	}
+	c := NewCache(8)
+	const workers = 8
+	start := make(chan struct{})
+	results := make([]*Compiled, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			results[w], _ = c.Compile(big)
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatalf("worker %d got a different *Compiled; singleflight should share one", w)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 compilation", st.Misses)
+	}
+	if st.Hits != workers-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, workers-1)
+	}
+	if st.Coalesced > st.Hits {
+		t.Fatalf("coalesced (%d) exceeds hits (%d)", st.Coalesced, st.Hits)
+	}
+	// Later lookups are plain hits, not coalesced waits.
+	before := st.Coalesced
+	if _, fromCache := c.Compile(big); !fromCache {
+		t.Fatal("post-fill lookup missed")
+	}
+	if got := c.Stats().Coalesced; got != before {
+		t.Fatalf("settled-entry hit counted as coalesced (%d -> %d)", before, got)
+	}
+}

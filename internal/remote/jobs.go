@@ -113,7 +113,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeStatusError(w, se)
 		return
 	}
-	id, err := s.Jobs.Submit(req.SampleRequest, clientID(r), prio)
+	id, coalesced, err := s.Jobs.Submit(req.SampleRequest, clientID(r), prio)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.Metrics.jobShed()
@@ -130,6 +130,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.Metrics.jobSubmitted(prio.String())
+	if coalesced {
+		s.Metrics.jobCoalesced()
+	}
 	s.Metrics.setQueueDepth(s.Jobs.Depth())
 	st, _ := s.Jobs.Get(id)
 	w.Header().Set("Location", "/v1/jobs/"+id)

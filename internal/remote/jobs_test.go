@@ -150,14 +150,15 @@ func TestJobAPISheddingUnderSaturation(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("worker never started the first job")
 	}
-	// …jobs 2 and 3 fill the queue to its bound…
+	// …jobs 2 and 3 fill the queue to its bound (distinct seeds keep
+	// them from coalescing onto the pinned job)…
 	for i := 0; i < 2; i++ {
-		if _, err := c.SubmitJob(ctx, compiled, Job{}, PriorityBatch); err != nil {
+		if _, err := c.SubmitJob(ctx, compiled, Job{Seed: int64(i + 1)}, PriorityBatch); err != nil {
 			t.Fatalf("queue-filling submit %d: %v", i, err)
 		}
 	}
 	// …and job 4 must shed.
-	_, err = c.SubmitJob(ctx, compiled, Job{}, PriorityBatch)
+	_, err = c.SubmitJob(ctx, compiled, Job{Seed: 3}, PriorityBatch)
 	se, ok := asStatusError(err)
 	if !ok || se.Code != http.StatusTooManyRequests {
 		t.Fatalf("submit into full queue = %v, want 429", err)

@@ -35,6 +35,9 @@ type ServerMetrics struct {
 	CASHits      *obs.Counter // annealerd_cas_hits_total
 	CASMisses    *obs.Counter // annealerd_cas_misses_total
 	CASPeerFills *obs.Counter // annealerd_cas_peer_fills_total
+
+	JobsCoalesced  *obs.Counter    // annealerd_jobs_coalesced_total
+	PortfolioRaces *obs.CounterVec // annealerd_portfolio_races_total{winner}
 }
 
 // NewServerMetrics registers the service metric families on r.
@@ -57,6 +60,9 @@ func NewServerMetrics(r *obs.Registry) *ServerMetrics {
 		CASHits:      r.Counter("annealerd_cas_hits_total", "Fingerprint-only submissions resolved from the content-addressed model cache."),
 		CASMisses:    r.Counter("annealerd_cas_misses_total", "Fingerprint-only submissions that missed the content-addressed model cache."),
 		CASPeerFills: r.Counter("annealerd_cas_peer_fills_total", "Content-addressed cache misses filled by fetching a peer replica's entry."),
+
+		JobsCoalesced:  r.Counter("annealerd_jobs_coalesced_total", "Async job submissions coalesced onto an identical in-flight job."),
+		PortfolioRaces: r.CounterVec("annealerd_portfolio_races_total", "Portfolio-mode sampling jobs, by winning arm.", "winner"),
 	}
 }
 
@@ -146,6 +152,18 @@ func (m *ServerMetrics) casMiss() {
 func (m *ServerMetrics) casPeerFill() {
 	if m != nil {
 		m.CASPeerFills.Inc()
+	}
+}
+
+func (m *ServerMetrics) jobCoalesced() {
+	if m != nil {
+		m.JobsCoalesced.Inc()
+	}
+}
+
+func (m *ServerMetrics) portfolioRace(winner string) {
+	if m != nil {
+		m.PortfolioRaces.With(winner).Inc()
 	}
 }
 

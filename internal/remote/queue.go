@@ -140,6 +140,13 @@ type queuedJob struct {
 	cancel  context.CancelFunc // set while running
 	changed chan struct{}      // closed and replaced on every transition
 
+	// Coalescing: a follower is an admitted job whose request is
+	// byte-identical to an in-flight primary's. It holds a place in
+	// q.jobs (Get/Watch/Cancel address it like any job) but occupies no
+	// class slot and no q.queued capacity; the primary's settle fans the
+	// one result out to all of its followers.
+	follower  bool
+	followers []*queuedJob // primary only: live followers sharing this run
 }
 
 // JobStatus is a point-in-time public snapshot of one job.
@@ -276,17 +283,19 @@ type JobQueue struct {
 
 	now func() time.Time // test hook; nil = time.Now
 
-	mu      sync.Mutex
-	classes [numPriorities]*priorityClass
-	jobs    map[string]*queuedJob
-	queued  int           // jobs in JobQueued across classes
-	running int           // jobs in JobRunning
-	expiry  *list.List    // terminal jobs in finish order (= expiry order)
-	wake    chan struct{} // closed on enqueue to signal waiting workers
-	closed  bool
-	seq     uint64
-	salt    uint32
-	expired uint64 // results dropped by TTL or retention bound
+	mu       sync.Mutex
+	classes  [numPriorities]*priorityClass
+	jobs     map[string]*queuedJob
+	coalesce map[SampleRequest]*queuedJob // in-flight primary per request content
+	queued   int                          // primary jobs in JobQueued across classes
+	running  int                          // jobs in JobRunning
+	expiry   *list.List                   // terminal jobs in finish order (= expiry order)
+	wake     chan struct{}                // closed on enqueue to signal waiting workers
+	closed   bool
+	seq      uint64
+	salt     uint32
+	expired  uint64 // results dropped by TTL or retention bound
+	merged   uint64 // lifetime submissions coalesced onto an in-flight job
 
 	// completion spacing ring, for Retry-After estimation
 	completions [16]time.Time
@@ -309,6 +318,7 @@ func NewJobQueue(maxQueued int, resultTTL time.Duration) *JobQueue {
 		ResultTTL:    resultTTL,
 		MaxRetained:  DefaultMaxRetained,
 		jobs:         make(map[string]*queuedJob),
+		coalesce:     make(map[SampleRequest]*queuedJob),
 		expiry:       list.New(),
 		wake:         make(chan struct{}),
 	}
@@ -334,21 +344,51 @@ func (q *JobQueue) clock() time.Time {
 // Submit admits a job for client under the given priority and returns
 // its ID. ErrQueueFull reports admission rejection — the queue is at
 // capacity, or the client has exhausted its own share.
-func (q *JobQueue) Submit(req SampleRequest, client string, prio Priority) (string, error) {
+//
+// Identical in-flight submissions coalesce: when a queued or running
+// job with the exact same request content (model, reads, sweeps, seed —
+// the whole SampleRequest) exists at the same priority, the new
+// submission gets its own job ID but rides the existing execution as a
+// follower — it consumes no queue capacity and no sampler time, and the
+// primary's result (or failure) is fanned out to every follower the
+// moment it settles. coalesced reports that outcome. Followers are
+// first-class jobs to Get/Watch/Cancel; canceling the primary promotes
+// the oldest live follower into the queue so the remaining waiters
+// still get a result. Different seeds produce different keys, so
+// callers that want independent stochastic runs keep them.
+func (q *JobQueue) Submit(req SampleRequest, client string, prio Priority) (id string, coalesced bool, err error) {
 	if prio < 0 || prio >= numPriorities {
-		return "", fmt.Errorf("remote: invalid priority %d", int(prio))
+		return "", false, fmt.Errorf("remote: invalid priority %d", int(prio))
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return "", ErrQueueClosed
+		return "", false, ErrQueueClosed
 	}
 	q.sweepLocked()
+	if p, ok := q.coalesce[req]; ok && p.priority == prio && len(p.followers) < q.MaxPerClient {
+		q.seq++
+		f := &queuedJob{
+			id:       fmt.Sprintf("j%08x-%06d", q.salt, q.seq),
+			client:   client,
+			priority: prio,
+			seq:      q.seq,
+			req:      req,
+			state:    JobQueued,
+			enqueued: q.clock(),
+			changed:  make(chan struct{}),
+			follower: true,
+		}
+		q.jobs[f.id] = f
+		p.followers = append(p.followers, f)
+		q.merged++
+		return f.id, true, nil
+	}
 	if q.queued >= q.MaxQueued {
-		return "", ErrQueueFull
+		return "", false, ErrQueueFull
 	}
 	if ll, ok := q.classes[prio].clients[client]; ok && ll.Len() >= q.MaxPerClient {
-		return "", ErrQueueFull
+		return "", false, ErrQueueFull
 	}
 	q.seq++
 	j := &queuedJob{
@@ -364,10 +404,11 @@ func (q *JobQueue) Submit(req SampleRequest, client string, prio Priority) (stri
 	q.jobs[j.id] = j
 	q.classes[prio].push(j)
 	q.queued++
+	q.coalesce[req] = j
 	// Broadcast to blocked Dequeues.
 	close(q.wake)
 	q.wake = make(chan struct{})
-	return j.id, nil
+	return j.id, false, nil
 }
 
 // Dequeue blocks until a job is available (or ctx expires) and leases
@@ -447,13 +488,74 @@ func (q *JobQueue) settle(id string, state JobState, resp *SampleResponse, code 
 	q.completions[q.completed%uint64(len(q.completions))] = j.finished
 	q.completed++
 	q.notifyLocked(j)
+	// One execution settles every coalesced follower: each gets the
+	// same result/error and its own terminal transition, sharing the
+	// primary's timing (they waited on exactly that run).
+	q.dropPrimaryLocked(j)
+	for _, f := range j.followers {
+		if f.state != JobQueued {
+			continue
+		}
+		f.state = state
+		f.result = resp
+		f.errCode = code
+		f.errMsg = msg
+		f.started = j.started
+		f.finished = j.finished
+		q.expiry.PushBack(f)
+		q.notifyLocked(f)
+	}
+	j.followers = nil
 	q.sweepLocked()
+}
+
+// dropPrimaryLocked removes j's coalescing-key registration, if it is
+// still the registered primary for its request content (a newer primary
+// may have replaced it after j stopped accepting followers). Callers
+// hold q.mu.
+func (q *JobQueue) dropPrimaryLocked(j *queuedJob) {
+	if !j.follower && q.coalesce[j.req] == j {
+		delete(q.coalesce, j.req)
+	}
+}
+
+// promoteLocked hands j's live followers over after j leaves the queue
+// without producing a result (cancellation): the oldest follower is
+// promoted to a real queued job — it takes the class slot j vacated and
+// inherits the remaining followers — so every coalesced waiter still
+// gets exactly one execution. Callers hold q.mu.
+func (q *JobQueue) promoteLocked(j *queuedJob) {
+	q.dropPrimaryLocked(j)
+	var next *queuedJob
+	for _, f := range j.followers {
+		if f.state != JobQueued {
+			continue
+		}
+		if next == nil {
+			next = f
+		} else {
+			next.followers = append(next.followers, f)
+		}
+	}
+	j.followers = nil
+	if next == nil {
+		return
+	}
+	next.follower = false
+	q.coalesce[next.req] = next
+	q.classes[next.priority].push(next)
+	q.queued++
+	// Broadcast: a class regained a job; blocked Dequeues must recheck.
+	close(q.wake)
+	q.wake = make(chan struct{})
 }
 
 // Cancel cancels a job: a queued job is unlinked immediately, a running
 // job has its context canceled (the worker's settle then lands on a
 // canceled job and is dropped). Returns false for unknown or already
-// terminal jobs.
+// terminal jobs. Canceling a coalesced follower detaches only that
+// follower; canceling a primary promotes its oldest live follower so
+// the other waiters still run.
 func (q *JobQueue) Cancel(id string) bool {
 	q.mu.Lock()
 	j, ok := q.jobs[id]
@@ -464,11 +566,18 @@ func (q *JobQueue) Cancel(id string) bool {
 	var cancel context.CancelFunc
 	switch j.state {
 	case JobQueued:
-		q.classes[j.priority].remove(j)
-		q.queued--
+		if j.follower {
+			// Leave the primary's follower slice alone: settle and
+			// promote both skip terminal entries.
+		} else {
+			q.classes[j.priority].remove(j)
+			q.queued--
+			q.promoteLocked(j)
+		}
 	case JobRunning:
 		cancel = j.cancel
 		q.running--
+		q.promoteLocked(j)
 	}
 	j.state = JobCanceled
 	j.finished = q.clock()
@@ -586,10 +695,15 @@ func (q *JobQueue) Close() {
 	for _, j := range q.jobs {
 		switch j.state {
 		case JobQueued:
-			q.classes[j.priority].remove(j)
-			q.queued--
+			if !j.follower {
+				// Followers hold no class slot and no queued count;
+				// they cancel like any queued job below.
+				q.classes[j.priority].remove(j)
+				q.queued--
+			}
 			j.state = JobCanceled
 			j.finished = q.clock()
+			j.followers = nil
 			q.expiry.PushBack(j)
 			q.notifyLocked(j)
 		case JobRunning:
@@ -599,6 +713,7 @@ func (q *JobQueue) Close() {
 			}
 		}
 	}
+	q.coalesce = make(map[SampleRequest]*queuedJob)
 	close(q.wake)
 	q.wake = make(chan struct{})
 	q.mu.Unlock()
@@ -609,12 +724,13 @@ func (q *JobQueue) Close() {
 
 // QueueStats is a point-in-time view of queue occupancy.
 type QueueStats struct {
-	Queued   int    // admitted, waiting
-	Running  int    // leased to workers
-	Retained int    // terminal, held for claiming
-	Tracked  int    // total job records in memory
-	Expired  uint64 // lifetime results dropped by TTL/retention bound
-	PerClass [int(numPriorities)]int
+	Queued    int    // admitted, waiting
+	Running   int    // leased to workers
+	Retained  int    // terminal, held for claiming
+	Tracked   int    // total job records in memory
+	Expired   uint64 // lifetime results dropped by TTL/retention bound
+	Coalesced uint64 // lifetime submissions merged onto an identical in-flight job
+	PerClass  [int(numPriorities)]int
 }
 
 // Stats snapshots queue occupancy.
@@ -623,11 +739,12 @@ func (q *JobQueue) Stats() QueueStats {
 	defer q.mu.Unlock()
 	q.sweepLocked()
 	st := QueueStats{
-		Queued:   q.queued,
-		Running:  q.running,
-		Retained: q.expiry.Len(),
-		Tracked:  len(q.jobs),
-		Expired:  q.expired,
+		Queued:    q.queued,
+		Running:   q.running,
+		Retained:  q.expiry.Len(),
+		Tracked:   len(q.jobs),
+		Expired:   q.expired,
+		Coalesced: q.merged,
 	}
 	for i, pc := range q.classes {
 		st.PerClass[i] = pc.depth

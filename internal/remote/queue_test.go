@@ -36,7 +36,7 @@ func TestQueueFIFOWithinClient(t *testing.T) {
 	q := NewJobQueue(64, time.Minute)
 	var ids []string
 	for i := 0; i < 10; i++ {
-		id, err := q.Submit(SampleRequest{Seed: int64(i)}, "alice", PriorityBatch)
+		id, _, err := q.Submit(SampleRequest{Seed: int64(i)}, "alice", PriorityBatch)
 		if err != nil {
 			t.Fatalf("Submit %d: %v", i, err)
 		}
@@ -58,17 +58,17 @@ func TestQueueStrictPriorityBetweenClasses(t *testing.T) {
 	// Submit in inverted priority order so arrival time cannot explain
 	// the service order.
 	for i := 0; i < 3; i++ {
-		if _, err := q.Submit(SampleRequest{}, "c", PriorityBulk); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(i)}, "c", PriorityBulk); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := q.Submit(SampleRequest{}, "c", PriorityBatch); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(10 + i)}, "c", PriorityBatch); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := q.Submit(SampleRequest{}, "c", PriorityInteractive); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(20 + i)}, "c", PriorityInteractive); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -97,15 +97,15 @@ func TestQueueFairnessAcrossClients(t *testing.T) {
 	q := NewJobQueue(256, time.Minute)
 	// "hog" floods 20 jobs before anyone else arrives.
 	for i := 0; i < 20; i++ {
-		if _, err := q.Submit(SampleRequest{}, "hog", PriorityBatch); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(i)}, "hog", PriorityBatch); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := q.Submit(SampleRequest{}, "beta", PriorityBatch); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(100 + i)}, "beta", PriorityBatch); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := q.Submit(SampleRequest{}, "gamma", PriorityBatch); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(200 + i)}, "gamma", PriorityBatch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -135,7 +135,7 @@ func TestQueueFairnessRandomized(t *testing.T) {
 	submitted := map[string]int{}
 	for i := 0; i < 400; i++ {
 		c := clients[rng.Intn(len(clients))]
-		if _, err := q.Submit(SampleRequest{Seed: nextSeed[c]}, c, PriorityBatch); err != nil {
+		if _, _, err := q.Submit(SampleRequest{QUBO: c, Seed: nextSeed[c]}, c, PriorityBatch); err != nil {
 			t.Fatal(err)
 		}
 		nextSeed[c]++
@@ -177,7 +177,7 @@ func TestQueueTTLExpiry(t *testing.T) {
 	now := time.Now()
 	q.now = func() time.Time { return now }
 
-	id, err := q.Submit(SampleRequest{}, "alice", PriorityBatch)
+	id, _, err := q.Submit(SampleRequest{}, "alice", PriorityBatch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestQueueBoundedMemory(t *testing.T) {
 	for round := 0; round < 30; round++ {
 		// Flood well past the admission bound.
 		for i := 0; i < 12; i++ {
-			_, err := q.Submit(SampleRequest{}, fmt.Sprintf("c%d", i%3), PriorityBatch)
+			_, _, err := q.Submit(SampleRequest{Seed: int64(round*100 + i)}, fmt.Sprintf("c%d", i%3), PriorityBatch)
 			switch {
 			case err == nil:
 				admitted++
@@ -263,15 +263,15 @@ func TestQueuePerClientBound(t *testing.T) {
 	q := NewJobQueue(64, time.Minute)
 	q.MaxPerClient = 4
 	for i := 0; i < 4; i++ {
-		if _, err := q.Submit(SampleRequest{}, "hog", PriorityBatch); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(i)}, "hog", PriorityBatch); err != nil {
 			t.Fatalf("Submit %d: %v", i, err)
 		}
 	}
-	if _, err := q.Submit(SampleRequest{}, "hog", PriorityBatch); !errors.Is(err, ErrQueueFull) {
+	if _, _, err := q.Submit(SampleRequest{Seed: 4}, "hog", PriorityBatch); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("hog's 5th submission = %v, want ErrQueueFull", err)
 	}
 	// The queue still has room for everyone else.
-	if _, err := q.Submit(SampleRequest{}, "beta", PriorityBatch); err != nil {
+	if _, _, err := q.Submit(SampleRequest{Seed: 5}, "beta", PriorityBatch); err != nil {
 		t.Fatalf("beta blocked by hog's bound: %v", err)
 	}
 }
@@ -279,8 +279,8 @@ func TestQueuePerClientBound(t *testing.T) {
 func TestQueueCancel(t *testing.T) {
 	q := NewJobQueue(8, time.Minute)
 	// Cancel a queued job: it never reaches a worker.
-	idQ, _ := q.Submit(SampleRequest{}, "a", PriorityBatch)
-	idRun, _ := q.Submit(SampleRequest{}, "a", PriorityBatch)
+	idQ, _, _ := q.Submit(SampleRequest{Seed: 1}, "a", PriorityBatch)
+	idRun, _, _ := q.Submit(SampleRequest{Seed: 2}, "a", PriorityBatch)
 	if !q.Cancel(idQ) {
 		t.Fatal("Cancel(queued) = false")
 	}
@@ -323,7 +323,7 @@ func TestQueueDequeueBlocksAndWakes(t *testing.T) {
 	}()
 	// Give the consumer a moment to block, then submit.
 	time.Sleep(10 * time.Millisecond)
-	id, err := q.Submit(SampleRequest{}, "a", PriorityInteractive)
+	id, _, err := q.Submit(SampleRequest{}, "a", PriorityInteractive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +362,7 @@ func TestQueueRetryAfterEstimate(t *testing.T) {
 	}
 	// Feed a steady 2s completion spacing through the ring.
 	for i := 0; i < 6; i++ {
-		id, err := q.Submit(SampleRequest{}, "a", PriorityBatch)
+		id, _, err := q.Submit(SampleRequest{}, "a", PriorityBatch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -375,7 +375,7 @@ func TestQueueRetryAfterEstimate(t *testing.T) {
 	}
 	// Leave 5 queued: the estimate is depth * spacing = ~10s.
 	for i := 0; i < 5; i++ {
-		if _, err := q.Submit(SampleRequest{}, "b", PriorityBatch); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(100 + i)}, "b", PriorityBatch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -385,7 +385,7 @@ func TestQueueRetryAfterEstimate(t *testing.T) {
 	}
 	// Deep queues clamp at a minute.
 	for i := 0; i < 40; i++ {
-		if _, err := q.Submit(SampleRequest{}, "c", PriorityBatch); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(200 + i)}, "c", PriorityBatch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -412,7 +412,7 @@ func TestQueueConcurrentProducersConsumers(t *testing.T) {
 			defer prodWG.Done()
 			client := fmt.Sprintf("client-%d", p)
 			for i := 0; i < perProducer; i++ {
-				_, err := q.Submit(SampleRequest{}, client, Priority(i%3))
+				_, _, err := q.Submit(SampleRequest{Seed: int64(p*1000 + i)}, client, Priority(i%3))
 				mu.Lock()
 				if err == nil {
 					admitted++
@@ -468,5 +468,197 @@ func TestQueueConcurrentProducersConsumers(t *testing.T) {
 	}
 	if st.Retained != int(admitted) {
 		t.Fatalf("retained %d, want %d (TTL should not fire here)", st.Retained, admitted)
+	}
+}
+
+// TestQueueCoalescing pins the cross-request coalescing contract:
+// byte-identical submissions attach to the in-flight primary instead of
+// occupying queue capacity, exactly one execution happens, and its
+// result fans out to every attached waiter.
+func TestQueueCoalescing(t *testing.T) {
+	q := NewJobQueue(8, time.Minute)
+	req := SampleRequest{QUBO: "model", Reads: 8, Seed: 42}
+
+	primary, coalesced, err := q.Submit(req, "a", PriorityBatch)
+	if err != nil || coalesced {
+		t.Fatalf("primary submit = (%v, %v), want fresh admission", coalesced, err)
+	}
+	var followers []string
+	for i := 0; i < 3; i++ {
+		id, coalesced, err := q.Submit(req, fmt.Sprintf("c%d", i), PriorityBatch)
+		if err != nil {
+			t.Fatalf("follower submit %d: %v", i, err)
+		}
+		if !coalesced {
+			t.Fatalf("follower submit %d not coalesced", i)
+		}
+		if id == primary {
+			t.Fatalf("follower %d shares the primary's ID", i)
+		}
+		followers = append(followers, id)
+	}
+	// Followers consume no queue capacity.
+	if d := q.Depth(); d != 1 {
+		t.Fatalf("depth = %d, want 1 (followers hold no slot)", d)
+	}
+	if st := q.Stats(); st.Coalesced != 3 {
+		t.Fatalf("stats.Coalesced = %d, want 3", st.Coalesced)
+	}
+	// A different seed is a different request: no coalescing.
+	if _, coalesced, err := q.Submit(SampleRequest{QUBO: "model", Reads: 8, Seed: 43}, "a", PriorityBatch); err != nil || coalesced {
+		t.Fatalf("distinct-seed submit = (%v, %v), want independent admission", coalesced, err)
+	}
+
+	// Exactly one lease serves all four coalesced jobs.
+	lease := drain(t, q, 1)[0]
+	if lease.ID != primary {
+		t.Fatalf("leased %s, want primary %s", lease.ID, primary)
+	}
+	resp := &SampleResponse{Samples: []WireSample{{X: "10", Energy: -2, Occurrences: 1}}}
+	q.Complete(lease.ID, resp)
+	for _, id := range append([]string{primary}, followers...) {
+		st, ok := q.Get(id)
+		if !ok || st.State != JobDone {
+			t.Fatalf("job %s after settle = %+v ok=%v, want done", id, st, ok)
+		}
+		if len(st.Result.Samples) != 1 || st.Result.Samples[0].X != "10" {
+			t.Fatalf("job %s result = %+v, want the primary's samples", id, st.Result)
+		}
+	}
+}
+
+// TestQueueCoalescingFailureFanOut: a failing primary fails every
+// follower with the same code, so no waiter hangs.
+func TestQueueCoalescingFailureFanOut(t *testing.T) {
+	q := NewJobQueue(8, time.Minute)
+	req := SampleRequest{QUBO: "m", Seed: 7}
+	primary, _, _ := q.Submit(req, "a", PriorityBatch)
+	follower, coalesced, _ := q.Submit(req, "b", PriorityBatch)
+	if !coalesced {
+		t.Fatal("second submit not coalesced")
+	}
+	lease := drain(t, q, 1)[0]
+	q.Fail(lease.ID, 503, "sampler died")
+	for _, id := range []string{primary, follower} {
+		st, _ := q.Get(id)
+		if st.State != JobFailed || st.ErrCode != 503 || st.ErrMsg != "sampler died" {
+			t.Fatalf("job %s = %+v, want failed/503", id, st)
+		}
+	}
+}
+
+// TestQueueCoalescingCancelFollower: canceling a follower detaches only
+// it; the primary still runs and the other followers still get results.
+func TestQueueCoalescingCancelFollower(t *testing.T) {
+	q := NewJobQueue(8, time.Minute)
+	req := SampleRequest{QUBO: "m", Seed: 9}
+	primary, _, _ := q.Submit(req, "a", PriorityBatch)
+	f1, _, _ := q.Submit(req, "b", PriorityBatch)
+	f2, _, _ := q.Submit(req, "c", PriorityBatch)
+	if !q.Cancel(f1) {
+		t.Fatal("Cancel(follower) = false")
+	}
+	if st, _ := q.Get(f1); st.State != JobCanceled {
+		t.Fatalf("canceled follower = %+v", st)
+	}
+	lease := drain(t, q, 1)[0]
+	q.Complete(lease.ID, &SampleResponse{})
+	if st, _ := q.Get(primary); st.State != JobDone {
+		t.Fatalf("primary = %+v, want done", st)
+	}
+	if st, _ := q.Get(f2); st.State != JobDone {
+		t.Fatalf("surviving follower = %+v, want done", st)
+	}
+	if st, _ := q.Get(f1); st.State != JobCanceled {
+		t.Fatalf("canceled follower resurrected: %+v", st)
+	}
+}
+
+// TestQueueCoalescingPromotion: canceling the primary promotes the
+// oldest live follower into the queue, so remaining waiters still get
+// exactly one execution — whether the primary was queued or running.
+func TestQueueCoalescingPromotion(t *testing.T) {
+	t.Run("queued primary", func(t *testing.T) {
+		q := NewJobQueue(8, time.Minute)
+		req := SampleRequest{QUBO: "m", Seed: 11}
+		primary, _, _ := q.Submit(req, "a", PriorityBatch)
+		f1, _, _ := q.Submit(req, "b", PriorityBatch)
+		f2, _, _ := q.Submit(req, "c", PriorityBatch)
+		if !q.Cancel(primary) {
+			t.Fatal("Cancel(primary) = false")
+		}
+		if d := q.Depth(); d != 1 {
+			t.Fatalf("depth after promotion = %d, want 1", d)
+		}
+		lease := drain(t, q, 1)[0]
+		if lease.ID != f1 {
+			t.Fatalf("leased %s, want promoted follower %s", lease.ID, f1)
+		}
+		q.Complete(lease.ID, &SampleResponse{})
+		if st, _ := q.Get(f2); st.State != JobDone {
+			t.Fatalf("transferred follower = %+v, want done", st)
+		}
+		if st, _ := q.Get(primary); st.State != JobCanceled {
+			t.Fatalf("canceled primary = %+v", st)
+		}
+	})
+	t.Run("running primary", func(t *testing.T) {
+		q := NewJobQueue(8, time.Minute)
+		req := SampleRequest{QUBO: "m", Seed: 13}
+		primary, _, _ := q.Submit(req, "a", PriorityBatch)
+		f1, _, _ := q.Submit(req, "b", PriorityBatch)
+		lease := drain(t, q, 1)[0]
+		ctx, cancel := context.WithCancel(context.Background())
+		q.attachCancel(lease.ID, cancel)
+		if !q.Cancel(primary) {
+			t.Fatal("Cancel(running primary) = false")
+		}
+		if ctx.Err() == nil {
+			t.Fatal("running primary's context not canceled")
+		}
+		// The follower re-enters the queue as its own job.
+		lease2 := drain(t, q, 1)[0]
+		if lease2.ID != f1 {
+			t.Fatalf("re-leased %s, want promoted follower %s", lease2.ID, f1)
+		}
+		q.Complete(lease2.ID, &SampleResponse{})
+		if st, _ := q.Get(f1); st.State != JobDone {
+			t.Fatalf("promoted follower = %+v, want done", st)
+		}
+	})
+}
+
+// TestQueueCoalescingCloseCancelsFollowers: Close must cancel followers
+// without corrupting the queued count (they hold no class slot).
+func TestQueueCoalescingCloseCancelsFollowers(t *testing.T) {
+	q := NewJobQueue(8, time.Minute)
+	req := SampleRequest{QUBO: "m", Seed: 17}
+	primary, _, _ := q.Submit(req, "a", PriorityBatch)
+	follower, _, _ := q.Submit(req, "b", PriorityBatch)
+	q.Close()
+	for _, id := range []string{primary, follower} {
+		if st, _ := q.Get(id); st.State != JobCanceled {
+			t.Fatalf("job %s after Close = %+v, want canceled", id, st)
+		}
+	}
+	if st := q.Stats(); st.Queued != 0 {
+		t.Fatalf("queued after Close = %d, want 0", st.Queued)
+	}
+}
+
+// TestQueueCoalescingPriorityIsolation: coalescing never crosses
+// priority classes — an interactive submission must not ride a bulk
+// job's (much later) execution.
+func TestQueueCoalescingPriorityIsolation(t *testing.T) {
+	q := NewJobQueue(8, time.Minute)
+	req := SampleRequest{QUBO: "m", Seed: 19}
+	if _, coalesced, _ := q.Submit(req, "a", PriorityBulk); coalesced {
+		t.Fatal("first submit coalesced")
+	}
+	if _, coalesced, err := q.Submit(req, "a", PriorityInteractive); err != nil || coalesced {
+		t.Fatalf("cross-priority submit = (%v, %v), want independent admission", coalesced, err)
+	}
+	if d := q.Depth(); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
 	}
 }

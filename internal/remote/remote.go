@@ -42,6 +42,7 @@ import (
 
 	"qsmt/internal/anneal"
 	"qsmt/internal/obs"
+	"qsmt/internal/portfolio"
 	"qsmt/internal/qubo"
 )
 
@@ -58,6 +59,11 @@ type SampleRequest struct {
 	Reads       int    `json:"reads,omitempty"`       // 0 = server default
 	Sweeps      int    `json:"sweeps,omitempty"`      // 0 = server default
 	Seed        int64  `json:"seed,omitempty"`        // 0 = server default
+	// Portfolio asks the server to race its solver arms (exact
+	// enumeration, adaptive warm/cold annealing, greedy descent) instead
+	// of running one fixed annealer, returning the winner's samples.
+	// Ignored when the server installs a custom NewSampler factory.
+	Portfolio bool `json:"portfolio,omitempty"`
 }
 
 // WireSample is one returned read.
@@ -313,7 +319,13 @@ func (s *Server) runSample(ctx context.Context, req SampleRequest, compiled *qub
 		ctx, cancel = context.WithTimeout(ctx, s.SampleTimeout)
 		defer cancel()
 	}
-	ss, err := anneal.SampleWithContext(ctx, s.sampler(req), compiled)
+	var ss *anneal.SampleSet
+	var err error
+	if req.Portfolio && s.NewSampler == nil {
+		ss, err = s.samplePortfolio(ctx, req, compiled)
+	} else {
+		ss, err = anneal.SampleWithContext(ctx, s.sampler(req), compiled)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
@@ -347,6 +359,42 @@ func (s *Server) runSample(ctx context.Context, req SampleRequest, compiled *qub
 
 func writeStatusError(w http.ResponseWriter, se *StatusError) {
 	writeError(w, se.Code, se.Message)
+}
+
+// samplePortfolio serves a Portfolio request by racing the server-side
+// arm set (exact enumeration where the model is small enough, adaptive
+// warm/cold annealing, greedy descent) and returning the winner's
+// samples. Backup arms are disabled: a shared service bounds per-job
+// CPU, and tempering/scalar fallbacks triple the worst-case burn for a
+// latency win the client-side racer already provides.
+func (s *Server) samplePortfolio(ctx context.Context, req SampleRequest, compiled *qubo.Compiled) (*anneal.SampleSet, error) {
+	maxReads, maxSweeps := s.MaxReads, s.MaxSweeps
+	if maxReads <= 0 {
+		maxReads = DefaultMaxReads
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = DefaultMaxSweeps
+	}
+	reads, sweeps := req.Reads, req.Sweeps
+	if reads > maxReads {
+		reads = maxReads
+	}
+	if sweeps > maxSweeps {
+		sweeps = maxSweeps
+	}
+	arms, _ := portfolio.BuildArms(portfolio.Config{
+		Compiled:  compiled,
+		Reads:     reads,
+		Sweeps:    sweeps,
+		Seed:      req.Seed,
+		NoBackups: true,
+	})
+	o, err := portfolio.Race(ctx, arms)
+	if err != nil {
+		return nil, err
+	}
+	s.Metrics.portfolioRace(portfolio.KindName(o.Winner))
+	return o.Set, nil
 }
 
 func (s *Server) sampler(req SampleRequest) interface {
@@ -471,6 +519,10 @@ type Client struct {
 	Reads      int           // per-job reads (0 = server default)
 	Sweeps     int           // per-job sweeps
 	Seed       int64         // per-job seed
+	// Portfolio asks the server to race its portfolio arms for every job
+	// this client submits (SampleRequest.Portfolio). Servers with a
+	// custom sampler factory ignore it.
+	Portfolio bool
 	// ClientID names this client to the job API's fairness scheduler
 	// (the X-Client-ID header); empty means the server buckets by
 	// remote host.
@@ -514,11 +566,14 @@ func (c *Client) maxResponseBytes() int64 {
 
 // Job carries per-job sampling knobs. Zero fields fall back to the
 // submitting client's own Reads/Sweeps/Seed (and from there to the
-// server defaults), so the zero Job changes nothing.
+// server defaults), so the zero Job changes nothing. Portfolio is
+// OR-ed with the client's: either side can opt a job into server-side
+// arm racing (a proxy forwards the request's bit this way).
 type Job struct {
-	Reads  int
-	Sweeps int
-	Seed   int64
+	Reads     int
+	Sweeps    int
+	Seed      int64
+	Portfolio bool
 }
 
 // Sample implements the sampler contract by round-tripping through the
@@ -629,6 +684,7 @@ func (c *Client) sampleRequest(compiled *qubo.Compiled, job Job) (SampleRequest,
 	}
 	return SampleRequest{
 		QUBO: quboText.String(), Reads: reads, Sweeps: sweeps, Seed: seed,
+		Portfolio: c.Portfolio || job.Portfolio,
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"qsmt/internal/anneal"
 	"qsmt/internal/core"
+	"qsmt/internal/obs"
 	"qsmt/internal/qubo"
 )
 
@@ -229,5 +230,89 @@ func TestRequestSizeLimit(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized request status = %d", resp.StatusCode)
+	}
+}
+
+// TestPortfolioRequestRacesServerSide: a client with Portfolio set makes
+// the server race its solver arms instead of running the fixed annealer,
+// and the race is visible in the server's metrics. The returned samples
+// must still decode to the model's true optimum.
+func TestPortfolioRequestRacesServerSide(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer((&Server{
+		Description: "portfolio-annealer",
+		Metrics:     NewServerMetrics(reg),
+	}).Handler())
+	t.Cleanup(srv.Close)
+	client := &Client{BaseURL: srv.URL, Reads: 16, Sweeps: 400, Seed: 5, Portfolio: true}
+
+	m := qubo.New(8)
+	want := []qubo.Bit{1, 0, 1, 1, 0, 0, 1, 0}
+	for i, b := range want {
+		if b == 1 {
+			m.AddLinear(i, -1)
+		} else {
+			m.AddLinear(i, 1)
+		}
+	}
+	ss, err := client.Sample(m.Compile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := ss.Best()
+	for i := range want {
+		if best.X[i] != want[i] {
+			t.Fatalf("portfolio best = %v, want %v", best.X, want)
+		}
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "annealerd_portfolio_races_total") {
+		t.Fatalf("metrics exposition missing annealerd_portfolio_races_total:\n%s", text)
+	}
+	raced := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "annealerd_portfolio_races_total{") && !strings.HasSuffix(line, " 0") {
+			raced = true
+		}
+	}
+	if !raced {
+		t.Fatalf("no portfolio race recorded:\n%s", text)
+	}
+}
+
+// A server with a custom NewSampler (proxy mode) must ignore the
+// portfolio bit locally — the flag is forwarded to backends by the
+// sampler itself, not raced on the proxy.
+func TestPortfolioRequestIgnoredWithCustomSampler(t *testing.T) {
+	calls := 0
+	srv := httptest.NewServer((&Server{
+		Description: "proxy",
+		NewSampler: func(req SampleRequest) interface {
+			Sample(*qubo.Compiled) (*anneal.SampleSet, error)
+		} {
+			calls++
+			if !req.Portfolio {
+				t.Error("custom sampler did not see the portfolio bit")
+			}
+			return &anneal.SimulatedAnnealer{Reads: 4, Sweeps: 50, Seed: 1}
+		},
+	}).Handler())
+	t.Cleanup(srv.Close)
+	client := &Client{BaseURL: srv.URL, Reads: 4, Sweeps: 50, Seed: 1, Portfolio: true}
+
+	m := qubo.New(4)
+	for i := 0; i < 4; i++ {
+		m.AddLinear(i, -1)
+	}
+	if _, err := client.Sample(m.Compile()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("custom sampler calls = %d, want 1", calls)
 	}
 }

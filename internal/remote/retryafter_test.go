@@ -25,7 +25,7 @@ func driveCompletions(t *testing.T, q *JobQueue, now *time.Time, n int, spacing 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	for i := 0; i < n; i++ {
-		id, err := q.Submit(SampleRequest{}, "driver", PriorityBatch)
+		id, _, err := q.Submit(SampleRequest{}, "driver", PriorityBatch)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -47,9 +47,10 @@ func TestQueueRetryAfterKeepsSubSecondEstimate(t *testing.T) {
 	q.now = func() time.Time { return now }
 	driveCompletions(t, q, &now, 8, 20*time.Millisecond)
 	// Two jobs waiting at 20ms per completion → the queue should drain
-	// in ~40ms. The old floor rounded this up to a full second.
+	// in ~40ms. The old floor rounded this up to a full second. Distinct
+	// seeds keep the two from coalescing into one execution.
 	for i := 0; i < 2; i++ {
-		if _, err := q.Submit(SampleRequest{}, "waiting", PriorityBatch); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(i + 1)}, "waiting", PriorityBatch); err != nil {
 			t.Fatalf("backlog submit %d: %v", i, err)
 		}
 	}
@@ -115,7 +116,7 @@ func TestShedHintSubSecondEndToEnd(t *testing.T) {
 	q.now = func() time.Time { return now }
 	driveCompletions(t, q, &now, 8, 20*time.Millisecond)
 	for i := 0; i < 2; i++ {
-		if _, err := q.Submit(SampleRequest{}, "filler", PriorityBatch); err != nil {
+		if _, _, err := q.Submit(SampleRequest{Seed: int64(i + 1)}, "filler", PriorityBatch); err != nil {
 			t.Fatalf("backlog submit %d: %v", i, err)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"qsmt/internal/anneal"
 	"qsmt/internal/obs"
+	"qsmt/internal/portfolio"
 	"qsmt/internal/qubo"
 )
 
@@ -66,6 +67,24 @@ type SolveStats struct {
 	// and per-shard compilations combined).
 	CacheHits int
 
+	// Portfolio scheduler (Options.Portfolio). PortfolioRaces counts
+	// races run during this solve (one per sampled shard per attempt, or
+	// one per whole-model attempt when forced On); PortfolioArmWins
+	// tallies race winners by arm kind (index with portfolio.ArmKind);
+	// PortfolioCancelled counts losing arms cut off mid-run;
+	// PortfolioEarlyStops counts races whose winning annealer arm was
+	// stopped by the adaptive read controller before exhausting its
+	// budget, and PortfolioReadsSaved sums the unspent budget of those
+	// winners in read-equivalents; PortfolioProven counts races settled
+	// by a certified optimum (exact enumeration or a proven lower-bound
+	// hit).
+	PortfolioRaces      int
+	PortfolioArmWins    [portfolio.NumArmKinds]int
+	PortfolioCancelled  int
+	PortfolioEarlyStops int
+	PortfolioReadsSaved int
+	PortfolioProven     int
+
 	// Incremental reports that the solve ran through an
 	// IncrementalSession: components resolved against the session memo,
 	// touched ones re-presolved and re-sampled, untouched ones reused.
@@ -121,6 +140,22 @@ func (st *SolveStats) observeKernel(ks anneal.KernelStats) {
 	st.KernelFlips += ks.Flips
 	st.KernelResyncs += ks.Resyncs
 	st.KernelPacked = st.KernelPacked || ks.Packed
+}
+
+// observePortfolio folds one race outcome into the solve totals.
+func (st *SolveStats) observePortfolio(o *portfolio.Outcome) {
+	st.PortfolioRaces++
+	if o.Winner >= 0 && o.Winner < portfolio.NumArmKinds {
+		st.PortfolioArmWins[o.Winner]++
+	}
+	st.PortfolioCancelled += o.Canceled
+	if o.EarlyStopped {
+		st.PortfolioEarlyStops++
+	}
+	st.PortfolioReadsSaved += o.ReadsSaved
+	if o.Proven {
+		st.PortfolioProven++
+	}
 }
 
 // observeBest folds one sample-set best energy into the running minimum.
@@ -192,6 +227,7 @@ type SolverMetrics struct {
 	CacheHits      *obs.Counter // qsmt_cache_hits_total
 	CacheMisses    *obs.Counter // qsmt_cache_misses_total
 	CacheEvictions *obs.Counter // qsmt_cache_evictions_total
+	CacheCoalesced *obs.Counter // qsmt_cache_coalesced_total
 	CacheEntries   *obs.Gauge   // qsmt_cache_entries
 
 	// Optimize (MaxSAT/OMT) mode. Recorded per Solver.Optimize call on
@@ -206,6 +242,17 @@ type SolverMetrics struct {
 	OptObjective    *obs.Gauge     // qsmt_opt_objective
 	OptGap          *obs.Histogram // qsmt_opt_bound_gap
 	OptHardWeight   *obs.Gauge     // qsmt_opt_hard_weight
+
+	// Portfolio scheduler. Arm wins are labeled by arm kind so the win
+	// distribution per deployment is visible without re-running the
+	// benchmark; reads-saved divided by qsmt_solve_reads_total is the
+	// budget fraction the adaptive controller returned.
+	PortfolioRaces      *obs.Counter    // qsmt_portfolio_races_total
+	PortfolioArmWins    *obs.CounterVec // qsmt_portfolio_arm_wins_total{arm=...}
+	PortfolioCancels    *obs.Counter    // qsmt_portfolio_cancelled_arms_total
+	PortfolioEarlyStops *obs.Counter    // qsmt_portfolio_early_stops_total
+	PortfolioReadsSaved *obs.Counter    // qsmt_portfolio_reads_saved_total
+	PortfolioProven     *obs.Counter    // qsmt_portfolio_proven_total
 
 	// Substrate kernel. Lane-level work behind every annealing sampler;
 	// the accept-rate histogram divides flips by proposals per solve, the
@@ -263,6 +310,13 @@ func NewSolverMetrics(r *obs.Registry) *SolverMetrics {
 		IncrementalPresolveReuses: r.Counter("qsmt_incremental_presolve_reuses_total", "Re-sampled components that reused a memoized component presolve."),
 		IncrementalReuse:          r.Histogram("qsmt_incremental_reuse_ratio", "Fraction of components reused from the memo per incremental solve.", obs.FractionBuckets),
 
+		PortfolioRaces:      r.Counter("qsmt_portfolio_races_total", "Portfolio races run (one per sampled shard per attempt)."),
+		PortfolioArmWins:    r.CounterVec("qsmt_portfolio_arm_wins_total", "Portfolio race wins by arm kind.", "arm"),
+		PortfolioCancels:    r.Counter("qsmt_portfolio_cancelled_arms_total", "Losing portfolio arms cancelled mid-run."),
+		PortfolioEarlyStops: r.Counter("qsmt_portfolio_early_stops_total", "Races whose winning annealer arm was stopped early by the adaptive read controller."),
+		PortfolioReadsSaved: r.Counter("qsmt_portfolio_reads_saved_total", "Unspent annealing budget of early-stopped race winners, in read-equivalents."),
+		PortfolioProven:     r.Counter("qsmt_portfolio_proven_total", "Races settled by a certified optimum (exact enumeration or lower-bound hit)."),
+
 		KernelProposals:    r.Counter("qsmt_kernel_lane_proposals_total", "Lane proposals examined by annealing kernels across all solves."),
 		KernelFlips:        r.Counter("qsmt_kernel_lane_flips_total", "Lane flips accepted by annealing kernels across all solves."),
 		KernelResyncs:      r.Counter("qsmt_kernel_resyncs_total", "Drift-bound exact field rebuilds run by annealing kernels."),
@@ -272,6 +326,7 @@ func NewSolverMetrics(r *obs.Registry) *SolverMetrics {
 		CacheHits:      r.Counter("qsmt_cache_hits_total", "Compile-cache hits."),
 		CacheMisses:    r.Counter("qsmt_cache_misses_total", "Compile-cache misses."),
 		CacheEvictions: r.Counter("qsmt_cache_evictions_total", "Compile-cache LRU evictions."),
+		CacheCoalesced: r.Counter("qsmt_cache_coalesced_total", "Compile-cache lookups coalesced onto a concurrent in-flight compilation."),
 		CacheEntries:   r.Gauge("qsmt_cache_entries", "Compiled models currently cached."),
 
 		OptSolves:       r.Counter("qsmt_opt_solves_total", "Optimize calls that returned a feasible incumbent."),
@@ -329,6 +384,18 @@ func (m *SolverMetrics) record(st *SolveStats, err error) {
 	}
 	if st.ShardFallback {
 		m.ShardFallbacks.Inc()
+	}
+	if st.PortfolioRaces > 0 {
+		m.PortfolioRaces.Add(float64(st.PortfolioRaces))
+		for k, wins := range st.PortfolioArmWins {
+			if wins > 0 {
+				m.PortfolioArmWins.With(portfolio.KindName(portfolio.ArmKind(k))).Add(float64(wins))
+			}
+		}
+		m.PortfolioCancels.Add(float64(st.PortfolioCancelled))
+		m.PortfolioEarlyStops.Add(float64(st.PortfolioEarlyStops))
+		m.PortfolioReadsSaved.Add(float64(st.PortfolioReadsSaved))
+		m.PortfolioProven.Add(float64(st.PortfolioProven))
 	}
 	if st.KernelProposals > 0 {
 		m.KernelProposals.Add(float64(st.KernelProposals))
@@ -403,6 +470,7 @@ func (m *SolverMetrics) syncCache(cs qubo.CacheStats) {
 	m.CacheHits.Add(float64(cs.Hits - last.Hits))
 	m.CacheMisses.Add(float64(cs.Misses - last.Misses))
 	m.CacheEvictions.Add(float64(cs.Evictions - last.Evictions))
+	m.CacheCoalesced.Add(float64(cs.Coalesced - last.Coalesced))
 	m.CacheEntries.Set(float64(cs.Entries))
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"qsmt/internal/anneal"
 	"qsmt/internal/core"
+	"qsmt/internal/portfolio"
 	"qsmt/internal/qubo"
 )
 
@@ -99,13 +100,13 @@ const optObjectiveEps = 1e-9
 // bookkeeping to evaluate theory objectives on decoded witnesses, and
 // the presolve protection mask.
 type optPlan struct {
-	hard       Constraint    // single hard constraint (And of the inputs)
+	hard       Constraint // single hard constraint (And of the inputs)
 	softs      []SoftConstraint
-	hardVars   int           // variable count of the hard model
-	combined   *qubo.Model   // M·hard + Σ wᵢ·softᵢ, aux remapped
-	protected  []bool        // variables carrying objective mass
-	hardWeight float64       // the M actually applied
-	bound      float64       // proven lower bound on the weighted objective
+	hardVars   int         // variable count of the hard model
+	combined   *qubo.Model // M·hard + Σ wᵢ·softᵢ, aux remapped
+	protected  []bool      // variables carrying objective mass
+	hardWeight float64     // the M actually applied
+	bound      float64     // proven lower bound on the weighted objective
 }
 
 // modelSpan bounds the energy range of a model (ignoring its offset):
@@ -363,23 +364,41 @@ func (s *Solver) optimizeContext(ctx context.Context, hard []Constraint, soft []
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("qsmt: optimizing %s: %w", pl.hard.Name(), err)
 		}
-		sampler := s.samplerFor(attempt)
-		if s.opts.RefineRetries && s.opts.Sampler == nil && attempt > 0 && lastBest != nil {
-			sampler = &anneal.ReverseAnnealer{
-				Initial: lastBest,
-				Reads:   64,
-				Sweeps:  1000,
-				Seed:    s.opts.Seed + int64(attempt)*1_000_003,
-			}
-		} else if ws, ok := warmSampler(sampler, seeds); ok {
-			sampler = ws
-			st.WarmSeeded++
-		}
+		refining := s.opts.RefineRetries && s.opts.Sampler == nil && attempt > 0 && lastBest != nil
+		var ss *anneal.SampleSet
+		var err error
 		st.Attempts = attempt + 1
-		st.Sampler = samplerName(sampler)
-		phase := time.Now()
-		ss, err := s.sample(ctx, sampler, compiled)
-		st.Sample += time.Since(phase)
+		if s.portfolioWholeModel() && !refining {
+			st.Sampler = "portfolio"
+			if len(seeds) > 0 {
+				st.WarmSeeded++
+			}
+			phase := time.Now()
+			var o *portfolio.Outcome
+			o, err = s.racePortfolio(ctx, compiled, seeds, attempt, 0)
+			st.Sample += time.Since(phase)
+			if err == nil {
+				st.observePortfolio(o)
+				ss = o.Set
+			}
+		} else {
+			sampler := s.samplerFor(attempt)
+			if refining {
+				sampler = &anneal.ReverseAnnealer{
+					Initial: lastBest,
+					Reads:   64,
+					Sweeps:  1000,
+					Seed:    s.opts.Seed + int64(attempt)*1_000_003,
+				}
+			} else if ws, ok := warmSampler(sampler, seeds); ok {
+				sampler = ws
+				st.WarmSeeded++
+			}
+			st.Sampler = samplerName(sampler)
+			phase := time.Now()
+			ss, err = s.sample(ctx, sampler, compiled)
+			st.Sample += time.Since(phase)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("qsmt: sampling %s: %w", pl.hard.Name(), err)
 		}
@@ -398,7 +417,7 @@ func (s *Solver) optimizeContext(ctx context.Context, hard []Constraint, soft []
 		if limit > len(ss.Samples) {
 			limit = len(ss.Samples)
 		}
-		phase = time.Now()
+		phase := time.Now()
 		for k := 0; k < limit; k++ {
 			sample := ss.Samples[k]
 			w, obj, vals, ok, fatal, checkErr := pl.grade(liftBits(red, sample.X), st)
@@ -451,7 +470,7 @@ func (s *Solver) optimizeSharded(ctx context.Context, pl *optPlan, model *qubo.M
 			return nil, fmt.Errorf("qsmt: optimizing %s: %w", pl.hard.Name(), err), true
 		}
 		st.Attempts = attempt + 1
-		st.Sampler = samplerName(s.samplerFor(attempt))
+		st.Sampler = s.shardSamplerName(attempt)
 
 		phase := time.Now()
 		sets, err := s.sampleShards(ctx, plans, attempt, st)

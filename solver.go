@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qsmt/internal/anneal"
+	"qsmt/internal/portfolio"
 	"qsmt/internal/qubo"
 )
 
@@ -125,6 +126,20 @@ type Options struct {
 	// (remote clients, custom samplers) are used unchanged. Off restores
 	// today's behavior bit for bit. Never applies to Enumerate.
 	WarmStart Toggle
+	// Portfolio controls the per-shard portfolio scheduler
+	// (internal/portfolio): each sampled shard races exact enumeration,
+	// adaptive packed annealing (warm and cold), greedy descent and
+	// staggered backup arms under one context, and the first decisive
+	// finisher cancels the rest. On by default for multi-shard solves
+	// (the sharded sat, optimize and incremental paths); On additionally
+	// forces racing on whole-model solves. Only applies when no custom
+	// Sampler is set — remote clients and test samplers keep the
+	// sequential path (the remote job path has its own server-side
+	// portfolio flag). Racing preserves verdicts but trades run-to-run
+	// witness determinism for latency: the winning arm depends on
+	// scheduling, so Off restores the fully deterministic sequential
+	// tier path.
+	Portfolio Toggle
 	// HardWeight overrides the automatic weight-gap scaling of
 	// Solver.Optimize: the multiplier M applied to every hard-constraint
 	// penalty before soft objective terms are layered on. 0 (the
@@ -367,6 +382,50 @@ func warmSampler(sampler Sampler, seeds [][]qubo.Bit) (_ Sampler, seeded bool) {
 	return sampler, false
 }
 
+// portfolioShards reports whether sharded sampling should race the
+// portfolio arms: on by default (Options.Portfolio is a tri-state whose
+// default is on for multi-shard solves), and only when the solver runs
+// the default annealer — a custom Sampler (remote client, test double)
+// keeps the sequential path.
+func (s *Solver) portfolioShards() bool {
+	return s.opts.Portfolio.enabled(true) && s.opts.Sampler == nil
+}
+
+// portfolioWholeModel reports whether whole-model sampling should race:
+// only when Portfolio is forced On (the default races shards only,
+// where decomposition already proved independent subproblems).
+func (s *Solver) portfolioWholeModel() bool {
+	return s.opts.Portfolio == On && s.opts.Sampler == nil
+}
+
+// portfolioShardStride decorrelates per-shard race seeds within one
+// attempt (the attempt stride is the solver's usual 1_000_003).
+const portfolioShardStride = 7_368_787
+
+// racePortfolio runs one portfolio race on a compiled model. The race
+// counts as one sampling operation against the batch gate: its arms run
+// concurrently inside the slot, and losers are cancelled as soon as the
+// race settles, so a healthy race's CPU cost stays near one arm's.
+func (s *Solver) racePortfolio(ctx context.Context, compiled *qubo.Compiled, seeds [][]qubo.Bit, attempt, shard int) (*portfolio.Outcome, error) {
+	if s.gate != nil {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	arms, _ := portfolio.BuildArms(portfolio.Config{
+		Compiled:   compiled,
+		Reads:      64,
+		Sweeps:     1000,
+		Seed:       s.opts.Seed + int64(attempt)*1_000_003 + int64(shard)*portfolioShardStride,
+		Seeds:      seeds,
+		Candidates: s.opts.CandidatesPerAttempt,
+	})
+	return portfolio.Race(ctx, arms)
+}
+
 func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats) (*Result, error) {
 	start := time.Now()
 	model, err := c.BuildModel()
@@ -394,25 +453,47 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("qsmt: solving %s: %w", c.Name(), err)
 		}
-		sampler := s.samplerFor(attempt)
+		refining := s.opts.RefineRetries && s.opts.Sampler == nil && attempt > 0 && lastBest != nil
+		var ss *anneal.SampleSet
+		var err error
 		warmed := false
-		if s.opts.RefineRetries && s.opts.Sampler == nil && attempt > 0 && lastBest != nil {
-			sampler = &anneal.ReverseAnnealer{
-				Initial: lastBest,
-				Reads:   64,
-				Sweeps:  1000,
-				Seed:    s.opts.Seed + int64(attempt)*1_000_003,
-			}
-		} else if ws, ok := warmSampler(sampler, seeds); ok {
-			sampler = ws
-			warmed = true
-			st.WarmSeeded++
-		}
 		st.Attempts = attempt + 1
-		st.Sampler = samplerName(sampler)
-		phase := time.Now()
-		ss, err := s.sample(ctx, sampler, compiled)
-		st.Sample += time.Since(phase)
+		if s.portfolioWholeModel() && !refining {
+			// Race the portfolio arms on the whole model; refinement
+			// attempts keep the sequential reverse annealer, which has no
+			// portfolio analogue.
+			st.Sampler = "portfolio"
+			if len(seeds) > 0 {
+				warmed = true
+				st.WarmSeeded++
+			}
+			phase := time.Now()
+			var o *portfolio.Outcome
+			o, err = s.racePortfolio(ctx, compiled, seeds, attempt, 0)
+			st.Sample += time.Since(phase)
+			if err == nil {
+				st.observePortfolio(o)
+				ss = o.Set
+			}
+		} else {
+			sampler := s.samplerFor(attempt)
+			if refining {
+				sampler = &anneal.ReverseAnnealer{
+					Initial: lastBest,
+					Reads:   64,
+					Sweeps:  1000,
+					Seed:    s.opts.Seed + int64(attempt)*1_000_003,
+				}
+			} else if ws, ok := warmSampler(sampler, seeds); ok {
+				sampler = ws
+				warmed = true
+				st.WarmSeeded++
+			}
+			st.Sampler = samplerName(sampler)
+			phase := time.Now()
+			ss, err = s.sample(ctx, sampler, compiled)
+			st.Sample += time.Since(phase)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("qsmt: sampling %s: %w", c.Name(), err)
 		}
@@ -437,7 +518,7 @@ func (s *Solver) solveContext(ctx context.Context, c Constraint, st *SolveStats)
 		if limit > len(ss.Samples) {
 			limit = len(ss.Samples)
 		}
-		phase = time.Now()
+		phase := time.Now()
 		var accepted *Result
 		var fatal error
 		for k := 0; k < limit; k++ {
